@@ -1,0 +1,23 @@
+// The paper's §7 default simulation setup, shared by the Figure 6-11 benches:
+// N = 200, ucastl = 0.25, pf = 0.001, K = 4, M = 2, C = 1.0, fair hash,
+// simultaneous start, asynchronous phase bumping, crash without recovery.
+#pragma once
+
+#include "src/runner/config.h"
+
+namespace gridbox::bench {
+
+inline runner::ExperimentConfig paper_defaults() {
+  runner::ExperimentConfig config;
+  config.group_size = 200;
+  config.ucast_loss = 0.25;
+  config.crash_probability = 0.001;
+  config.gossip.k = 4;
+  config.gossip.fanout_m = 2;
+  config.gossip.round_multiplier_c = 1.0;
+  config.gossip.early_bump = true;
+  config.seed = 20010701;  // fixed: benches are reproducible runs
+  return config;
+}
+
+}  // namespace gridbox::bench

@@ -1,0 +1,138 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
+// protocol substrates: RNG, hashing, partial merges, event queue, address
+// arithmetic, peer filtering, and an end-to-end small run.
+#include <benchmark/benchmark.h>
+
+#include "src/agg/aggregate.h"
+#include "src/agg/codec.h"
+#include "src/common/rng.h"
+#include "src/hashing/fair_hash.h"
+#include "src/hashing/topo_hash.h"
+#include "src/hierarchy/hierarchy.h"
+#include "src/membership/view.h"
+#include "src/runner/experiment.h"
+#include "src/sim/event_queue.h"
+
+namespace {
+
+using namespace gridbox;
+
+void BM_Xoshiro256Next(benchmark::State& state) {
+  Xoshiro256 gen(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.next());
+  }
+}
+BENCHMARK(BM_Xoshiro256Next);
+
+void BM_RngUniformInt(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform_int(0, 999));
+  }
+}
+BENCHMARK(BM_RngUniformInt);
+
+void BM_RngSampleIndices(benchmark::State& state) {
+  Rng rng(42);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.sample_indices(n, 2));
+  }
+}
+BENCHMARK(BM_RngSampleIndices)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_FairHash(benchmark::State& state) {
+  hashing::FairHash hash(7);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hash.unit_value(MemberId{i++}));
+  }
+}
+BENCHMARK(BM_FairHash);
+
+void BM_MortonKey(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    x = x < 0.9 ? x + 1e-7 : 0.1;
+    benchmark::DoNotOptimize(hashing::morton_key(Position{x, 1.0 - x}));
+  }
+}
+BENCHMARK(BM_MortonKey);
+
+void BM_PartialMerge(benchmark::State& state) {
+  agg::Partial a = agg::Partial::from_vote(1.0);
+  const agg::Partial b = agg::Partial::from_vote(2.0);
+  for (auto _ : state) {
+    a.merge(b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_PartialMerge);
+
+void BM_PartialCodecRoundTrip(benchmark::State& state) {
+  const agg::Partial p = agg::Partial::from_vote(3.5);
+  for (auto _ : state) {
+    agg::ByteWriter w;
+    agg::write_partial(w, p);
+    const auto bytes = w.take();
+    agg::ByteReader r(bytes);
+    benchmark::DoNotOptimize(agg::read_partial(r));
+  }
+}
+BENCHMARK(BM_PartialCodecRoundTrip);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    queue.push(SimTime{static_cast<SimTime::underlying>(t % 1000)}, [] {});
+    ++t;
+    if (queue.size() > 1024) {
+      benchmark::DoNotOptimize(queue.pop());
+    }
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_HierarchyBoxOf(benchmark::State& state) {
+  hashing::FairHash hash(3);
+  hierarchy::GridBoxHierarchy hier(4096, 4, hash);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hier.box_of(MemberId{i++ % 4096}));
+  }
+}
+BENCHMARK(BM_HierarchyBoxOf);
+
+void BM_HierarchyPhasePeers(benchmark::State& state) {
+  hashing::FairHash hash(3);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  hierarchy::GridBoxHierarchy hier(n, 4, hash);
+  const membership::View view = membership::complete_view(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hier.phase_peers(view.members(), MemberId{0}, 2));
+  }
+}
+BENCHMARK(BM_HierarchyPhasePeers)->Arg(256)->Arg(2048);
+
+void BM_EndToEndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    runner::ExperimentConfig config;
+    config.group_size = n;
+    config.ucast_loss = 0.25;
+    config.crash_probability = 0.001;
+    config.seed = seed++;
+    benchmark::DoNotOptimize(runner::run_experiment(config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EndToEndRun)->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+# Renders the paper's figures from the CSVs the bench binaries write.
+#
+#   for b in build/bench/*; do $b; done     # writes bench_results/*.csv
+#   gnuplot bench/plot_figures.gp           # writes bench_results/*.png
+#
+# Axis conventions follow the paper: log-scale incompleteness everywhere,
+# log-log where the paper uses it (Figures 4-6, 11).
+
+set datafile separator ','
+set terminal pngcairo size 720,540 font 'sans,11'
+set grid
+set key top right
+
+set output 'bench_results/fig04.png'
+set title 'Figure 4: analytic 1-C1(N, K=2, b=4) vs N'
+set logscale xy
+set xlabel 'group size N'
+set ylabel '1 - C1'
+plot 'bench_results/fig04_analysis_c1_vs_n.csv' using 1:2 skip 1 \
+       with linespoints title '1-C1', \
+     '' using 1:3 skip 1 with lines dashtype 2 title '1/N'
+
+set output 'bench_results/fig05.png'
+set title 'Figure 5: analytic 1-C1(2000, K, b=4) vs K'
+plot 'bench_results/fig05_analysis_c1_vs_k.csv' using 1:2 skip 1 \
+       with linespoints title '1-C1'
+
+set output 'bench_results/fig06.png'
+set title 'Figure 6: incompleteness vs group size (paper defaults)'
+set xlabel 'group size N'
+set ylabel 'incompleteness'
+plot 'bench_results/fig06_scalability_vs_n.csv' using 1:2 skip 1 \
+       with linespoints title 'mean', \
+     '' using 1:3 skip 1 with linespoints title 'geometric mean'
+
+unset logscale x
+set logscale y
+
+set output 'bench_results/fig07.png'
+set title 'Figure 7: incompleteness vs unicast loss'
+set xlabel 'unicast message loss probability'
+plot 'bench_results/fig07_message_loss.csv' using 1:2 skip 1 \
+       with linespoints title 'mean'
+
+set output 'bench_results/fig08.png'
+set title 'Figure 8: incompleteness vs gossip rounds per phase'
+set xlabel 'gossip rounds per phase'
+plot 'bench_results/fig08_gossip_rate.csv' using 1:2 skip 1 \
+       with linespoints title 'mean'
+
+set output 'bench_results/fig09.png'
+set title 'Figure 9: incompleteness vs partition loss'
+set xlabel 'cross-partition loss probability'
+plot 'bench_results/fig09_partition.csv' using 1:2 skip 1 \
+       with linespoints title 'mean'
+
+set output 'bench_results/fig10.png'
+set title 'Figure 10: incompleteness vs member failure rate'
+set xlabel 'per-round crash probability pf'
+plot 'bench_results/fig10_member_failure.csv' using 1:2 skip 1 \
+       with linespoints title 'mean', \
+     '' using 1:3 skip 1 with linespoints title 'geometric mean'
+
+set output 'bench_results/fig11.png'
+set title 'Figure 11: incompleteness vs N against the 1/N bound'
+set logscale xy
+set xlabel 'group size N'
+plot 'bench_results/fig11_theorem_bound.csv' \
+       using 1:($2 > 0 ? $2 : 1e-7) skip 1 with linespoints title 'measured', \
+     '' using 1:3 skip 1 with lines dashtype 2 title '1/N'

@@ -1,0 +1,86 @@
+#include "src/agg/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::agg {
+
+std::string to_string(AggregateKind kind) {
+  switch (kind) {
+    case AggregateKind::kAverage: return "average";
+    case AggregateKind::kSum: return "sum";
+    case AggregateKind::kMin: return "min";
+    case AggregateKind::kMax: return "max";
+    case AggregateKind::kCount: return "count";
+    case AggregateKind::kRange: return "range";
+    case AggregateKind::kStdDev: return "stddev";
+  }
+  return "unknown";
+}
+
+Partial Partial::from_vote(double v) {
+  Partial p;
+  p.count_ = 1;
+  p.sum_ = v;
+  p.sum_squares_ = v * v;
+  p.min_ = v;
+  p.max_ = v;
+  return p;
+}
+
+Partial Partial::deserialize(std::uint32_t count, double sum,
+                             double sum_squares, double min, double max) {
+  if (count == 0) return Partial{};
+  expects(min <= max, "corrupt partial: min > max");
+  Partial p;
+  p.count_ = count;
+  p.sum_ = sum;
+  p.sum_squares_ = sum_squares;
+  p.min_ = min;
+  p.max_ = max;
+  return p;
+}
+
+void Partial::merge(const Partial& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Partial::value(AggregateKind kind) const {
+  if (kind == AggregateKind::kCount) return static_cast<double>(count_);
+  expects(count_ > 0, "value of an empty partial");
+  switch (kind) {
+    case AggregateKind::kAverage:
+      return sum_ / static_cast<double>(count_);
+    case AggregateKind::kSum:
+      return sum_;
+    case AggregateKind::kMin:
+      return min_;
+    case AggregateKind::kMax:
+      return max_;
+    case AggregateKind::kRange:
+      return max_ - min_;
+    case AggregateKind::kStdDev: {
+      const double n = static_cast<double>(count_);
+      const double mean = sum_ / n;
+      // Clamp: cancellation can push the variance a hair below zero.
+      return std::sqrt(std::max(0.0, sum_squares_ / n - mean * mean));
+    }
+    case AggregateKind::kCount:
+      break;  // handled above
+  }
+  ensures(false, "unhandled aggregate kind");
+  return 0.0;
+}
+
+}  // namespace gridbox::agg

@@ -1,0 +1,76 @@
+// Composable aggregate functions (§1).
+//
+// The paper requires f with: (1) f(W1 ∪ W2) = g(f(W1), f(W2)) for disjoint
+// vote sets, and (2) output not much larger than one vote. We satisfy both
+// with a single Partial carrying the five classic decomposable moments
+// (count, sum, sum of squares, min, max). One merge law serves every
+// aggregate kind; the kind only matters when extracting the final value.
+// The wire encoding is fixed-size (36 bytes), so every protocol message
+// stays under the constant bound regardless of how many votes a partial
+// summarizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace gridbox::agg {
+
+/// Which global function the group is evaluating.
+enum class AggregateKind : std::uint8_t {
+  kAverage = 0,
+  kSum = 1,
+  kMin = 2,
+  kMax = 3,
+  kCount = 4,
+  kRange = 5,    ///< max − min
+  kStdDev = 6,   ///< population standard deviation
+};
+
+[[nodiscard]] std::string to_string(AggregateKind kind);
+
+/// Decomposable summary of a set of votes. Value-semantic, 36 wire bytes.
+class Partial {
+ public:
+  /// The empty partial: identity of merge (summarizes the empty vote set).
+  Partial() = default;
+
+  /// Summary of the single vote `v`.
+  [[nodiscard]] static Partial from_vote(double v);
+
+  /// Reconstitutes a partial from its wire fields (codec use only).
+  /// Requires internally consistent fields: count > 0 implies min <= max,
+  /// count == 0 implies the all-zero partial.
+  [[nodiscard]] static Partial deserialize(std::uint32_t count, double sum,
+                                           double sum_squares, double min,
+                                           double max);
+
+  /// Disjoint-union composition: after a.merge(b), `a` summarizes the union
+  /// of the two vote sets. Associative and commutative; Partial{} is the
+  /// identity. Callers are responsible for disjointness (the protocols
+  /// guarantee it structurally; audit mode verifies it).
+  void merge(const Partial& other);
+
+  /// Final value of the aggregate of the summarized set.
+  /// Requires count() > 0 for every kind except kCount.
+  [[nodiscard]] double value(AggregateKind kind) const;
+
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double sum_squares() const { return sum_squares_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  friend bool operator==(const Partial&, const Partial&) = default;
+
+ private:
+  std::uint32_t count_ = 0;
+  double sum_ = 0.0;
+  double sum_squares_ = 0.0;
+  double min_ = 0.0;  // meaningful only when count_ > 0
+  double max_ = 0.0;  // meaningful only when count_ > 0
+};
+
+}  // namespace gridbox::agg

@@ -1,0 +1,47 @@
+#include "src/agg/audit.h"
+
+#include "src/common/ensure.h"
+
+namespace gridbox::agg {
+
+AuditRegistry::AuditRegistry(std::size_t universe) : universe_(universe) {
+  expects(universe > 0, "audit universe must be positive");
+}
+
+std::uint64_t AuditRegistry::register_vote(MemberId member) {
+  expects(member.value() < universe_, "member outside audit universe");
+  MemberBitset set(universe_);
+  set.set(member.value());
+  sets_.push_back(std::move(set));
+  return sets_.size();  // token = index + 1; 0 is reserved
+}
+
+std::uint64_t AuditRegistry::register_merge(
+    const std::vector<std::uint64_t>& tokens) {
+  MemberBitset acc(universe_);
+  for (const std::uint64_t token : tokens) {
+    if (token == kNoAuditToken) continue;
+    if (token > sets_.size()) {
+      ++unknown_tokens_;  // forged or corrupt wire data; skip, don't crash
+      continue;
+    }
+    const MemberBitset& set = set_of(token);
+    if (acc.intersects(set)) ++violations_;
+    acc.merge(set);
+  }
+  sets_.push_back(std::move(acc));
+  return sets_.size();
+}
+
+const MemberBitset& AuditRegistry::set_of(std::uint64_t token) const {
+  expects(token != kNoAuditToken && token <= sets_.size(),
+          "unknown audit token");
+  return sets_[token - 1];
+}
+
+std::size_t AuditRegistry::votes_behind(std::uint64_t token) const {
+  if (token == kNoAuditToken) return 0;
+  return set_of(token).count();
+}
+
+}  // namespace gridbox::agg

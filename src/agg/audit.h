@@ -1,0 +1,68 @@
+// Vote-provenance audit (test & verification infrastructure).
+//
+// The paper's no-double-counting constraint (§2) is guaranteed structurally
+// by the protocols (disjoint subtree partials), and this registry *proves* it
+// per run. Every partial flowing through a protocol can carry an 8-byte audit
+// token on the wire; the registry maps tokens to the exact set of members
+// whose votes the partial summarizes. Registering a merge of non-disjoint
+// sets is the double-counting bug the constraint forbids — it is counted and
+// (optionally) thrown on.
+//
+// Tokens are simulation-side metadata, not protocol information: protocols
+// forward them opaquely and never branch on them, so audited and unaudited
+// runs execute identically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/bitset.h"
+#include "src/common/types.h"
+
+namespace gridbox::agg {
+
+/// Token value meaning "no audit attached".
+inline constexpr std::uint64_t kNoAuditToken = 0;
+
+class AuditRegistry {
+ public:
+  /// `universe` is the group size; bit i tracks member i's vote.
+  explicit AuditRegistry(std::size_t universe);
+
+  /// Token for the singleton set {member}.
+  [[nodiscard]] std::uint64_t register_vote(MemberId member);
+
+  /// Token for the union of the sets behind `tokens` (kNoAuditToken entries
+  /// are ignored). Overlapping sets increment violation_count(). Tokens this
+  /// registry never issued (possible when untrusted peers forge wire bytes)
+  /// are skipped and counted in unknown_token_count() — audit instrumentation
+  /// must never crash a node.
+  [[nodiscard]] std::uint64_t register_merge(
+      const std::vector<std::uint64_t>& tokens);
+
+  /// The member set behind a token. Requires a token from this registry.
+  [[nodiscard]] const MemberBitset& set_of(std::uint64_t token) const;
+
+  /// Number of votes behind the token (0 for kNoAuditToken).
+  [[nodiscard]] std::size_t votes_behind(std::uint64_t token) const;
+
+  /// How many merges combined overlapping member sets. Any nonzero value is
+  /// a protocol bug (double counting) — unless unknown_token_count() is also
+  /// nonzero, which indicates forged wire data rather than a protocol bug.
+  [[nodiscard]] std::uint64_t violation_count() const { return violations_; }
+
+  /// Merge inputs that were not tokens issued by this registry.
+  [[nodiscard]] std::uint64_t unknown_token_count() const {
+    return unknown_tokens_;
+  }
+
+  [[nodiscard]] std::size_t universe() const { return universe_; }
+
+ private:
+  std::size_t universe_;
+  std::vector<MemberBitset> sets_;  // index = token − 1
+  std::uint64_t violations_ = 0;
+  std::uint64_t unknown_tokens_ = 0;
+};
+
+}  // namespace gridbox::agg

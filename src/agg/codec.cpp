@@ -1,0 +1,60 @@
+#include "src/agg/codec.h"
+
+#include <bit>
+#include <cstring>
+
+namespace gridbox::agg {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return (*bytes_)[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>((*bytes_)[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>((*bytes_)[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+void write_partial(ByteWriter& w, const Partial& p) {
+  w.u32(p.count());
+  w.f64(p.sum());
+  w.f64(p.sum_squares());
+  w.f64(p.min());
+  w.f64(p.max());
+}
+
+Partial read_partial(ByteReader& r) {
+  const std::uint32_t count = r.u32();
+  const double sum = r.f64();
+  const double sum_squares = r.f64();
+  const double min = r.f64();
+  const double max = r.f64();
+  return Partial::deserialize(count, sum, sum_squares, min, max);
+}
+
+}  // namespace gridbox::agg

@@ -1,0 +1,61 @@
+// Byte-level serialization for protocol messages.
+//
+// Little-endian, fixed-width primitives; no varints (message sizes must be
+// statically predictable to honour the constant size bound). ByteWriter /
+// ByteReader are deliberately dumb: each protocol composes its own message
+// layout from them, and the Partial codec below is shared by all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/agg/aggregate.h"
+#include "src/common/ensure.h"
+
+namespace gridbox::agg {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void f64(double v);
+
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Throws PreconditionError on truncated input (a malformed message must
+/// never crash a node — callers catch and drop).
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(&bytes) {}
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] double f64();
+
+  [[nodiscard]] bool exhausted() const { return pos_ == bytes_->size(); }
+  [[nodiscard]] std::size_t remaining() const { return bytes_->size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    expects(pos_ + n <= bytes_->size(), "truncated message");
+  }
+
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Fixed 36-byte encoding of a Partial (u32 count + 4 f64 moments).
+inline constexpr std::size_t kPartialWireBytes = 36;
+
+void write_partial(ByteWriter& w, const Partial& p);
+[[nodiscard]] Partial read_partial(ByteReader& r);
+
+}  // namespace gridbox::agg

@@ -1,0 +1,58 @@
+#include "src/agg/vote.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::agg {
+
+double VoteTable::of(MemberId id) const {
+  expects(id.value() < values_.size(), "member id out of range");
+  return values_[id.value()];
+}
+
+Partial VoteTable::exact_partial(const std::vector<MemberId>& subset) const {
+  Partial acc;
+  for (const MemberId m : subset) acc.merge(Partial::from_vote(of(m)));
+  return acc;
+}
+
+Partial VoteTable::exact_partial_all() const {
+  Partial acc;
+  for (const double v : values_) acc.merge(Partial::from_vote(v));
+  return acc;
+}
+
+VoteTable uniform_votes(std::size_t n, Rng& rng, double lo, double hi) {
+  expects(lo <= hi, "uniform_votes requires lo <= hi");
+  std::vector<double> values(n);
+  for (auto& v : values) v = lo + (hi - lo) * rng.uniform();
+  return VoteTable{std::move(values)};
+}
+
+VoteTable normal_votes(std::size_t n, Rng& rng, double mu, double sigma) {
+  std::vector<double> values(n);
+  for (auto& v : values) v = rng.normal(mu, sigma);
+  return VoteTable{std::move(values)};
+}
+
+VoteTable field_votes(std::size_t n,
+                      const std::function<Position(MemberId)>& position_of,
+                      Rng& rng, double base, double amplitude,
+                      double noise_sigma) {
+  expects(static_cast<bool>(position_of), "position function must be callable");
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Position p = position_of(MemberId{static_cast<MemberId::underlying>(i)});
+    // Smooth bump: hottest near (0.7, 0.3), cool in the opposite corner.
+    const double field =
+        std::sin(std::numbers::pi * p.x) *
+        std::cos(0.5 * std::numbers::pi * p.y) *
+        std::exp(-2.0 * squared_distance(p, Position{0.7, 0.3}));
+    values[i] = base + amplitude * field + rng.normal(0.0, noise_sigma);
+  }
+  return VoteTable{std::move(values)};
+}
+
+}  // namespace gridbox::agg

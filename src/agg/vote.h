@@ -1,0 +1,62 @@
+// Votes: the per-member inputs to the global aggregate (§1).
+//
+// A vote is one scalar measurement (a temperature, a pressure, a load
+// average). VoteTable is the experiment's ground truth assignment of votes
+// to members; the workload generators model the paper's motivating
+// scenarios (sensor fields with spatially-correlated readings).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/agg/aggregate.h"
+
+namespace gridbox::agg {
+
+struct Vote {
+  MemberId member;
+  double value = 0.0;
+};
+
+/// Ground-truth vote per member id (ids 0..n-1).
+class VoteTable {
+ public:
+  explicit VoteTable(std::vector<double> values) : values_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] double of(MemberId id) const;
+
+  /// Exact aggregate over votes of members in `subset`.
+  [[nodiscard]] Partial exact_partial(const std::vector<MemberId>& subset) const;
+
+  /// Exact aggregate over all members.
+  [[nodiscard]] Partial exact_partial_all() const;
+
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+// --- Workload generators -------------------------------------------------
+
+/// iid Uniform(lo, hi) votes.
+[[nodiscard]] VoteTable uniform_votes(std::size_t n, Rng& rng, double lo,
+                                      double hi);
+
+/// iid Normal(mu, sigma) votes.
+[[nodiscard]] VoteTable normal_votes(std::size_t n, Rng& rng, double mu,
+                                     double sigma);
+
+/// Spatially correlated votes: a smooth scalar field over the unit square
+/// sampled at each member's position, plus iid sensor noise. Models e.g.
+/// the temperature field across an airplane wing: nearby sensors read
+/// nearby values, the regime where "completeness represents accuracy".
+[[nodiscard]] VoteTable field_votes(std::size_t n,
+                                    const std::function<Position(MemberId)>& position_of,
+                                    Rng& rng, double base, double amplitude,
+                                    double noise_sigma);
+
+}  // namespace gridbox::agg

@@ -1,0 +1,90 @@
+#include "src/analysis/completeness.h"
+
+#include <cmath>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::analysis {
+
+namespace {
+
+// log of Binomial(n, i) pmf at success probability p, via lgamma.
+[[nodiscard]] double log_binom_pmf(std::size_t n, std::size_t i, double p) {
+  const double dn = static_cast<double>(n);
+  const double di = static_cast<double>(i);
+  const double log_choose = std::lgamma(dn + 1.0) - std::lgamma(di + 1.0) -
+                            std::lgamma(dn - di + 1.0);
+  // Guard the log terms at the boundary i == 0 / i == n.
+  double log_p_term = 0.0;
+  if (i > 0) log_p_term += di * std::log(p);
+  if (i < n) log_p_term += (dn - di) * std::log1p(-p);
+  return log_choose + log_p_term;
+}
+
+// ceil(log_k n), >= 1 (number of protocol phases).
+[[nodiscard]] std::size_t phase_count(std::size_t n, std::uint32_t k) {
+  std::size_t phases = 1;
+  std::uint64_t reach = k;
+  while (reach < n) {
+    ++phases;
+    reach *= k;
+  }
+  return phases;
+}
+
+}  // namespace
+
+double phase_completeness_bound(std::size_t n, double b) {
+  expects(n >= 2, "need N >= 2");
+  const double dn = static_cast<double>(n);
+  // 1 / (1 + N e^{-b ln N}) = 1 / (1 + N^{1-b}).
+  return 1.0 / (1.0 + std::pow(dn, 1.0 - b));
+}
+
+double phase_completeness_simple(std::size_t n, double b) {
+  expects(n >= 2, "need N >= 2");
+  return 1.0 - std::pow(static_cast<double>(n), -(b - 1.0));
+}
+
+double first_phase_incompleteness(std::size_t n, std::uint32_t k, double b) {
+  expects(n >= 2 && k >= 2, "need N >= 2 and K >= 2");
+  expects(b > 0.0, "need b > 0");
+  const double dn = static_cast<double>(n);
+  const double p = static_cast<double>(k) / dn;
+  expects(p <= 1.0, "K must not exceed N");
+  const double c = static_cast<double>(k) * b * std::log(dn);
+
+  // 1 − C1 = Σ_i pmf(i) · [1 − 1/(1 + i·e^{−c/i})]
+  //        = Σ_i pmf(i) · i·e^{−c/i} / (1 + i·e^{−c/i});  the i = 0 term
+  // vanishes. Sum in linear space with log-space pmf terms: every term is
+  // positive and <= pmf(i), so the sum is stable.
+  double incompleteness = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    const double di = static_cast<double>(i);
+    const double log_pmf = log_binom_pmf(n, i, p);
+    if (log_pmf < -745.0) continue;  // below exp() underflow; term is 0
+    const double spread = di * std::exp(-c / di);
+    const double miss = spread / (1.0 + spread);
+    incompleteness += std::exp(log_pmf) * miss;
+  }
+  return incompleteness;
+}
+
+double first_phase_completeness(std::size_t n, std::uint32_t k, double b) {
+  return 1.0 - first_phase_incompleteness(n, k, b);
+}
+
+double protocol_completeness_bound(std::size_t n, std::uint32_t k, double b) {
+  const std::size_t phases = phase_count(n, k);
+  double completeness = first_phase_completeness(n, k, b);
+  const double per_phase = phase_completeness_bound(n, b);
+  for (std::size_t i = 2; i <= phases; ++i) completeness *= per_phase;
+  return completeness;
+}
+
+double theorem1_bound(std::size_t n) {
+  expects(n >= 2, "need N >= 2");
+  return 1.0 - 1.0 / static_cast<double>(n);
+}
+
+}  // namespace gridbox::analysis

@@ -1,0 +1,40 @@
+// Completeness bounds of the Hierarchical Gossiping protocol (§6.3).
+//
+// All formulas follow the paper's epidemic analysis, with phase length
+// K·ln N rounds and per-member contact rate b. Because a member gossips one
+// randomly chosen value per contact, a phase tracking v concurrent values
+// spreads each at effective rate b/v.
+#pragma once
+
+#include <cstdint>
+
+namespace gridbox::analysis {
+
+/// Lower bound on the probability that one specific child aggregate reaches
+/// a given member during a phase i >= 2 (K values in flight, subtree size
+/// <= N):   C_i(N,K,b) >= 1 / (1 + N·e^{−b·ln N}) = 1 / (1 + N^{1−b}).
+[[nodiscard]] double phase_completeness_bound(std::size_t n, double b);
+
+/// The paper's simplified form of the same bound: 1 − 1/N^{b−1}.
+[[nodiscard]] double phase_completeness_simple(std::size_t n, double b);
+
+/// Expected first-phase completeness C_1(N,K,b): a random member's box has
+/// size i ~ Binomial(N, K/N); a box of size i spreads i values over K·ln N
+/// rounds, each at rate b/i, so a given vote reaches a given box member with
+/// probability 1/(1 + i·e^{−K·b·ln(N)/i}). Exact binomial sum, evaluated in
+/// log space (stable for N up to ~10^6).
+[[nodiscard]] double first_phase_completeness(std::size_t n, std::uint32_t k,
+                                              double b);
+
+/// 1 − C_1: the quantity plotted (log-log) in Figures 4 and 5.
+[[nodiscard]] double first_phase_incompleteness(std::size_t n, std::uint32_t k,
+                                                double b);
+
+/// Expected end-to-end completeness bound: C_1 · Π_{i=2}^{log_K N} C_i.
+[[nodiscard]] double protocol_completeness_bound(std::size_t n,
+                                                 std::uint32_t k, double b);
+
+/// Theorem 1: for K >= 2, b >= 4 and large N, completeness >= 1 − 1/N.
+[[nodiscard]] double theorem1_bound(std::size_t n);
+
+}  // namespace gridbox::analysis

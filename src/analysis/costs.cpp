@@ -1,0 +1,47 @@
+#include "src/analysis/costs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::analysis {
+
+GossipCosts gossip_costs(std::size_t n, std::uint32_t k, std::uint32_t m,
+                         double c) {
+  expects(n >= 2 && k >= 2 && m >= 1 && c > 0.0, "degenerate parameters");
+  GossipCosts costs;
+  std::uint64_t reach = k;
+  costs.phases = 1;
+  while (reach < n) {
+    ++costs.phases;
+    reach *= k;
+  }
+  const double base = m >= 2 ? static_cast<double>(m) : 2.0;
+  costs.rounds_per_phase = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(c * std::log(static_cast<double>(std::max<std::size_t>(
+                             n, 2))) /
+                     std::log(base))));
+  costs.total_rounds = costs.rounds_per_phase * costs.phases;
+  costs.max_messages = static_cast<std::uint64_t>(n) * costs.total_rounds * m;
+  return costs;
+}
+
+FullyDistributedCosts fully_distributed_costs(std::size_t n,
+                                              std::uint32_t m) {
+  expects(n >= 2 && m >= 1, "degenerate parameters");
+  FullyDistributedCosts costs;
+  costs.messages = static_cast<std::uint64_t>(n) * (n - 1);
+  costs.send_rounds = (n - 1 + m - 1) / m;
+  return costs;
+}
+
+CentralizedCosts centralized_costs(std::size_t n, std::uint32_t fanout) {
+  expects(n >= 2 && fanout >= 1, "degenerate parameters");
+  CentralizedCosts costs;
+  costs.messages = 2 * (static_cast<std::uint64_t>(n) - 1);
+  costs.dissemination_rounds = (n - 1 + fanout - 1) / fanout;
+  return costs;
+}
+
+}  // namespace gridbox::analysis

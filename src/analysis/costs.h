@@ -1,0 +1,42 @@
+// Closed-form cost predictions for the protocols (§4, §5, §6.3): message
+// and time complexity, checked against simulation by the model-validation
+// tests. These are the formulas behind the paper's complexity table talk —
+// exact worst cases, not asymptotics, so a simulated run can be compared
+// against them (sync runs meet them with equality; early bumping can only
+// reduce them).
+#pragma once
+
+#include <cstdint>
+
+namespace gridbox::analysis {
+
+struct GossipCosts {
+  std::size_t phases = 0;            ///< ceil(log_K N)
+  std::uint64_t rounds_per_phase = 0;
+  std::uint64_t total_rounds = 0;    ///< per member: phases * rounds_per_phase
+  std::uint64_t max_messages = 0;    ///< group-wide: N * total_rounds * M
+};
+
+/// Hierarchical Gossiping (§6.3): O(log^2 N) rounds, O(N log^2 N) messages.
+/// `rounds_per_phase` follows the simulation's ⌈C·log_M N⌉ rule.
+[[nodiscard]] GossipCosts gossip_costs(std::size_t n, std::uint32_t k,
+                                       std::uint32_t m, double c);
+
+/// Fully distributed (§4): exactly N(N−1) messages; ⌈(N−1)/M⌉ send rounds.
+struct FullyDistributedCosts {
+  std::uint64_t messages = 0;
+  std::uint64_t send_rounds = 0;
+};
+[[nodiscard]] FullyDistributedCosts fully_distributed_costs(std::size_t n,
+                                                            std::uint32_t m);
+
+/// Centralized (§5): 2(N−1) messages; collection + dissemination both limited
+/// by the leader's bandwidth, so time is O(N).
+struct CentralizedCosts {
+  std::uint64_t messages = 0;
+  std::uint64_t dissemination_rounds = 0;
+};
+[[nodiscard]] CentralizedCosts centralized_costs(std::size_t n,
+                                                 std::uint32_t fanout);
+
+}  // namespace gridbox::analysis

@@ -1,0 +1,40 @@
+#include "src/analysis/epidemic.h"
+
+#include <cmath>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::analysis {
+
+double logistic_infected(double m, double b, double t) {
+  expects(m >= 1.0, "population must be at least 1");
+  expects(b >= 0.0 && t >= 0.0, "rate and time must be non-negative");
+  return m / (1.0 + m * std::exp(-b * t));
+}
+
+double infection_probability(double m, double b, double t) {
+  return logistic_infected(m, b, t) / m;
+}
+
+double rounds_to_reach(double m, double b, double target) {
+  expects(target > 0.0 && target < 1.0, "target probability in (0,1)");
+  expects(b > 0.0, "rate must be positive");
+  // p = 1 / (1 + m e^{-bt})  =>  t = ln(m·p/(1−p)) / b.
+  const double odds = target / (1.0 - target);
+  return std::log(m * odds) / b;
+}
+
+double effective_b(std::uint32_t fanout_m, double ucast_loss,
+                   double rounds_per_phase, std::uint32_t k, std::size_t n) {
+  expects(fanout_m >= 1 && k >= 2 && n >= 2, "degenerate parameters");
+  expects(ucast_loss >= 0.0 && ucast_loss < 1.0, "loss in [0,1)");
+  // The analysis gives each phase K·ln N rounds of b successful contacts;
+  // the simulation gives rounds_per_phase rounds of M·(1−ucastl) successful
+  // contacts. Equating total successful contacts per phase:
+  //   b = M(1−ucastl) · rounds_per_phase / (K·ln N).
+  const double contacts = static_cast<double>(fanout_m) * (1.0 - ucast_loss);
+  return contacts * rounds_per_phase /
+         (static_cast<double>(k) * std::log(static_cast<double>(n)));
+}
+
+}  // namespace gridbox::analysis

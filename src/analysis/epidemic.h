@@ -1,0 +1,34 @@
+// Deterministic epidemic model (Bailey 1975), as used in §6.3.
+//
+// One initial infective among m members; each infected member contacts b
+// random members per round. The logistic solution of
+//     dx/dt = (b/m) · x · (m − x),   x(0) = 1
+// gives the infected count x(t) = m / (1 + m·e^{−bt}) (the paper's
+// approximation of m/(1+(m−1)e^{−bt}) for large m). The probability that a
+// uniformly random member is infected after t rounds is x(t)/m.
+#pragma once
+
+#include <cstdint>
+
+namespace gridbox::analysis {
+
+/// Infected count x(t) under the logistic epidemic. Requires m >= 1, b >= 0,
+/// t >= 0. Uses the paper's form x = m / (1 + m e^{-bt}).
+[[nodiscard]] double logistic_infected(double m, double b, double t);
+
+/// Probability a random member is infected after t rounds = x(t)/m.
+[[nodiscard]] double infection_probability(double m, double b, double t);
+
+/// Rounds needed for the infection probability to reach `target` (inverse of
+/// the logistic); target in (0,1).
+[[nodiscard]] double rounds_to_reach(double m, double b, double target);
+
+/// The effective per-round successful-contact rate b for the simulation
+/// knobs (fanout M, unicast loss, rounds-per-phase vs the analysis' K·ln N
+/// phase length). See DESIGN.md §6 for the derivation; the paper quotes
+/// "b evaluates to about 0.75" at N=200, K=4, M=2, C=1, ucastl=0.25.
+[[nodiscard]] double effective_b(std::uint32_t fanout_m, double ucast_loss,
+                                 double rounds_per_phase, std::uint32_t k,
+                                 std::size_t n);
+
+}  // namespace gridbox::analysis

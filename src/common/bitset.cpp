@@ -1,0 +1,50 @@
+#include "src/common/bitset.h"
+
+#include <bit>
+
+#include "src/common/ensure.h"
+
+namespace gridbox {
+
+MemberBitset::MemberBitset(std::size_t universe_size)
+    : size_(universe_size), words_((universe_size + kBits - 1) / kBits, 0) {}
+
+void MemberBitset::set(std::size_t i) {
+  expects(i < size_, "bit index out of range");
+  words_[i / kBits] |= (std::uint64_t{1} << (i % kBits));
+}
+
+bool MemberBitset::test(std::size_t i) const {
+  if (i >= size_) return false;
+  return (words_[i / kBits] >> (i % kBits)) & 1U;
+}
+
+std::size_t MemberBitset::count() const {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+bool MemberBitset::intersects(const MemberBitset& other) const {
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+void MemberBitset::merge(const MemberBitset& other) {
+  if (other.size_ == 0) return;
+  if (size_ == 0) {
+    *this = other;
+    return;
+  }
+  expects(size_ == other.size_, "bitset universes differ");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+bool operator==(const MemberBitset& a, const MemberBitset& b) {
+  return a.size_ == b.size_ && a.words_ == b.words_;
+}
+
+}  // namespace gridbox

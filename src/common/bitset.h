@@ -1,0 +1,44 @@
+// Dynamic bitset used for vote-audit tracking.
+//
+// The paper imposes a *no double counting* constraint (§2): no member's vote
+// may be included twice in any aggregate. The protocol guarantees this by
+// construction (disjoint subtree partials), and the test suite *verifies* it
+// by attaching one of these sets to every partial in audit mode: a merge of
+// two partials whose member sets intersect is a double count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gridbox {
+
+class MemberBitset {
+ public:
+  MemberBitset() = default;
+  explicit MemberBitset(std::size_t universe_size);
+
+  [[nodiscard]] std::size_t universe_size() const { return size_; }
+
+  void set(std::size_t i);
+  [[nodiscard]] bool test(std::size_t i) const;
+
+  /// Number of set bits.
+  [[nodiscard]] std::size_t count() const;
+
+  /// True iff this and other share any set bit.
+  [[nodiscard]] bool intersects(const MemberBitset& other) const;
+
+  /// Set-union in place. Universes must match (or either may be empty).
+  void merge(const MemberBitset& other);
+
+  [[nodiscard]] bool empty() const { return count() == 0; }
+
+  friend bool operator==(const MemberBitset&, const MemberBitset&);
+
+ private:
+  static constexpr std::size_t kBits = 64;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace gridbox

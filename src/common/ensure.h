@@ -1,0 +1,46 @@
+// Precondition / invariant checking helpers.
+//
+// Following the Core Guidelines' preference for expressing contracts without
+// preprocessor machinery, these are plain functions. Violations throw: in a
+// simulator a silently corrupted run is worse than an aborted one, and tests
+// can assert on the exception type.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace gridbox {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant fails (a bug in gridbox itself).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Check a caller-facing precondition.
+inline void expects(bool condition, const std::string& what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionError(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": precondition failed: " +
+                            what);
+  }
+}
+
+/// Check an internal invariant.
+inline void ensures(bool condition, const std::string& what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantError(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": invariant failed: " + what);
+  }
+}
+
+}  // namespace gridbox

@@ -1,0 +1,18 @@
+#include "src/common/log.h"
+
+#include <array>
+#include <cstdio>
+
+namespace gridbox {
+
+LogLevel Log::level_ = LogLevel::kOff;
+
+void Log::write(LogLevel level, const std::string& message) {
+  static constexpr std::array<const char*, 4> kNames = {"TRACE", "DEBUG",
+                                                        "INFO", "WARN"};
+  const auto idx = static_cast<std::size_t>(level);
+  const char* name = idx < kNames.size() ? kNames[idx] : "?";
+  std::fprintf(stderr, "[%s] %s\n", name, message.c_str());
+}
+
+}  // namespace gridbox

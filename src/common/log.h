@@ -1,0 +1,54 @@
+// Minimal leveled logger.
+//
+// The simulator is performance-sensitive (millions of events per run), so
+// logging is off by default and level checks are a single branch. Output goes
+// to stderr so bench/table output on stdout stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gridbox {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Global log threshold. Not thread-safe by design: gridbox simulations are
+/// single-threaded state machines (determinism requires it).
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  static bool enabled(LogLevel level) { return level >= level_; }
+
+  /// Writes one line to stderr with a level prefix.
+  static void write(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+};
+
+/// Stream-style one-line log entry: Logger(LogLevel::kDebug) << "x=" << x;
+/// The line is emitted on destruction. Cheap no-op when the level is off.
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level), enabled_(Log::enabled(level)) {}
+  ~Logger() {
+    if (enabled_) Log::write(level_, stream_.str());
+  }
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  template <typename T>
+  Logger& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace gridbox

@@ -1,0 +1,130 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace gridbox {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) {
+    s = splitmix64(s);
+    word = s;
+  }
+  // SplitMix64 output of any seed chain is never all-zero across four words
+  // in practice, but guard anyway: xoshiro's all-zero state is absorbing.
+  if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Xoshiro256::result_type Xoshiro256::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+void Xoshiro256::long_jump() {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (const std::uint64_t jump : kJump) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((jump & (std::uint64_t{1} << bit)) != 0) {
+        for (std::size_t w = 0; w < acc.size(); ++w) acc[w] ^= state_[w];
+      }
+      (void)next();
+    }
+  }
+  state_ = acc;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  expects(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span = hi - lo;
+  if (span == ~std::uint64_t{0}) return gen_.next();
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t range = span + 1;
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % range;
+  std::uint64_t draw = gen_.next();
+  while (draw >= limit) draw = gen_.next();
+  return lo + draw % range;
+}
+
+std::size_t Rng::index(std::size_t n) {
+  expects(n > 0, "index requires n > 0");
+  return static_cast<std::size_t>(uniform_int(0, n - 1));
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  expects(mean > 0.0, "exponential requires mean > 0");
+  double u = uniform();
+  while (u <= 0.0) u = uniform();  // log(0) guard; uniform() < 1 already
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mu, double sigma) {
+  expects(sigma >= 0.0, "normal requires sigma >= 0");
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return mu + sigma * u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    shuffle(all);
+    return all;
+  }
+  // Floyd's algorithm: k iterations, uniform over all k-subsets.
+  std::unordered_set<std::size_t> chosen;
+  std::vector<std::size_t> result;
+  result.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const std::size_t t = static_cast<std::size_t>(uniform_int(0, j));
+    if (chosen.insert(t).second) {
+      result.push_back(t);
+    } else {
+      chosen.insert(j);
+      result.push_back(j);
+    }
+  }
+  shuffle(result);
+  return result;
+}
+
+}  // namespace gridbox

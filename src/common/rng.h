@@ -1,0 +1,105 @@
+// Deterministic random number generation.
+//
+// Every stochastic decision in gridbox (gossipee selection, message loss,
+// crashes, hash salts, workload generation) draws from an Rng that is seeded
+// explicitly, so a whole experiment is reproducible from a single root seed.
+// Independent components receive independent *streams* derived from the root
+// seed via SplitMix64, the standard seed-expansion function for xoshiro.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ensure.h"
+
+namespace gridbox {
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer. Used both to expand seeds
+/// and as the well-known hash H that maps member identifiers into [0,1)
+/// (paper §6.1: "a well-known hash function H that maps the unique group
+/// member identifiers randomly into the interval [0,1]").
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, 256-bit state, passes BigCrush.
+/// Implemented from scratch (no external dependencies).
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words by iterating SplitMix64, per the authors'
+  /// recommendation; guarantees a nonzero state.
+  explicit Xoshiro256(std::uint64_t seed);
+
+  [[nodiscard]] result_type next();
+
+  /// UniformRandomBitGenerator interface so <algorithm> shuffles work too.
+  result_type operator()() { return next(); }
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Advances the state by 2^128 steps: yields a generator whose sequence is
+  /// disjoint from this one for any realistic draw count.
+  void long_jump();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// High-level random source used throughout gridbox.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : root_seed_(seed), gen_(seed) {}
+
+  /// Derives an independent child stream. `tag` distinguishes sibling
+  /// streams; the same (seed, tag) always yields the same stream.
+  [[nodiscard]] Rng derive(std::uint64_t tag) const {
+    return Rng{splitmix64(root_seed_ ^ splitmix64(tag))};
+  }
+
+  /// Uniform in [0, 1).
+  [[nodiscard]] double uniform();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t index(std::size_t n);
+
+  /// True with probability p (p clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Exponentially distributed with the given mean. Requires mean > 0.
+  [[nodiscard]] double exponential(double mean);
+
+  /// Normal via Marsaglia polar method. Requires sigma >= 0.
+  [[nodiscard]] double normal(double mu = 0.0, double sigma = 1.0);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// k distinct indices sampled uniformly from [0, n); if k >= n returns all
+  /// n indices in shuffled order.
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
+                                                        std::size_t k);
+
+  /// Raw 64 random bits.
+  [[nodiscard]] std::uint64_t raw() { return gen_.next(); }
+
+ private:
+  std::uint64_t root_seed_;
+  Xoshiro256 gen_;
+};
+
+}  // namespace gridbox

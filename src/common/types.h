@@ -1,0 +1,125 @@
+// Core identifier and unit types shared by every gridbox module.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace gridbox {
+
+/// Globally unique member identifier (the paper assumes each member has a
+/// unique id, imprinted at manufacture time or assigned at run time).
+///
+/// A strong type: never implicitly converts to/from raw integers, so a
+/// MemberId cannot be confused with an index, a grid-box id, or a count.
+class MemberId {
+ public:
+  using underlying = std::uint32_t;
+
+  constexpr MemberId() = default;
+  constexpr explicit MemberId(underlying v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying value() const { return value_; }
+
+  friend constexpr auto operator<=>(MemberId, MemberId) = default;
+
+  /// Sentinel meaning "no member".
+  static constexpr MemberId invalid() {
+    return MemberId{std::numeric_limits<underlying>::max()};
+  }
+  [[nodiscard]] constexpr bool is_valid() const { return *this != invalid(); }
+
+ private:
+  underlying value_ = std::numeric_limits<underlying>::max();
+};
+
+[[nodiscard]] inline std::string to_string(MemberId id) {
+  return "M" + std::to_string(id.value());
+}
+
+/// Identifier of a grid box: the integer whose base-K digit expansion is the
+/// box's address in the Grid Box Hierarchy.
+class GridBoxId {
+ public:
+  using underlying = std::uint32_t;
+
+  constexpr GridBoxId() = default;
+  constexpr explicit GridBoxId(underlying v) : value_(v) {}
+
+  [[nodiscard]] constexpr underlying value() const { return value_; }
+
+  friend constexpr auto operator<=>(GridBoxId, GridBoxId) = default;
+
+ private:
+  underlying value_ = 0;
+};
+
+/// Simulated time. Integer ticks keep the event queue exactly ordered and
+/// runs bit-for-bit reproducible (no floating-point time accumulation).
+/// One tick is one microsecond of simulated time by convention.
+class SimTime {
+ public:
+  using underlying = std::int64_t;
+
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(underlying ticks) : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr underlying ticks() const { return ticks_; }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) = default;
+
+  constexpr SimTime operator+(SimTime rhs) const {
+    return SimTime{ticks_ + rhs.ticks_};
+  }
+  constexpr SimTime operator-(SimTime rhs) const {
+    return SimTime{ticks_ - rhs.ticks_};
+  }
+  constexpr SimTime& operator+=(SimTime rhs) {
+    ticks_ += rhs.ticks_;
+    return *this;
+  }
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime micros(underlying n) { return SimTime{n}; }
+  static constexpr SimTime millis(underlying n) { return SimTime{n * 1000}; }
+  static constexpr SimTime seconds(underlying n) {
+    return SimTime{n * 1'000'000};
+  }
+
+ private:
+  underlying ticks_ = 0;
+};
+
+/// 2-D coordinate of a member in a synthetic deployment region; used by the
+/// topologically aware hash function (sensors know their location via fixed
+/// placement or GPS — paper §6.1).
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Position&, const Position&) = default;
+};
+
+[[nodiscard]] constexpr double squared_distance(Position a, Position b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace gridbox
+
+template <>
+struct std::hash<gridbox::MemberId> {
+  std::size_t operator()(gridbox::MemberId id) const noexcept {
+    return std::hash<gridbox::MemberId::underlying>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<gridbox::GridBoxId> {
+  std::size_t operator()(gridbox::GridBoxId id) const noexcept {
+    return std::hash<gridbox::GridBoxId::underlying>{}(id.value());
+  }
+};

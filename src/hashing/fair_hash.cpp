@@ -1,0 +1,16 @@
+#include "src/hashing/fair_hash.h"
+
+#include "src/common/rng.h"
+
+namespace gridbox::hashing {
+
+FairHash::FairHash(std::uint64_t salt) : salt_(salt) {}
+
+double FairHash::unit_value(MemberId id) const {
+  const std::uint64_t mixed =
+      splitmix64(splitmix64(salt_) ^ (static_cast<std::uint64_t>(id.value()) +
+                                      0x51a4c5b1e0f2d3c7ULL));
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+}  // namespace gridbox::hashing

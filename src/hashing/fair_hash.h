@@ -1,0 +1,24 @@
+// Fair (uniform pseudo-random) hash: the paper's analysis assumes H "maps any
+// given member to each grid box with probability K/N".
+#pragma once
+
+#include <cstdint>
+
+#include "src/hashing/hash_function.h"
+
+namespace gridbox::hashing {
+
+class FairHash final : public HashFunction {
+ public:
+  /// `salt` selects one hash function from the family; all group members
+  /// must agree on it (it is "well-known"). Different salts give independent
+  /// box assignments — experiments vary the salt across runs.
+  explicit FairHash(std::uint64_t salt = 0);
+
+  [[nodiscard]] double unit_value(MemberId id) const override;
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace gridbox::hashing

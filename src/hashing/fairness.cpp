@@ -1,0 +1,44 @@
+#include "src/hashing/fairness.h"
+
+#include <algorithm>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::hashing {
+
+std::vector<std::size_t> box_occupancy(const HashFunction& hash,
+                                       const std::vector<MemberId>& members,
+                                       std::size_t num_boxes) {
+  expects(num_boxes > 0, "need at least one box");
+  std::vector<std::size_t> counts(num_boxes, 0);
+  for (const MemberId m : members) {
+    const double u = hash.unit_value(m);
+    auto box = static_cast<std::size_t>(u * static_cast<double>(num_boxes));
+    box = std::min(box, num_boxes - 1);
+    ++counts[box];
+  }
+  return counts;
+}
+
+double occupancy_chi_square(const std::vector<std::size_t>& occupancy,
+                            std::size_t member_count) {
+  expects(!occupancy.empty(), "occupancy must be non-empty");
+  expects(member_count > 0, "member count must be positive");
+  const double expected = static_cast<double>(member_count) /
+                          static_cast<double>(occupancy.size());
+  double chi2 = 0.0;
+  for (const std::size_t observed : occupancy) {
+    const double d = static_cast<double>(observed) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+OccupancyExtremes occupancy_extremes(
+    const std::vector<std::size_t>& occupancy) {
+  expects(!occupancy.empty(), "occupancy must be non-empty");
+  const auto [lo, hi] = std::minmax_element(occupancy.begin(), occupancy.end());
+  return OccupancyExtremes{*lo, *hi};
+}
+
+}  // namespace gridbox::hashing

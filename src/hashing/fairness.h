@@ -1,0 +1,32 @@
+// Fairness diagnostics for hash functions: how evenly does H spread a member
+// population across grid boxes? Used by tests and the topology ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/hashing/hash_function.h"
+
+namespace gridbox::hashing {
+
+/// Number of members H assigns to each of `num_boxes` boxes.
+[[nodiscard]] std::vector<std::size_t> box_occupancy(
+    const HashFunction& hash, const std::vector<MemberId>& members,
+    std::size_t num_boxes);
+
+/// Pearson chi-square statistic of the occupancy against the uniform
+/// expectation. For a fair hash this is ~chi2(num_boxes-1); a value wildly
+/// above num_boxes signals an unfair hash.
+[[nodiscard]] double occupancy_chi_square(const std::vector<std::size_t>& occupancy,
+                                          std::size_t member_count);
+
+/// Largest / smallest box size (smallest may be zero).
+struct OccupancyExtremes {
+  std::size_t min_box = 0;
+  std::size_t max_box = 0;
+};
+[[nodiscard]] OccupancyExtremes occupancy_extremes(
+    const std::vector<std::size_t>& occupancy);
+
+}  // namespace gridbox::hashing

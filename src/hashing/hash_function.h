@@ -1,0 +1,24 @@
+// The "well-known hash function H" of the Grid Box Hierarchy (§6.1).
+//
+// H maps member identifiers into [0,1); a member with unit value u belongs to
+// grid box floor(u * num_boxes). Two families are provided:
+//   - FairHash: uniform pseudo-random placement (the paper's analysis case);
+//   - TopoAwareHash: proximity-preserving placement from member coordinates
+//     (the Grid Location Scheme adaptation, §6.1 / [12]).
+// Any member can evaluate H on any other member in its view, which is what
+// lets phases be computed without coordination.
+#pragma once
+
+#include "src/common/types.h"
+
+namespace gridbox::hashing {
+
+class HashFunction {
+ public:
+  virtual ~HashFunction() = default;
+
+  /// Deterministic value in [0, 1) for the member.
+  [[nodiscard]] virtual double unit_value(MemberId id) const = 0;
+};
+
+}  // namespace gridbox::hashing

@@ -1,0 +1,72 @@
+#include "src/hashing/topo_hash.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::hashing {
+
+namespace {
+
+// Spreads the low 21 bits of x so there is one zero bit between each
+// (2-D Morton interleave).
+[[nodiscard]] std::uint64_t spread_bits(std::uint64_t x) {
+  x &= 0x1fffffULL;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+[[nodiscard]] std::uint64_t quantize(double v) {
+  const double clamped = std::clamp(v, 0.0, 1.0);
+  constexpr double kMax = static_cast<double>((1ULL << 21) - 1);
+  return static_cast<std::uint64_t>(clamped * kMax);
+}
+
+}  // namespace
+
+std::uint64_t morton_key(Position p) {
+  return spread_bits(quantize(p.x)) | (spread_bits(quantize(p.y)) << 1);
+}
+
+TopoAwareHash::TopoAwareHash(std::function<Position(MemberId)> position_of)
+    : position_of_(std::move(position_of)) {
+  expects(static_cast<bool>(position_of_), "position function must be callable");
+}
+
+TopoAwareHash::TopoAwareHash(std::function<Position(MemberId)> position_of,
+                             const std::vector<Position>& sample_positions)
+    : position_of_(std::move(position_of)) {
+  expects(static_cast<bool>(position_of_), "position function must be callable");
+  expects(!sample_positions.empty(), "calibration sample must be non-empty");
+  calibration_keys_.reserve(sample_positions.size());
+  for (const Position& p : sample_positions) {
+    calibration_keys_.push_back(morton_key(p));
+  }
+  std::sort(calibration_keys_.begin(), calibration_keys_.end());
+}
+
+double TopoAwareHash::unit_value(MemberId id) const {
+  const std::uint64_t key = morton_key(position_of_(id));
+  if (calibration_keys_.empty()) {
+    // 42-bit key, normalized. Max key maps just below 1.
+    constexpr double kSpan = static_cast<double>(1ULL << 42);
+    return static_cast<double>(key) / kSpan;
+  }
+  // Empirical CDF with a midpoint tie-break so distinct clustered positions
+  // still spread across [0,1).
+  const auto lo = std::lower_bound(calibration_keys_.begin(),
+                                   calibration_keys_.end(), key);
+  const auto hi =
+      std::upper_bound(calibration_keys_.begin(), calibration_keys_.end(), key);
+  const double rank = static_cast<double>(lo - calibration_keys_.begin()) +
+                      0.5 * static_cast<double>(hi - lo);
+  const double u = rank / static_cast<double>(calibration_keys_.size());
+  return std::clamp(u, 0.0, std::nextafter(1.0, 0.0));
+}
+
+}  // namespace gridbox::hashing

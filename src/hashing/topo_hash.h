@@ -1,0 +1,44 @@
+// Topologically aware hash function (§6.1).
+//
+// Maps members that are physically close to the same or adjacent grid boxes,
+// while keeping the expected number of members per box at K. Mechanically:
+//   1. quantize the member's (x, y) position to 21 bits per axis;
+//   2. interleave the bits into a Morton (Z-order) key, which preserves
+//      spatial locality in a 1-D ordering;
+//   3. normalize the key into [0,1) — either directly (uniform deployments)
+//      or through empirical quantiles of a calibration sample (non-uniform
+//      deployments, the paper's "a priori knowledge of the probability
+//      distribution of prospective group members").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/hashing/hash_function.h"
+
+namespace gridbox::hashing {
+
+/// 42-bit Morton key of a position in the unit square. Exposed for tests.
+[[nodiscard]] std::uint64_t morton_key(Position p);
+
+class TopoAwareHash final : public HashFunction {
+ public:
+  /// Uncalibrated: assumes member positions are roughly uniform over the
+  /// unit square. `position_of` must be consistent group-wide.
+  explicit TopoAwareHash(std::function<Position(MemberId)> position_of);
+
+  /// Calibrated: box boundaries are empirical quantiles of the Morton keys
+  /// of `sample_positions`, so each grid box receives an equal expected
+  /// number of members even for clustered deployments.
+  TopoAwareHash(std::function<Position(MemberId)> position_of,
+                const std::vector<Position>& sample_positions);
+
+  [[nodiscard]] double unit_value(MemberId id) const override;
+
+ private:
+  std::function<Position(MemberId)> position_of_;
+  std::vector<std::uint64_t> calibration_keys_;  // sorted; empty = identity
+};
+
+}  // namespace gridbox::hashing

@@ -1,0 +1,84 @@
+#include "src/hierarchy/address.h"
+
+#include <limits>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::hierarchy {
+
+std::uint64_t checked_pow(std::uint64_t radix, std::size_t exponent) {
+  expects(radix >= 2, "radix must be at least 2");
+  std::uint64_t result = 1;
+  for (std::size_t i = 0; i < exponent; ++i) {
+    expects(result <= std::numeric_limits<std::uint64_t>::max() / radix,
+            "radix^exponent overflows");
+    result *= radix;
+  }
+  return result;
+}
+
+GridBoxAddress::GridBoxAddress(GridBoxId box, std::size_t digit_count,
+                               std::uint32_t radix)
+    : box_(box), radix_(radix), digits_(digit_count, 0) {
+  expects(radix >= 2, "radix must be at least 2");
+  expects(box.value() < checked_pow(radix, digit_count),
+          "box id does not fit in the given digit count");
+  std::uint64_t rest = box.value();
+  for (std::size_t i = digit_count; i-- > 0;) {
+    digits_[i] = static_cast<std::uint32_t>(rest % radix);
+    rest /= radix;
+  }
+}
+
+std::uint32_t GridBoxAddress::digit(std::size_t i) const {
+  expects(i < digits_.size(), "digit index out of range");
+  return digits_[i];
+}
+
+bool GridBoxAddress::same_subtree(const GridBoxAddress& other,
+                                  std::size_t height) const {
+  expects(radix_ == other.radix_ && digits_.size() == other.digits_.size(),
+          "addresses from different hierarchies");
+  return subtree_prefix(height) == other.subtree_prefix(height);
+}
+
+std::uint64_t GridBoxAddress::subtree_prefix(std::size_t height) const {
+  // Dropping the `height` least significant digits leaves the prefix that
+  // names the height-`height` subtree. (height 0 = the box itself; height
+  // >= digit_count = the root, prefix 0 for everyone.)
+  if (height >= digits_.size()) return 0;
+  return box_.value() / checked_pow(radix_, height);
+}
+
+std::string GridBoxAddress::to_string() const {
+  std::string out;
+  for (const std::uint32_t d : digits_) {
+    if (d < 10) {
+      out += static_cast<char>('0' + d);
+    } else {
+      out += '[' + std::to_string(d) + ']';
+    }
+  }
+  return out;
+}
+
+std::string GridBoxAddress::to_string_masked(std::size_t height) const {
+  std::string out;
+  const std::size_t shown =
+      height >= digits_.size() ? 0 : digits_.size() - height;
+  for (std::size_t i = 0; i < digits_.size(); ++i) {
+    if (i < shown) {
+      const std::uint32_t d = digits_[i];
+      if (d < 10) {
+        out += static_cast<char>('0' + d);
+      } else {
+        out += '[' + std::to_string(d) + ']';
+      }
+    } else {
+      out += '*';
+    }
+  }
+  return out;
+}
+
+}  // namespace gridbox::hierarchy

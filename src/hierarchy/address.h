@@ -1,0 +1,64 @@
+// Grid box addresses: fixed-width base-K digit strings (§6.1).
+//
+// "Each grid box is assigned a unique (log_K N − 1)-digit address in base K."
+// A height-i subtree is the set of boxes agreeing in the most significant
+// (digits − i) digits, so subtree membership is integer-prefix arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace gridbox::hierarchy {
+
+class GridBoxAddress {
+ public:
+  /// Address of `box` written with `digit_count` base-`radix` digits.
+  /// Requires radix >= 2 and box < radix^digit_count.
+  GridBoxAddress(GridBoxId box, std::size_t digit_count, std::uint32_t radix);
+
+  [[nodiscard]] GridBoxId box() const { return box_; }
+  [[nodiscard]] std::size_t digit_count() const { return digits_.size(); }
+  [[nodiscard]] std::uint32_t radix() const { return radix_; }
+
+  /// Digit at position `i`, 0 = most significant. Requires i < digit_count.
+  [[nodiscard]] std::uint32_t digit(std::size_t i) const;
+
+  /// All digits, most significant first.
+  [[nodiscard]] const std::vector<std::uint32_t>& digits() const {
+    return digits_;
+  }
+
+  /// True iff this and `other` agree in the most significant
+  /// (digit_count − height) digits — i.e. they lie in the same height-
+  /// `height` subtree. height > digit_count behaves like the full tree.
+  [[nodiscard]] bool same_subtree(const GridBoxAddress& other,
+                                  std::size_t height) const;
+
+  /// Integer identifying this box's height-`height` subtree (the address
+  /// prefix as a number). Two boxes share a subtree iff prefixes are equal.
+  [[nodiscard]] std::uint64_t subtree_prefix(std::size_t height) const;
+
+  /// "01", "132", ... Most significant digit first. Digits >= 10 are printed
+  /// as '[d]' blocks so multi-digit radices stay unambiguous.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Wildcard form used in the paper's figures: height-1 subtree of "01" in
+  /// a 2-digit hierarchy prints as "0*".
+  [[nodiscard]] std::string to_string_masked(std::size_t height) const;
+
+  friend bool operator==(const GridBoxAddress&, const GridBoxAddress&) = default;
+
+ private:
+  GridBoxId box_;
+  std::uint32_t radix_;
+  std::vector<std::uint32_t> digits_;
+};
+
+/// radix^exponent with overflow checking (throws PreconditionError).
+[[nodiscard]] std::uint64_t checked_pow(std::uint64_t radix,
+                                        std::size_t exponent);
+
+}  // namespace gridbox::hierarchy

@@ -1,0 +1,26 @@
+#include "src/membership/crash_model.h"
+
+#include "src/common/ensure.h"
+
+namespace gridbox::membership {
+
+PerRoundCrash::PerRoundCrash(double probability) : probability_(probability) {
+  expects(probability >= 0.0 && probability <= 1.0,
+          "crash probability must be in [0,1]");
+}
+
+bool PerRoundCrash::crashes(MemberId, std::uint64_t, Rng& rng) const {
+  return rng.bernoulli(probability_);
+}
+
+void ScheduledCrash::add(MemberId member, std::uint64_t round) {
+  schedule_[member] = round;
+}
+
+bool ScheduledCrash::crashes(MemberId member, std::uint64_t round,
+                             Rng&) const {
+  const auto it = schedule_.find(member);
+  return it != schedule_.end() && it->second == round;
+}
+
+}  // namespace gridbox::membership

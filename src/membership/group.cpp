@@ -1,0 +1,75 @@
+#include "src/membership/group.h"
+
+#include <cmath>
+
+namespace gridbox::membership {
+
+Group::Group(std::size_t size) : alive_(size, true), alive_count_(size) {
+  expects(size > 0, "group must have at least one member");
+  members_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    members_.push_back(MemberId{static_cast<MemberId::underlying>(i)});
+  }
+}
+
+void Group::crash(MemberId id) {
+  expects(id.value() < alive_.size(), "member id out of range");
+  if (alive_[id.value()]) {
+    alive_[id.value()] = false;
+    --alive_count_;
+  }
+}
+
+void Group::recover(MemberId id) {
+  expects(id.value() < alive_.size(), "member id out of range");
+  if (!alive_[id.value()]) {
+    alive_[id.value()] = true;
+    ++alive_count_;
+  }
+}
+
+std::size_t Group::apply_round_crashes(const CrashModel& model,
+                                       std::uint64_t round, Rng& rng) {
+  std::size_t crashed = 0;
+  for (const MemberId m : members_) {
+    if (is_alive(m) && model.crashes(m, round, rng)) {
+      crash(m);
+      ++crashed;
+    }
+  }
+  return crashed;
+}
+
+void Group::scatter_positions(Rng& rng) {
+  positions_.resize(members_.size());
+  for (auto& p : positions_) p = Position{rng.uniform(), rng.uniform()};
+}
+
+void Group::grid_positions(Rng& rng, double jitter) {
+  expects(jitter >= 0.0, "jitter must be non-negative");
+  const std::size_t n = members_.size();
+  const auto side =
+      static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+  positions_.resize(n);
+  const double cell = 1.0 / static_cast<double>(side);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double cx = (static_cast<double>(i % side) + 0.5) * cell;
+    const double cy = (static_cast<double>(i / side) + 0.5) * cell;
+    positions_[i] = Position{cx + (rng.uniform() - 0.5) * jitter * cell,
+                             cy + (rng.uniform() - 0.5) * jitter * cell};
+  }
+}
+
+Position Group::position(MemberId id) const {
+  expects(has_positions(), "group has no positions assigned");
+  expects(id.value() < positions_.size(), "member id out of range");
+  return positions_[id.value()];
+}
+
+void Group::set_position(MemberId id, Position p) {
+  if (positions_.empty()) positions_.resize(members_.size());
+  expects(id.value() < positions_.size(), "member id out of range");
+  positions_[id.value()] = p;
+}
+
+}  // namespace gridbox::membership

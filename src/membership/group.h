@@ -1,0 +1,73 @@
+// The process group: identities, liveness, and (optionally) positions.
+//
+// The Group is the experiment's ground truth. Protocol nodes never read it
+// directly — they act on their View and on received messages — but the
+// network consults its liveness oracle and the measurement layer compares
+// protocol outputs against the group's true votes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/ensure.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/membership/crash_model.h"
+#include "src/membership/view.h"
+
+namespace gridbox::membership {
+
+class Group {
+ public:
+  /// Creates a group of `size` members with ids 0..size-1, all alive.
+  explicit Group(std::size_t size);
+
+  [[nodiscard]] std::size_t size() const { return alive_.size(); }
+
+  /// Members alive right now.
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+
+  [[nodiscard]] bool is_alive(MemberId id) const {
+    expects(id.value() < alive_.size(), "member id out of range");
+    return alive_[id.value()];
+  }
+
+  /// Marks a member crashed. Idempotent.
+  void crash(MemberId id);
+
+  /// Marks a member recovered. Idempotent.
+  void recover(MemberId id);
+
+  /// Applies one round of the crash model to every currently-alive member.
+  /// Returns the number of members that crashed this round.
+  std::size_t apply_round_crashes(const CrashModel& model, std::uint64_t round,
+                                  Rng& rng);
+
+  /// All member ids (alive or not), ascending.
+  [[nodiscard]] const std::vector<MemberId>& members() const {
+    return members_;
+  }
+
+  /// Complete view over the whole group (paper's baseline assumption).
+  [[nodiscard]] View full_view() const { return View{members_}; }
+
+  /// Assigns uniform random positions in the unit square (sensor fields).
+  void scatter_positions(Rng& rng);
+
+  /// Assigns positions on a jittered sqrt(N) x sqrt(N) grid (e.g. sensors
+  /// glued to an airplane wing at roughly regular spacing).
+  void grid_positions(Rng& rng, double jitter = 0.1);
+
+  [[nodiscard]] bool has_positions() const { return !positions_.empty(); }
+  [[nodiscard]] Position position(MemberId id) const;
+  void set_position(MemberId id, Position p);
+
+ private:
+  std::vector<MemberId> members_;
+  std::vector<bool> alive_;
+  std::size_t alive_count_ = 0;
+  std::vector<Position> positions_;
+};
+
+}  // namespace gridbox::membership

@@ -1,0 +1,34 @@
+#include "src/membership/view.h"
+
+namespace gridbox::membership {
+
+View::View(std::vector<MemberId> members) : members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  members_.erase(std::unique(members_.begin(), members_.end()),
+                 members_.end());
+}
+
+bool View::contains(MemberId id) const {
+  return std::binary_search(members_.begin(), members_.end(), id);
+}
+
+void View::add(MemberId id) {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), id);
+  if (it == members_.end() || *it != id) members_.insert(it, id);
+}
+
+void View::remove(MemberId id) {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), id);
+  if (it != members_.end() && *it == id) members_.erase(it);
+}
+
+View complete_view(std::size_t group_size) {
+  std::vector<MemberId> all;
+  all.reserve(group_size);
+  for (std::size_t i = 0; i < group_size; ++i) {
+    all.push_back(MemberId{static_cast<MemberId::underlying>(i)});
+  }
+  return View{std::move(all)};
+}
+
+}  // namespace gridbox::membership

@@ -1,0 +1,63 @@
+// A member's view: the list of other group members it knows about.
+//
+// The paper assumes complete views for analysis ("we assume henceforth that
+// all members know about each other, although this can be relaxed in our
+// final hierarchical gossiping solution", §2). View supports both complete
+// and partial knowledge: protocols only ever ask a View, never the global
+// Group, so partial-view operation is a drop-in.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace gridbox::membership {
+
+class View {
+ public:
+  View() = default;
+  explicit View(std::vector<MemberId> members);
+
+  /// All known members, sorted by id, no duplicates.
+  [[nodiscard]] const std::vector<MemberId>& members() const {
+    return members_;
+  }
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] bool contains(MemberId id) const;
+
+  /// Adds a member (idempotent).
+  void add(MemberId id);
+
+  /// Removes a member (idempotent).
+  void remove(MemberId id);
+
+  /// Uniformly random known member satisfying `pred`, excluding `self`.
+  /// Returns MemberId::invalid() if none qualifies. O(size) scan — callers
+  /// with hot paths should pre-filter (see subtree caches in the protocols).
+  template <typename Pred>
+  [[nodiscard]] MemberId sample_where(Rng& rng, MemberId self,
+                                      Pred pred) const {
+    // Reservoir sampling over qualifying members: single pass, exact
+    // uniformity, no allocation.
+    MemberId chosen = MemberId::invalid();
+    std::size_t seen = 0;
+    for (const MemberId m : members_) {
+      if (m == self || !pred(m)) continue;
+      ++seen;
+      if (rng.index(seen) == 0) chosen = m;
+    }
+    return chosen;
+  }
+
+ private:
+  std::vector<MemberId> members_;
+};
+
+/// A complete view over ids 0..n-1 (the common experimental setup).
+[[nodiscard]] View complete_view(std::size_t group_size);
+
+}  // namespace gridbox::membership

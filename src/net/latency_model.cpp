@@ -1,0 +1,61 @@
+#include "src/net/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::net {
+
+ConstantLatency::ConstantLatency(SimTime delay) : delay_(delay) {
+  expects(delay.ticks() >= 0, "latency must be non-negative");
+}
+
+SimTime ConstantLatency::delay(MemberId, MemberId, Rng&) const {
+  return delay_;
+}
+
+UniformLatency::UniformLatency(SimTime lo, SimTime hi) : lo_(lo), hi_(hi) {
+  expects(lo.ticks() >= 0 && lo <= hi, "require 0 <= lo <= hi");
+}
+
+SimTime UniformLatency::delay(MemberId, MemberId, Rng& rng) const {
+  return SimTime{static_cast<SimTime::underlying>(rng.uniform_int(
+      static_cast<std::uint64_t>(lo_.ticks()),
+      static_cast<std::uint64_t>(hi_.ticks())))};
+}
+
+ExponentialLatency::ExponentialLatency(SimTime base, SimTime mean_extra,
+                                       SimTime cap_extra)
+    : base_(base), mean_extra_(mean_extra), cap_extra_(cap_extra) {
+  expects(base.ticks() >= 0, "base latency must be non-negative");
+  expects(mean_extra.ticks() > 0, "mean extra latency must be positive");
+  expects(cap_extra >= mean_extra, "cap must be at least the mean");
+}
+
+SimTime ExponentialLatency::delay(MemberId, MemberId, Rng& rng) const {
+  const double extra =
+      rng.exponential(static_cast<double>(mean_extra_.ticks()));
+  const auto capped = std::min<SimTime::underlying>(
+      static_cast<SimTime::underlying>(extra), cap_extra_.ticks());
+  return base_ + SimTime{capped};
+}
+
+DistanceLatency::DistanceLatency(std::function<Position(MemberId)> position_of,
+                                 SimTime base, SimTime per_unit)
+    : position_of_(std::move(position_of)), base_(base), per_unit_(per_unit) {
+  expects(static_cast<bool>(position_of_), "position function must be callable");
+  expects(base.ticks() >= 0 && per_unit.ticks() >= 0,
+          "latency components must be non-negative");
+}
+
+SimTime DistanceLatency::delay(MemberId source, MemberId destination,
+                               Rng&) const {
+  const double d = std::sqrt(
+      squared_distance(position_of_(source), position_of_(destination)));
+  return base_ + SimTime{static_cast<SimTime::underlying>(
+                     d * static_cast<double>(per_unit_.ticks()))};
+}
+
+}  // namespace gridbox::net

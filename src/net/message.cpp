@@ -1,0 +1,5 @@
+#include "src/net/message.h"
+
+// Message and Payload are header-only value types; this translation unit
+// exists to give the types a home object file (and to catch ODR issues
+// early if the header ever grows non-inline definitions).

@@ -1,0 +1,71 @@
+#include "src/net/network.h"
+
+#include <utility>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::net {
+
+SimNetwork::SimNetwork(sim::Simulator& simulator,
+                       std::unique_ptr<FaultModel> faults,
+                       std::unique_ptr<LatencyModel> latency, Rng rng)
+    : simulator_(simulator),
+      faults_(std::move(faults)),
+      latency_(std::move(latency)),
+      rng_(rng) {
+  expects(faults_ != nullptr, "fault model required");
+  expects(latency_ != nullptr, "latency model required");
+}
+
+void SimNetwork::attach(MemberId id, Endpoint& endpoint) {
+  expects(id.is_valid(), "cannot attach the invalid member id");
+  endpoints_[id] = &endpoint;
+}
+
+void SimNetwork::detach(MemberId id) { endpoints_.erase(id); }
+
+void SimNetwork::set_liveness(std::function<bool(MemberId)> is_alive) {
+  is_alive_ = std::move(is_alive);
+}
+
+void SimNetwork::set_distance(
+    std::function<double(MemberId, MemberId)> distance) {
+  distance_ = std::move(distance);
+}
+
+void SimNetwork::send(Message message) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += message.payload.size();
+  if (distance_) {
+    stats_.link_distance_sum +=
+        distance_(message.source, message.destination);
+  }
+  if (faults_->drops(message.source, message.destination, rng_)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  const SimTime delay =
+      latency_->delay(message.source, message.destination, rng_);
+  simulator_.schedule_after(
+      delay, [this, message = std::move(message)]() { deliver(message); });
+}
+
+void SimNetwork::deliver(const Message& message) {
+  const auto it = endpoints_.find(message.destination);
+  const bool alive = !is_alive_ || is_alive_(message.destination);
+  if (it == endpoints_.end() || !alive) {
+    ++stats_.messages_dead_dest;
+    return;
+  }
+  ++stats_.messages_delivered;
+  try {
+    it->second->on_message(message);
+  } catch (const PreconditionError&) {
+    // A corrupt or truncated payload must never take a node down: decoding
+    // failures surface as PreconditionError (ByteReader, Partial checks);
+    // the message is counted and dropped, the node keeps running.
+    ++stats_.messages_malformed;
+  }
+}
+
+}  // namespace gridbox::net

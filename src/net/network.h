@@ -1,0 +1,78 @@
+// The simulated unreliable asynchronous network.
+//
+// Connects protocol endpoints over a point-to-point transport with pluggable
+// loss (FaultModel) and delay (LatencyModel). This is the substrate the paper
+// assumes: "an underlying routing mechanism ... that enables any member to
+// send messages to any other member" (§2), unreliable and asynchronous.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/net/fault_model.h"
+#include "src/net/latency_model.h"
+#include "src/net/message.h"
+#include "src/net/stats.h"
+#include "src/sim/simulator.h"
+
+namespace gridbox::net {
+
+/// Receiver side of the transport. Protocol nodes implement this.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void on_message(const Message& message) = 0;
+};
+
+class SimNetwork {
+ public:
+  /// The network does not own the simulator; it must outlive the network.
+  SimNetwork(sim::Simulator& simulator, std::unique_ptr<FaultModel> faults,
+             std::unique_ptr<LatencyModel> latency, Rng rng);
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  /// Registers the receiver for a member id. The endpoint must outlive the
+  /// network or be detached first.
+  void attach(MemberId id, Endpoint& endpoint);
+
+  /// Removes the receiver; in-flight messages to it are dropped on arrival.
+  void detach(MemberId id);
+
+  /// Optional liveness oracle consulted at delivery time; a message to a
+  /// member for which this returns false is counted as dead-destination.
+  /// (Crashed members neither send nor receive — membership::Group wires
+  /// this to its crash state.)
+  void set_liveness(std::function<bool(MemberId)> is_alive);
+
+  /// Optional distance function for link-load accounting (topology ablation).
+  void set_distance(std::function<double(MemberId, MemberId)> distance);
+
+  /// Sends one unicast message. May be dropped by the fault model; otherwise
+  /// it is delivered after the model latency, if the destination is then
+  /// attached and alive. Self-sends are delivered like any other message.
+  void send(Message message);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+ private:
+  void deliver(const Message& message);
+
+  sim::Simulator& simulator_;
+  std::unique_ptr<FaultModel> faults_;
+  std::unique_ptr<LatencyModel> latency_;
+  Rng rng_;
+  std::unordered_map<MemberId, Endpoint*> endpoints_;
+  std::function<bool(MemberId)> is_alive_;
+  std::function<double(MemberId, MemberId)> distance_;
+  NetworkStats stats_;
+};
+
+}  // namespace gridbox::net

@@ -1,0 +1,3 @@
+#include "src/net/stats.h"
+
+// NetworkStats is a plain aggregate; definitions live in the header.

@@ -1,0 +1,157 @@
+#include "src/protocols/baseline/centralized.h"
+
+#include <algorithm>
+
+#include "src/agg/codec.h"
+#include "src/common/ensure.h"
+
+namespace gridbox::protocols::baseline {
+
+namespace {
+
+constexpr std::uint8_t kVote = 1;
+constexpr std::uint8_t kResult = 2;
+
+std::vector<std::uint8_t> encode_vote(MemberId origin, double value,
+                                      std::uint64_t token) {
+  agg::ByteWriter w;
+  w.u8(kVote);
+  w.u32(origin.value());
+  w.f64(value);
+  w.u64(token);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_result(const agg::Partial& partial,
+                                        std::uint64_t token) {
+  agg::ByteWriter w;
+  w.u8(kResult);
+  agg::write_partial(w, partial);
+  w.u64(token);
+  return w.take();
+}
+
+}  // namespace
+
+CentralizedNode::CentralizedNode(MemberId self, double vote,
+                                 membership::View view,
+                                 protocols::NodeEnv env, Rng rng,
+                                 CentralizedConfig config)
+    : ProtocolNode(self, vote, std::move(view), env, rng), config_(config) {
+  expects(config_.vote_retries >= 1, "at least one vote send required");
+  expects(config_.leader_receive_cap >= 1, "leader must receive something");
+  expects(config_.dissemination_fanout >= 1, "dissemination fanout >= 1");
+}
+
+std::uint32_t CentralizedNode::effective_collect_rounds() const {
+  if (config_.collect_rounds > 0) return config_.collect_rounds;
+  const std::size_t senders = view().size() > 0 ? view().size() - 1 : 0;
+  const std::uint32_t stagger_span =
+      config_.staggered_sends
+          ? static_cast<std::uint32_t>(
+                (senders + config_.leader_receive_cap - 1) /
+                config_.leader_receive_cap)
+          : 1;
+  return stagger_span + config_.vote_retries + 2;
+}
+
+void CentralizedNode::start(SimTime at) {
+  own_token_ = register_own_vote();
+  if (is_leader()) {
+    collected_.emplace(self(), std::make_pair(own_vote(), own_token_));
+  }
+  simulator().schedule_periodic(at, config_.round_duration,
+                                [this]() { return on_round(); });
+}
+
+bool CentralizedNode::on_round() {
+  if (finished() || !alive()) return false;
+  count_round();
+  const std::uint64_t round = round_++;
+  received_this_round_ = 0;
+
+  if (is_leader()) {
+    const std::uint32_t collect = effective_collect_rounds();
+    if (!result_ready_ && round >= collect) {
+      // Compute the global estimate from whatever arrived.
+      agg::Partial acc;
+      std::vector<std::uint64_t> tokens;
+      for (const auto& [origin, vt] : collected_) {
+        acc.merge(agg::Partial::from_vote(vt.first));
+        tokens.push_back(vt.second);
+      }
+      result_ = acc;
+      result_token_ = audit() != nullptr ? audit()->register_merge(tokens)
+                                         : agg::kNoAuditToken;
+      result_ready_ = true;
+      dissemination_queue_.clear();
+      for (const MemberId m : view().members()) {
+        if (m != self()) dissemination_queue_.push_back(m);
+      }
+      rng().shuffle(dissemination_queue_);
+    }
+    if (result_ready_) {
+      for (std::uint32_t i = 0; i < config_.dissemination_fanout &&
+                                dissemination_cursor_ < dissemination_queue_.size();
+           ++i) {
+        send_to(dissemination_queue_[dissemination_cursor_++],
+                encode_result(result_, result_token_));
+      }
+      if (dissemination_cursor_ >= dissemination_queue_.size()) {
+        set_outcome(result_, result_token_);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Non-leader: send the vote in the assigned window, then wait for the
+  // result. The protocol has no acknowledgements — a lost result message
+  // means this member simply ends with no estimate.
+  const std::size_t senders = view().size() > 0 ? view().size() - 1 : 0;
+  const std::uint32_t stagger_span =
+      config_.staggered_sends
+          ? std::max<std::uint32_t>(
+                1, static_cast<std::uint32_t>(
+                       (senders + config_.leader_receive_cap - 1) /
+                       config_.leader_receive_cap))
+          : 1;
+  const std::uint64_t first_send =
+      config_.staggered_sends ? (self().value() % stagger_span) : 0;
+  if (round >= first_send && sends_done_ < config_.vote_retries) {
+    send_to(config_.leader, encode_vote(self(), own_vote(), own_token_));
+    ++sends_done_;
+  }
+
+  // Give up once the leader has certainly finished disseminating (plus
+  // slack): collect window + ceil(N / fanout) rounds + drain.
+  const std::uint64_t horizon =
+      effective_collect_rounds() +
+      (view().size() + config_.dissemination_fanout - 1) /
+          config_.dissemination_fanout +
+      4;
+  return round < horizon;
+}
+
+void CentralizedNode::on_message(const net::Message& message) {
+  if (finished() || !alive()) return;
+  agg::ByteReader r(message.payload.bytes());
+  const std::uint8_t type = r.u8();
+  if (type == kVote && is_leader()) {
+    if (result_ready_) return;  // votes after the cut are simply late
+    if (++received_this_round_ > config_.leader_receive_cap) {
+      ++implosion_drops_;  // inbox overflow: the implosion problem, made real
+      return;
+    }
+    const MemberId origin{r.u32()};
+    const double value = r.f64();
+    const std::uint64_t token = r.u64();
+    collected_.emplace(origin, std::make_pair(value, token));
+  } else if (type == kResult && !is_leader()) {
+    const agg::Partial partial = agg::read_partial(r);
+    const std::uint64_t token = r.u64();
+    set_outcome(partial, token);
+  }
+}
+
+}  // namespace gridbox::protocols::baseline

@@ -1,0 +1,81 @@
+// Centralized baseline (§5): members send their votes to a well-known
+// leader, which aggregates and disseminates the result.
+//
+// Optimal O(N) messages, but: the leader's bandwidth makes the running time
+// O(N); the leader is a message-implosion hotspot (modelled by a per-round
+// receive cap — overflow messages are lost); and a leader crash loses the
+// entire computation. This is the paper's argument against centralization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/protocols/node.h"
+
+namespace gridbox::protocols::baseline {
+
+struct CentralizedConfig {
+  /// The well-known leader.
+  MemberId leader = MemberId{0};
+
+  /// How many times a member (re)sends its vote, one per round.
+  std::uint32_t vote_retries = 1;
+
+  /// If true, member m sends its vote starting at round
+  /// (m mod ceil(N / leader_receive_cap)) so the leader's inbox is not
+  /// swamped in round 0; if false, everyone sends immediately, and the
+  /// implosion loss becomes visible.
+  bool staggered_sends = true;
+
+  /// Messages the leader can absorb per round; the rest are dropped
+  /// (receive-buffer overflow under implosion).
+  std::uint32_t leader_receive_cap = 16;
+
+  /// Rounds the leader waits before computing the aggregate. Zero means
+  /// "auto": long enough for all staggered sends plus retries plus drain.
+  std::uint32_t collect_rounds = 0;
+
+  /// Per-round send budget during result dissemination.
+  std::uint32_t dissemination_fanout = 2;
+
+  SimTime round_duration = SimTime::millis(10);
+};
+
+class CentralizedNode final : public protocols::ProtocolNode {
+ public:
+  CentralizedNode(MemberId self, double vote, membership::View view,
+                  protocols::NodeEnv env, Rng rng, CentralizedConfig config);
+
+  void start(SimTime at) override;
+  void on_message(const net::Message& message) override;
+
+  [[nodiscard]] bool is_leader() const { return self() == config_.leader; }
+
+  /// Votes the leader lost to receive-buffer overflow (leader node only).
+  [[nodiscard]] std::uint64_t implosion_drops() const {
+    return implosion_drops_;
+  }
+
+ private:
+  bool on_round();
+  [[nodiscard]] std::uint32_t effective_collect_rounds() const;
+
+  CentralizedConfig config_;
+  std::uint64_t round_ = 0;
+  std::uint64_t own_token_ = agg::kNoAuditToken;
+
+  // Leader state.
+  std::map<MemberId, std::pair<double, std::uint64_t>> collected_;
+  std::uint32_t received_this_round_ = 0;
+  std::uint64_t implosion_drops_ = 0;
+  bool result_ready_ = false;
+  agg::Partial result_;
+  std::uint64_t result_token_ = agg::kNoAuditToken;
+  std::vector<MemberId> dissemination_queue_;
+  std::size_t dissemination_cursor_ = 0;
+
+  // Member state.
+  std::uint32_t sends_done_ = 0;
+};
+
+}  // namespace gridbox::protocols::baseline

@@ -1,0 +1,288 @@
+#include "src/protocols/baseline/committee.h"
+
+#include <algorithm>
+
+#include "src/agg/codec.h"
+#include "src/common/ensure.h"
+#include "src/hashing/hash_function.h"
+
+namespace gridbox::protocols::baseline {
+
+namespace {
+
+constexpr std::uint8_t kVote = 1;
+constexpr std::uint8_t kChildPartial = 2;
+constexpr std::uint8_t kResult = 3;
+
+std::vector<std::uint8_t> encode_vote(MemberId origin, double value,
+                                      std::uint64_t token) {
+  agg::ByteWriter w;
+  w.u8(kVote);
+  w.u32(origin.value());
+  w.f64(value);
+  w.u64(token);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_child(std::uint8_t phase, std::uint32_t slot,
+                                       const agg::Partial& partial,
+                                       std::uint64_t token) {
+  agg::ByteWriter w;
+  w.u8(kChildPartial);
+  w.u8(phase);
+  w.u8(static_cast<std::uint8_t>(slot));
+  agg::write_partial(w, partial);
+  w.u64(token);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_result(const agg::Partial& partial,
+                                        std::uint64_t token) {
+  agg::ByteWriter w;
+  w.u8(kResult);
+  agg::write_partial(w, partial);
+  w.u64(token);
+  return w.take();
+}
+
+}  // namespace
+
+CommitteeNode::CommitteeNode(MemberId self, double vote, membership::View view,
+                             protocols::NodeEnv env, Rng rng,
+                             CommitteeConfig config)
+    : ProtocolNode(self, vote, std::move(view), env, rng), config_(config) {
+  expects(config_.committee_size >= 1, "committee size must be at least 1");
+  expects(config_.phase_rounds >= 1, "phase rounds must be at least 1");
+  expects(config_.fanout_m >= 1, "fanout must be at least 1");
+}
+
+std::vector<MemberId> CommitteeNode::committee_of(std::size_t phase,
+                                                  std::uint64_t prefix) const {
+  // Deterministic "election": the K' members with smallest hash value (ties
+  // by id). Every member with the same view computes the same committees, so
+  // no election protocol runs — which is exactly why this approach needs
+  // consistent complete views (§6.2).
+  std::vector<MemberId> in_group;
+  for (const MemberId m : view().members()) {
+    if (hier().phase_group(m, phase) == prefix) in_group.push_back(m);
+  }
+  const auto by_hash = [this](MemberId a, MemberId b) {
+    const double ha = hier().hash_value(a);
+    const double hb = hier().hash_value(b);
+    if (ha != hb) return ha < hb;
+    return a < b;
+  };
+  const std::size_t take =
+      std::min<std::size_t>(config_.committee_size, in_group.size());
+  std::partial_sort(in_group.begin(), in_group.begin() + static_cast<std::ptrdiff_t>(take),
+                    in_group.end(), by_hash);
+  in_group.resize(take);
+  return in_group;
+}
+
+void CommitteeNode::start(SimTime at) {
+  own_token_ = register_own_vote();
+  num_phases_ = hier().num_phases();
+
+  my_committee_.resize(num_phases_);
+  am_committee_.assign(num_phases_, false);
+  for (std::size_t p = 1; p <= num_phases_; ++p) {
+    my_committee_[p - 1] = committee_of(p, hier().phase_group(self(), p));
+    am_committee_[p - 1] =
+        std::find(my_committee_[p - 1].begin(), my_committee_[p - 1].end(),
+                  self()) != my_committee_[p - 1].end();
+  }
+  if (num_phases_ >= 2) {
+    slots_.assign(num_phases_ - 1, {});
+    for (auto& s : slots_) s.assign(hier().fanout(), std::nullopt);
+  }
+  level_partial_.assign(num_phases_, std::nullopt);
+
+  if (am_committee_[0]) {
+    votes_.emplace(self(), std::make_pair(own_vote(), own_token_));
+  }
+  enter_step(0);
+  simulator().schedule_periodic(at, config_.round_duration,
+                                [this]() { return on_round(); });
+}
+
+void CommitteeNode::enter_step(std::size_t step) {
+  step_ = step;
+  if (step >= 1 && step <= num_phases_ - 1 && am_committee_[step - 1]) {
+    compute_level_partial(step);
+  }
+  if (step == num_phases_ && am_committee_[num_phases_ - 1] && !have_result_) {
+    // Root committee: the aggregation is done; compute the global estimate.
+    compute_level_partial(num_phases_);
+    const auto& root = level_partial_[num_phases_ - 1];
+    if (root.has_value()) acquire_result(root->partial, root->audit_token);
+  }
+}
+
+void CommitteeNode::compute_level_partial(std::size_t level) {
+  if (level_partial_[level - 1].has_value()) return;
+  agg::Partial acc;
+  std::vector<std::uint64_t> tokens;
+  if (level == 1) {
+    for (const auto& [origin, vt] : votes_) {
+      acc.merge(agg::Partial::from_vote(vt.first));
+      tokens.push_back(vt.second);
+    }
+  } else {
+    for (const auto& slot : slots_[level - 2]) {
+      if (!slot.has_value()) continue;
+      acc.merge(slot->partial);
+      tokens.push_back(slot->audit_token);
+    }
+  }
+  KnownValue kv;
+  kv.partial = acc;
+  kv.audit_token =
+      audit() != nullptr ? audit()->register_merge(tokens) : agg::kNoAuditToken;
+  level_partial_[level - 1] = kv;
+
+  // If this member also sits on the committee one level up, its own child
+  // slot is known immediately — absorb locally instead of self-sending.
+  if (level < num_phases_ && am_committee_[level]) {
+    auto& slot = slots_[level - 1][hier().child_slot(self(), level + 1)];
+    if (!slot.has_value()) slot = kv;
+  }
+}
+
+void CommitteeNode::acquire_result(const agg::Partial& partial,
+                                   std::uint64_t token) {
+  if (have_result_) return;
+  have_result_ = true;
+  result_.partial = partial;
+  result_.audit_token = token;
+
+  // Compute, once, everyone this member is responsible for informing:
+  // committees of child groups at every level where it sits on a committee,
+  // and the whole grid box if it is on the box committee.
+  forward_targets_.clear();
+  for (std::size_t p = num_phases_; p >= 2; --p) {
+    if (!am_committee_[p - 1]) continue;
+    const std::uint64_t prefix = hier().phase_group(self(), p);
+    for (std::uint32_t slot = 0; slot < hier().fanout(); ++slot) {
+      const std::uint64_t child_prefix = prefix * hier().fanout() + slot;
+      for (const MemberId m : committee_of(p - 1, child_prefix)) {
+        if (m != self()) forward_targets_.push_back(m);
+      }
+    }
+  }
+  if (am_committee_[0]) {
+    for (const MemberId m :
+         hier().phase_peers(view().members(), self(), 1)) {
+      forward_targets_.push_back(m);
+    }
+  }
+  std::sort(forward_targets_.begin(), forward_targets_.end());
+  forward_targets_.erase(
+      std::unique(forward_targets_.begin(), forward_targets_.end()),
+      forward_targets_.end());
+  rng().shuffle(forward_targets_);
+}
+
+bool CommitteeNode::on_round() {
+  if (finished() || !alive()) return false;
+  count_round();
+  const std::uint64_t round = round_++;
+  const std::size_t step =
+      static_cast<std::size_t>(round / config_.phase_rounds);
+  if (step != step_ && step <= num_phases_) enter_step(step);
+
+  std::uint32_t budget = config_.fanout_m;
+
+  if (step == 0) {
+    // Phase 1: send the vote to the box committee (retransmit each round).
+    for (const MemberId m : my_committee_[0]) {
+      if (budget == 0) break;
+      if (m == self()) continue;
+      send_to(m, encode_vote(self(), own_vote(), own_token_));
+      --budget;
+    }
+  } else if (step <= num_phases_ - 1 && am_committee_[step - 1]) {
+    // Phase step+1: forward this member's level partial to the committee of
+    // its parent group.
+    const auto& lp = level_partial_[step - 1];
+    if (lp.has_value()) {
+      const std::uint32_t slot = hier().child_slot(self(), step + 1);
+      for (const MemberId m : my_committee_[step]) {
+        if (budget == 0) break;
+        if (m == self()) continue;
+        send_to(m, encode_child(static_cast<std::uint8_t>(step + 1), slot,
+                                lp->partial, lp->audit_token));
+        --budget;
+      }
+    }
+  }
+
+  // Dissemination: any result holder keeps pushing it down its subtrees,
+  // cycling deterministically through its (pre-shuffled) target list so
+  // every target is covered once per ceil(targets / budget) rounds.
+  if (have_result_ && !forward_targets_.empty()) {
+    const std::size_t sends =
+        std::min<std::size_t>(budget, forward_targets_.size());
+    for (std::size_t i = 0; i < sends; ++i) {
+      send_to(forward_targets_[forward_cursor_++ % forward_targets_.size()],
+              encode_result(result_.partial, result_.audit_token));
+    }
+  }
+
+  // 2 * num_phases_ steps (up + down) plus drain.
+  const std::uint64_t total_rounds =
+      static_cast<std::uint64_t>(2 * num_phases_) * config_.phase_rounds + 3;
+  if (round + 1 >= total_rounds) {
+    conclude();
+    return false;
+  }
+  return true;
+}
+
+void CommitteeNode::conclude() {
+  if (have_result_) {
+    set_outcome(result_.partial, result_.audit_token);
+  }
+  // Without a result this member ends the protocol with no estimate:
+  // completeness 0, the measurable cost of leader loss.
+}
+
+void CommitteeNode::on_message(const net::Message& message) {
+  if (finished() || !alive()) return;
+  agg::ByteReader r(message.payload.bytes());
+  const std::uint8_t type = r.u8();
+  if (type == kVote) {
+    if (!am_committee_[0]) return;  // not my job
+    if (level_partial_[0].has_value()) return;  // box already closed
+    const MemberId origin{r.u32()};
+    const double value = r.f64();
+    const std::uint64_t token = r.u64();
+    votes_.emplace(origin, std::make_pair(value, token));
+  } else if (type == kChildPartial) {
+    const std::size_t phase = r.u8();
+    const std::uint32_t slot = r.u8();
+    const agg::Partial partial = agg::read_partial(r);
+    const std::uint64_t token = r.u64();
+    if (phase < 2 || phase > num_phases_ || slot >= hier().fanout()) return;
+    if (!am_committee_[phase - 1]) return;
+    if (level_partial_[phase - 1].has_value()) return;  // level closed
+    auto& cell = slots_[phase - 2][slot];
+    if (!cell.has_value()) {
+      KnownValue kv;
+      kv.partial = partial;
+      kv.audit_token = token;
+      cell = kv;
+    }
+  } else if (type == kResult) {
+    const agg::Partial partial = agg::read_partial(r);
+    const std::uint64_t token = r.u64();
+    acquire_result(partial, token);
+  }
+}
+
+bool CommitteeNode::on_committee(std::size_t phase) const {
+  expects(phase >= 1 && phase <= am_committee_.size(), "phase out of range");
+  return am_committee_[phase - 1];
+}
+
+}  // namespace gridbox::protocols::baseline

@@ -1,0 +1,85 @@
+#include "src/protocols/baseline/fully_distributed.h"
+
+#include <algorithm>
+
+#include "src/agg/codec.h"
+#include "src/common/ensure.h"
+
+namespace gridbox::protocols::baseline {
+
+namespace {
+
+constexpr std::uint8_t kVote = 1;
+
+std::vector<std::uint8_t> encode_vote(MemberId origin, double value,
+                                      std::uint64_t token) {
+  agg::ByteWriter w;
+  w.u8(kVote);
+  w.u32(origin.value());
+  w.f64(value);
+  w.u64(token);
+  return w.take();
+}
+
+}  // namespace
+
+FullyDistributedNode::FullyDistributedNode(MemberId self, double vote,
+                                           membership::View view,
+                                           protocols::NodeEnv env, Rng rng,
+                                           FullyDistributedConfig config)
+    : ProtocolNode(self, vote, std::move(view), env, rng), config_(config) {
+  expects(config_.fanout_m >= 1, "fanout must be at least 1");
+}
+
+void FullyDistributedNode::start(SimTime at) {
+  own_token_ = register_own_vote();
+  known_votes_.emplace(self(), KnownVote{own_vote(), own_token_});
+  send_queue_.clear();
+  for (const MemberId m : view().members()) {
+    if (m != self()) send_queue_.push_back(m);
+  }
+  rng().shuffle(send_queue_);
+  simulator().schedule_periodic(at, config_.round_duration,
+                                [this]() { return on_round(); });
+}
+
+bool FullyDistributedNode::on_round() {
+  if (finished() || !alive()) return false;
+  count_round();
+  for (std::uint32_t i = 0;
+       i < config_.fanout_m && send_cursor_ < send_queue_.size(); ++i) {
+    send_to(send_queue_[send_cursor_++],
+            encode_vote(self(), own_vote(), own_token_));
+  }
+  if (send_cursor_ >= send_queue_.size()) {
+    if (++rounds_after_send_ > config_.drain_rounds) {
+      conclude();
+      return false;
+    }
+  }
+  return true;
+}
+
+void FullyDistributedNode::on_message(const net::Message& message) {
+  if (finished() || !alive()) return;
+  agg::ByteReader r(message.payload.bytes());
+  if (r.u8() != kVote) return;
+  const MemberId origin{r.u32()};
+  const double value = r.f64();
+  const std::uint64_t token = r.u64();
+  known_votes_.emplace(origin, KnownVote{value, token});
+}
+
+void FullyDistributedNode::conclude() {
+  agg::Partial acc;
+  std::vector<std::uint64_t> tokens;
+  for (const auto& [origin, kv] : known_votes_) {
+    acc.merge(agg::Partial::from_vote(kv.value));
+    tokens.push_back(kv.audit_token);
+  }
+  const std::uint64_t token =
+      audit() != nullptr ? audit()->register_merge(tokens) : agg::kNoAuditToken;
+  set_outcome(acc, token);
+}
+
+}  // namespace gridbox::protocols::baseline

@@ -1,0 +1,51 @@
+// Fully distributed baseline (§4): every member sends its vote to every
+// other member and aggregates whatever it received.
+//
+// O(N²) messages, O(N) time (the per-member bandwidth constraint of M
+// messages per round means N−1 sends take ⌈(N−1)/M⌉ rounds), and
+// completeness that tracks the raw network delivery rate — the paper's
+// argument for why this does not scale.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "src/protocols/node.h"
+
+namespace gridbox::protocols::baseline {
+
+struct FullyDistributedConfig {
+  /// Per-round send budget (the bandwidth constraint).
+  std::uint32_t fanout_m = 2;
+  /// Extra rounds after the last send, letting in-flight messages land.
+  std::uint32_t drain_rounds = 2;
+  SimTime round_duration = SimTime::millis(10);
+};
+
+class FullyDistributedNode final : public protocols::ProtocolNode {
+ public:
+  FullyDistributedNode(MemberId self, double vote, membership::View view,
+                       protocols::NodeEnv env, Rng rng,
+                       FullyDistributedConfig config);
+
+  void start(SimTime at) override;
+  void on_message(const net::Message& message) override;
+
+ private:
+  struct KnownVote {
+    double value = 0.0;
+    std::uint64_t audit_token = agg::kNoAuditToken;
+  };
+
+  bool on_round();
+  void conclude();
+
+  FullyDistributedConfig config_;
+  std::vector<MemberId> send_queue_;  // members not yet sent to
+  std::size_t send_cursor_ = 0;
+  std::uint64_t rounds_after_send_ = 0;
+  std::uint64_t own_token_ = agg::kNoAuditToken;
+  std::map<MemberId, KnownVote> known_votes_;
+};
+
+}  // namespace gridbox::protocols::baseline

@@ -1,0 +1,23 @@
+#include "src/protocols/baseline/leader_election.h"
+
+#include <utility>
+
+namespace gridbox::protocols::baseline {
+
+namespace {
+
+CommitteeConfig single_leader(CommitteeConfig config) {
+  config.committee_size = 1;
+  return config;
+}
+
+}  // namespace
+
+LeaderElectionNode::LeaderElectionNode(MemberId self, double vote,
+                                       membership::View view,
+                                       protocols::NodeEnv env, Rng rng,
+                                       CommitteeConfig config)
+    : CommitteeNode(self, vote, std::move(view), env, rng,
+                    single_leader(config)) {}
+
+}  // namespace gridbox::protocols::baseline

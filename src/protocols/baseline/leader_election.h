@@ -1,0 +1,21 @@
+// Single-leader hierarchical baseline (§6.2): a committee of exactly one.
+//
+// The leader of each subtree is the member with the smallest hash value;
+// everything else is CommitteeNode machinery. The interesting failure mode —
+// the crash of a height-i leader excluding ~K^i votes from the final
+// estimate — is exercised by tests/test_baselines.cpp and measured by
+// bench/cmp_baselines.
+#pragma once
+
+#include "src/protocols/baseline/committee.h"
+
+namespace gridbox::protocols::baseline {
+
+class LeaderElectionNode final : public CommitteeNode {
+ public:
+  /// `config.committee_size` is forced to 1.
+  LeaderElectionNode(MemberId self, double vote, membership::View view,
+                     protocols::NodeEnv env, Rng rng, CommitteeConfig config);
+};
+
+}  // namespace gridbox::protocols::baseline

@@ -1,0 +1,98 @@
+// Tunables of the Hierarchical Gossiping protocol (§6.3, §7).
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace gridbox::protocols::gossip {
+
+class GossipTrace;
+
+/// Which known value a member gossips each time it contacts a gossipee.
+enum class ValuePolicy : std::uint8_t {
+  /// Paper's rule: one uniformly random known value per message.
+  kRandomSingle = 0,
+  /// Ablation: prefer the value this member has sent least often (helps the
+  /// slowest-spreading value, at no extra message cost).
+  kRarestFirst = 1,
+  /// Ablation: cycle deterministically through the known values.
+  kRoundRobin = 2,
+};
+
+/// How much of its known state a member pushes per gossip message.
+enum class ExchangeMode : std::uint8_t {
+  /// Classic "gossip with" semantics: push the known state of the current
+  /// phase, capped at kMaxEntriesPerMessage entries (a random subset when
+  /// above the cap), so messages stay constant-size bounded. Default: this
+  /// is what reproduces the paper's measured completeness levels.
+  kFullState = 0,
+  /// The literal §6.3 wording: exactly one selected value per message
+  /// (selection per ValuePolicy). Weaker mixing at the same message count;
+  /// kept as an ablation (bench/abl_fanout).
+  kSingleValue = 1,
+};
+
+/// Hard cap on values per gossip message in kFullState mode; together with
+/// the fixed entry encodings this keeps every payload under
+/// net::kMaxPayloadBytes regardless of K or box occupancy.
+inline constexpr std::size_t kMaxEntriesPerMessage = 5;
+
+struct GossipConfig {
+  /// K — average members per grid box and tree fanout. Paper default 4.
+  std::uint32_t k = 4;
+
+  /// M — gossipees contacted per gossip round. Paper default 2.
+  std::uint32_t fanout_m = 2;
+
+  /// C — rounds-per-phase multiplier: each phase lasts ⌈C · log_M N⌉ gossip
+  /// rounds (paper §7). Paper default 1.0.
+  double round_multiplier_c = 1.0;
+
+  /// Nonzero: use exactly this many gossip rounds per phase instead of the
+  /// ⌈C·log_M N⌉ formula. Figure 8 sweeps this directly (x = rounds per
+  /// phase, 1..5).
+  std::uint64_t rounds_per_phase_override = 0;
+
+  /// Wall-clock length of one gossip round.
+  SimTime round_duration = SimTime::millis(10);
+
+  /// Step 2(b): bump to the next phase as soon as all K child aggregates are
+  /// known, instead of always waiting out the timeout. The paper's
+  /// simulations enable this; its analysis assumes it off (synchronous
+  /// phases). Never applies to phase 1, where a member cannot know it has
+  /// seen everything.
+  bool early_bump = true;
+
+  /// Also bump phase 1 early once votes from *every view member in the same
+  /// grid box* are known. Sound only with complete views; off by default to
+  /// match the paper.
+  bool phase1_early_bump_with_view = false;
+
+  /// In the last phase, a saturated member keeps gossiping until the phase
+  /// deadline instead of terminating immediately. Termination cannot starve
+  /// peers in any earlier phase (the member moves up and keeps gossiping),
+  /// but a member that terminates stops serving root aggregates; lingering
+  /// costs nothing in time (the deadline is unchanged) and keeps the last
+  /// phase's epidemic fed. On by default; off reproduces literal
+  /// terminate-on-saturation (see bench/abl_sync_vs_async).
+  bool final_phase_linger = true;
+
+  ExchangeMode exchange_mode = ExchangeMode::kFullState;
+
+  /// Value selection for ExchangeMode::kSingleValue.
+  ValuePolicy value_policy = ValuePolicy::kRandomSingle;
+
+  /// Maximum random start skew: each node starts phase 1 at a uniform time
+  /// in [0, start_skew_max], modelling multicast-initiated starts reaching
+  /// members at slightly different times. Zero = simultaneous (paper).
+  SimTime start_skew_max = SimTime::zero();
+
+  /// Optional observability hooks (non-owning; must outlive the nodes).
+  GossipTrace* trace = nullptr;
+
+  /// Gossip rounds in each phase for a group-size estimate n.
+  [[nodiscard]] std::uint64_t rounds_per_phase(std::size_t n) const;
+};
+
+}  // namespace gridbox::protocols::gossip

@@ -1,0 +1,413 @@
+#include "src/protocols/gossip/hier_gossip.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/agg/codec.h"
+#include "src/common/ensure.h"
+#include "src/common/log.h"
+
+namespace gridbox::protocols::gossip {
+
+namespace {
+
+// Wire message types. Both carry a batch of 1..kMaxEntriesPerMessage
+// entries; single-value mode simply sends batches of one.
+constexpr std::uint8_t kVoteGossip = 1;   // phase 1: member votes
+constexpr std::uint8_t kChildGossip = 2;  // phase >= 2: child aggregates
+
+struct VoteEntry {
+  MemberId origin;
+  double value = 0.0;
+  std::uint64_t token = agg::kNoAuditToken;
+};
+
+struct ChildEntry {
+  std::uint32_t slot = 0;
+  agg::Partial partial;
+  std::uint64_t token = agg::kNoAuditToken;
+};
+
+std::vector<std::uint8_t> encode_votes(std::uint64_t group_prefix,
+                                       const std::vector<VoteEntry>& entries) {
+  agg::ByteWriter w;
+  w.u8(kVoteGossip);
+  w.u8(1);  // phase
+  w.u64(group_prefix);
+  w.u8(static_cast<std::uint8_t>(entries.size()));
+  for (const VoteEntry& e : entries) {
+    w.u32(e.origin.value());
+    w.f64(e.value);
+    w.u64(e.token);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_children(
+    std::uint8_t phase, std::uint64_t group_prefix,
+    const std::vector<ChildEntry>& entries) {
+  agg::ByteWriter w;
+  w.u8(kChildGossip);
+  w.u8(phase);
+  w.u64(group_prefix);
+  w.u8(static_cast<std::uint8_t>(entries.size()));
+  for (const ChildEntry& e : entries) {
+    w.u8(static_cast<std::uint8_t>(e.slot));
+    agg::write_partial(w, e.partial);
+    w.u64(e.token);
+  }
+  return w.take();
+}
+
+}  // namespace
+
+HierGossipNode::HierGossipNode(MemberId self, double vote,
+                               membership::View view, protocols::NodeEnv env,
+                               Rng rng, GossipConfig config)
+    : ProtocolNode(self, vote, std::move(view), env, rng),
+      config_(config) {
+  expects(config_.k == hier().fanout(),
+          "gossip config K must match the hierarchy fanout");
+}
+
+void HierGossipNode::start(SimTime at) {
+  ensures(phase_ == 0, "start called twice");
+  SimTime begin = at;
+  if (config_.start_skew_max.ticks() > 0) {
+    begin += SimTime{static_cast<SimTime::underlying>(
+        rng().uniform_int(0, static_cast<std::uint64_t>(
+                                 config_.start_skew_max.ticks())))};
+  }
+  enter_phase(1);
+  simulator().schedule_periodic(begin, config_.round_duration,
+                                [this]() { return on_round(); });
+}
+
+void HierGossipNode::enter_phase(std::size_t phase) {
+  phase_ = phase;
+  rounds_in_phase_ = 0;
+  // Phase deadlines sit on a fixed grid: phase i times out once the member
+  // has executed i * ⌈C·log_M N⌉ rounds since its own start. A member that
+  // bumps early (step 2(b)) therefore spends the saved rounds gossiping in
+  // the *next* phase — it keeps feeding slower peers instead of terminating
+  // ahead of them, which is what makes the asynchronous protocol's
+  // completeness match (even slightly beat) the synchronous analysis.
+  rounds_budget_ =
+      static_cast<std::uint64_t>(phase) *
+      config_.rounds_per_phase(hier().group_size_estimate());
+  round_robin_cursor_ = 0;
+
+  if (phase == 1) {
+    // Own vote is always known; pre-start gossip may already have filled
+    // known_votes_ with neighbours' votes (start skew), so insert, don't
+    // reset.
+    KnownValue own;
+    own.partial = agg::Partial::from_vote(own_vote());
+    own.audit_token = register_own_vote();
+    known_votes_.emplace(self(), std::move(own));
+  } else {
+    known_children_.assign(config_.k, std::nullopt);
+    // Seed our own child slot with the previous phase's result (§6.3:
+    // "Mj already knows about the aggregate value for its own
+    // height-(i−1) subtree immediately after phase (i−1) concludes").
+    known_children_[hier().child_slot(self(), phase)] = carry_;
+  }
+  rebuild_peer_cache();
+  if (config_.trace != nullptr) config_.trace->on_phase_entered(self(), phase);
+}
+
+void HierGossipNode::rebuild_peer_cache() {
+  peers_ = hier().phase_peers(view().members(), self(), phase_);
+}
+
+bool HierGossipNode::on_round() {
+  if (finished() || !alive()) return false;
+
+  // Deadline check first, against the global phase grid: messages gossiped
+  // in the last round of a phase window land (latency < round length) before
+  // this tick, so they still count. rounds_executed() counts every round
+  // since this member's start.
+  while (!finished() && rounds_executed() >= rounds_budget_) {
+    conclude_phase(PhaseEnd::kTimeout);
+  }
+  if (finished()) return false;
+
+  count_round();
+  ++rounds_in_phase_;
+
+  if (!peers_.empty()) {
+    const auto picks = rng().sample_indices(
+        peers_.size(), std::min<std::size_t>(config_.fanout_m, peers_.size()));
+    for (const std::size_t p : picks) gossip_once(peers_[p]);
+  }
+  return true;
+}
+
+void HierGossipNode::gossip_once(MemberId target) {
+  const std::uint64_t group = hier().phase_group(self(), phase_);
+  if (phase_ == 1) {
+    std::vector<VoteEntry> entries;
+    if (config_.exchange_mode == ExchangeMode::kSingleValue) {
+      const KnownValue* value = pick_value_to_send();
+      if (value == nullptr) return;
+      for (auto& [origin, kv] : known_votes_) {
+        if (&kv == value) {
+          ++kv.times_sent;
+          entries.push_back(VoteEntry{origin, kv.partial.sum(),
+                                      kv.audit_token});
+          break;
+        }
+      }
+    } else {
+      // Full-state: everything known, or a uniform subset above the cap.
+      std::vector<VoteEntry> all;
+      all.reserve(known_votes_.size());
+      for (const auto& [origin, kv] : known_votes_) {
+        all.push_back(VoteEntry{origin, kv.partial.sum(), kv.audit_token});
+      }
+      if (all.size() <= kMaxEntriesPerMessage) {
+        entries = std::move(all);
+      } else {
+        for (const std::size_t i :
+             rng().sample_indices(all.size(), kMaxEntriesPerMessage)) {
+          entries.push_back(all[i]);
+        }
+      }
+    }
+    if (!entries.empty()) send_to(target, encode_votes(group, entries));
+  } else {
+    std::vector<ChildEntry> entries;
+    if (config_.exchange_mode == ExchangeMode::kSingleValue) {
+      const KnownValue* value = pick_value_to_send();
+      if (value == nullptr) return;
+      for (std::uint32_t slot = 0; slot < config_.k; ++slot) {
+        auto& known = known_children_[slot];
+        if (known.has_value() && &known.value() == value) {
+          ++known->times_sent;
+          entries.push_back(
+              ChildEntry{slot, known->partial, known->audit_token});
+          break;
+        }
+      }
+    } else {
+      std::vector<ChildEntry> all;
+      for (std::uint32_t slot = 0; slot < config_.k; ++slot) {
+        const auto& known = known_children_[slot];
+        if (known.has_value()) {
+          all.push_back(ChildEntry{slot, known->partial, known->audit_token});
+        }
+      }
+      if (all.size() <= kMaxEntriesPerMessage) {
+        entries = std::move(all);
+      } else {
+        for (const std::size_t i :
+             rng().sample_indices(all.size(), kMaxEntriesPerMessage)) {
+          entries.push_back(all[i]);
+        }
+      }
+    }
+    if (!entries.empty()) {
+      send_to(target, encode_children(static_cast<std::uint8_t>(phase_),
+                                      group, entries));
+    }
+  }
+}
+
+const HierGossipNode::KnownValue* HierGossipNode::pick_value_to_send() {
+  // Collect candidate values for the current phase.
+  std::vector<const KnownValue*> candidates;
+  if (phase_ == 1) {
+    candidates.reserve(known_votes_.size());
+    for (const auto& [origin, kv] : known_votes_) candidates.push_back(&kv);
+  } else {
+    for (const auto& known : known_children_) {
+      if (known.has_value()) candidates.push_back(&known.value());
+    }
+  }
+  if (candidates.empty()) return nullptr;
+
+  switch (config_.value_policy) {
+    case ValuePolicy::kRandomSingle:
+      return candidates[rng().index(candidates.size())];
+    case ValuePolicy::kRarestFirst:
+      return *std::min_element(candidates.begin(), candidates.end(),
+                               [](const KnownValue* a, const KnownValue* b) {
+                                 return a->times_sent < b->times_sent;
+                               });
+    case ValuePolicy::kRoundRobin:
+      return candidates[round_robin_cursor_++ % candidates.size()];
+  }
+  return candidates.front();
+}
+
+void HierGossipNode::on_message(const net::Message& message) {
+  if (finished() || !alive()) return;
+  agg::ByteReader r(message.payload.bytes());
+  const std::uint8_t type = r.u8();
+  const std::size_t msg_phase = r.u8();
+  const std::uint64_t group_prefix = r.u64();
+
+  // The paper absorbs a value only "by a gossip message from another member
+  // in phase i": messages for other phases — stale ones from laggards — are
+  // dropped, not buffered. The exception is *adoption* (below).
+  if (type == kVoteGossip) {
+    if (msg_phase != 1) return;
+    const std::size_t count = r.u8();
+    for (std::size_t i = 0; i < count && i < kMaxEntriesPerMessage; ++i) {
+      const MemberId origin{r.u32()};
+      const double value = r.f64();
+      const std::uint64_t token = r.u64();
+      if (phase_ != 1) continue;  // may have bumped mid-batch
+      if (group_prefix != hier().phase_group(self(), 1)) return;
+      absorb_vote(origin, value, token);
+    }
+  } else if (type == kChildGossip) {
+    if (msg_phase > hier().num_phases() || msg_phase < 2) return;
+    const std::size_t count = r.u8();
+    for (std::size_t i = 0; i < count && i < kMaxEntriesPerMessage; ++i) {
+      const std::uint32_t slot = r.u8();
+      const agg::Partial partial = agg::read_partial(r);
+      const std::uint64_t token = r.u64();
+      if (finished()) return;
+      if (slot >= config_.k) return;  // malformed
+      if (msg_phase == phase_) {
+        if (group_prefix != hier().phase_group(self(), msg_phase)) return;
+        absorb_child(slot, partial, token);
+      } else if (config_.early_bump && phase_ >= 1 && msg_phase > phase_ &&
+                 group_prefix == hier().phase_group(self(), msg_phase) &&
+                 slot == hier().child_slot(self(), msg_phase)) {
+        // Adoption: a peer ahead of us gossiped the aggregate of a subtree
+        // that *encloses this member's current working subtree* — a value
+        // our next phases exist to compute. "Mj knows about the aggregate
+        // value of a subtree when it first receives the same": adopt it (if
+        // at least as complete as what we could conclude ourselves) and jump
+        // to the sender's phase. This is how a member left behind by
+        // early-bumping peers — common when grid boxes are sparse — catches
+        // up instead of carrying a permanently incomplete subtree value to
+        // the root.
+        adopt_phase_result(msg_phase, partial, token);
+      }
+      // Other entries (stale, or not about our own subtree) are skipped.
+    }
+  }
+  // Unknown types are dropped: forward compatibility over crashing.
+}
+
+void HierGossipNode::absorb_vote(MemberId origin, double value,
+                                 std::uint64_t token) {
+  KnownValue kv;
+  kv.partial = agg::Partial::from_vote(value);
+  kv.audit_token = token;
+  // First received wins; duplicates are idempotent (same origin, same vote).
+  const bool inserted = known_votes_.emplace(origin, std::move(kv)).second;
+  if (inserted && config_.trace != nullptr) {
+    config_.trace->on_value_learned(self(), 1, origin.value());
+  }
+  if (phase_ == 1 && config_.phase1_early_bump_with_view &&
+      phase_saturated()) {
+    conclude_phase(PhaseEnd::kSaturated);
+  }
+}
+
+void HierGossipNode::absorb_child(std::uint32_t slot,
+                                  const agg::Partial& partial,
+                                  std::uint64_t token) {
+  if (known_children_[slot].has_value()) return;  // first received wins
+  KnownValue kv;
+  kv.partial = partial;
+  kv.audit_token = token;
+  known_children_[slot] = std::move(kv);
+  if (config_.trace != nullptr) {
+    config_.trace->on_value_learned(self(), phase_, slot);
+  }
+  if (config_.early_bump && phase_saturated()) {
+    if (phase_ >= hier().num_phases() && config_.final_phase_linger) {
+      // Saturated in the last phase: the estimate cannot improve, but
+      // terminating now would stop feeding peers that still miss root
+      // aggregates. Keep gossiping; the deadline concludes us.
+      return;
+    }
+    conclude_phase(PhaseEnd::kSaturated);
+  }
+}
+
+bool HierGossipNode::phase_saturated() const {
+  if (phase_ == 1) {
+    if (!config_.phase1_early_bump_with_view) return false;
+    // All same-box view members' votes known (peers_ is exactly that set).
+    for (const MemberId peer : peers_) {
+      if (!known_votes_.contains(peer)) return false;
+    }
+    return true;
+  }
+  return std::all_of(known_children_.begin(), known_children_.end(),
+                     [](const auto& v) { return v.has_value(); });
+}
+
+void HierGossipNode::conclude_phase(PhaseEnd how) {
+  agg::Partial acc;
+  std::vector<std::uint64_t> tokens;
+  if (phase_ == 1) {
+    for (const auto& [origin, kv] : known_votes_) {
+      acc.merge(kv.partial);
+      tokens.push_back(kv.audit_token);
+    }
+  } else {
+    for (const auto& known : known_children_) {
+      if (!known.has_value()) continue;
+      acc.merge(known->partial);
+      tokens.push_back(known->audit_token);
+    }
+  }
+  carry_.partial = acc;
+  carry_.audit_token =
+      audit() != nullptr ? audit()->register_merge(tokens) : agg::kNoAuditToken;
+  carry_.times_sent = 0;
+  finish_phase(how);
+}
+
+void HierGossipNode::adopt_phase_result(std::size_t msg_phase,
+                                        const agg::Partial& partial,
+                                        std::uint64_t token) {
+  // What would this member conclude from its own knowledge right now?
+  std::uint32_t own_count = 0;
+  if (phase_ == 1) {
+    own_count = static_cast<std::uint32_t>(known_votes_.size());
+  } else {
+    for (const auto& known : known_children_) {
+      if (known.has_value()) own_count += known->partial.count();
+    }
+  }
+  // Keep gossiping if we are strictly better informed than the adopter —
+  // our conclusion will spread on its own merit.
+  if (partial.count() < own_count) return;
+  carry_.partial = partial;
+  carry_.audit_token = token;
+  carry_.times_sent = 0;
+  // The adopted value concludes phase msg_phase − 1, skipping the phases in
+  // between; they end (vacuously) now.
+  while (phase_ + 1 < msg_phase) {
+    phase_end_times_.push_back(simulator().now());
+    ++phase_;
+  }
+  finish_phase(PhaseEnd::kAdopted);
+}
+
+void HierGossipNode::finish_phase(PhaseEnd how) {
+  phase_end_times_.push_back(simulator().now());
+  if (config_.trace != nullptr) {
+    config_.trace->on_phase_concluded(self(), phase_, how,
+                                      carry_.partial.count());
+  }
+  if (phase_ >= hier().num_phases()) {
+    set_outcome(carry_.partial, carry_.audit_token);
+    phase_ = hier().num_phases() + 1;
+    if (config_.trace != nullptr) {
+      config_.trace->on_finished(self(), carry_.partial.count());
+    }
+  } else {
+    enter_phase(phase_ + 1);
+  }
+}
+
+}  // namespace gridbox::protocols::gossip

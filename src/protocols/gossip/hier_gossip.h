@@ -1,0 +1,100 @@
+// Hierarchical Gossiping (§6.3) — the paper's primary contribution.
+//
+// Each member runs num_phases() phases. In phase 1 it gossips, within its own
+// grid box, individual votes of box members (always including its own). In
+// phase i ≥ 2 it gossips, within its phase-i group, the aggregate values of
+// that group's K child slots, seeding its own child slot with the result of
+// phase i−1. A phase ends after ⌈C·log_M N⌉ gossip rounds, or — step 2(b) —
+// as soon as all K child aggregates are known. After the last phase the
+// member holds its estimate of the global aggregate and the protocol
+// terminates at that member.
+//
+// No leader election, no failure detection, no acknowledgements: robustness
+// comes entirely from epidemic redundancy. Message and time complexity are
+// O(N·log²N) and O(log²N) — poly-logarithmically sub-optimal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/protocols/gossip/gossip_config.h"
+#include "src/protocols/gossip/trace.h"
+#include "src/protocols/node.h"
+
+namespace gridbox::protocols::gossip {
+
+class HierGossipNode final : public protocols::ProtocolNode {
+ public:
+  HierGossipNode(MemberId self, double vote, membership::View view,
+                 protocols::NodeEnv env, Rng rng, GossipConfig config);
+
+  void start(SimTime at) override;
+  void on_message(const net::Message& message) override;
+
+  /// 1-based phase currently executing; num_phases()+1 once finished.
+  [[nodiscard]] std::size_t current_phase() const { return phase_; }
+
+  /// Rounds spent in the current phase so far.
+  [[nodiscard]] std::uint64_t rounds_in_phase() const { return rounds_in_phase_; }
+
+  [[nodiscard]] const GossipConfig& config() const { return config_; }
+
+  /// Simulated time at which each phase completed (index 0 = phase 1).
+  [[nodiscard]] const std::vector<SimTime>& phase_completion_times() const {
+    return phase_end_times_;
+  }
+
+ private:
+  /// One known value: either a member's vote (phase 1) or a child-slot
+  /// aggregate (phases >= 2), plus audit provenance and a send counter for
+  /// the rarest-first ablation policy.
+  struct KnownValue {
+    agg::Partial partial;
+    std::uint64_t audit_token = agg::kNoAuditToken;
+    std::uint64_t times_sent = 0;
+  };
+
+  bool on_round();                       // periodic tick; false stops timer
+  void gossip_once(MemberId target);     // send one value to one gossipee
+  void conclude_phase(PhaseEnd how);     // aggregate own knowledge and bump
+  void adopt_phase_result(std::size_t msg_phase, const agg::Partial& partial,
+                          std::uint64_t token);
+  void finish_phase(PhaseEnd how);       // record carry_ and advance
+  void enter_phase(std::size_t phase);
+  void absorb_vote(MemberId origin, double value, std::uint64_t token);
+  void absorb_child(std::uint32_t slot, const agg::Partial& partial,
+                    std::uint64_t token);
+  [[nodiscard]] bool phase_saturated() const;  // all values known (early bump)
+  [[nodiscard]] const KnownValue* pick_value_to_send();
+  void rebuild_peer_cache();
+
+  GossipConfig config_;
+  std::size_t phase_ = 0;  // 0 = not started
+  std::uint64_t rounds_in_phase_ = 0;
+  std::uint64_t rounds_budget_ = 0;
+
+  // Phase-1 knowledge: votes of members in this node's grid box, keyed by
+  // origin member. Deterministic order (std::map) keeps runs reproducible.
+  std::map<MemberId, KnownValue> known_votes_;
+
+  // Phase-i (i >= 2) knowledge: one aggregate per child slot, first received
+  // wins (paper: "when it first receives the same ... in phase i"). Values
+  // for phases this node is not currently in are dropped, per the paper —
+  // buffering them lets fast nodes skip whole phases without gossiping,
+  // which starves slower peers and collapses completeness.
+  std::vector<std::optional<KnownValue>> known_children_;
+
+  // Result of the previous phase, seeding this node's own child slot.
+  KnownValue carry_;
+
+  // View members in the same phase group as this node, re-filtered per phase.
+  std::vector<MemberId> peers_;
+
+  std::vector<SimTime> phase_end_times_;
+  std::size_t round_robin_cursor_ = 0;
+};
+
+}  // namespace gridbox::protocols::gossip

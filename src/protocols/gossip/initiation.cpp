@@ -1,0 +1,79 @@
+#include "src/protocols/gossip/initiation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/agg/codec.h"
+#include "src/common/ensure.h"
+
+namespace gridbox::protocols::gossip {
+
+FloodStarter::FloodStarter(MemberId self, membership::View view,
+                           sim::Simulator& simulator, net::SimNetwork& network,
+                           Rng rng, FloodConfig config,
+                           std::function<void(std::uint64_t)> on_start)
+    : self_(self),
+      view_(std::move(view)),
+      simulator_(&simulator),
+      network_(&network),
+      rng_(rng),
+      config_(config),
+      on_start_(std::move(on_start)) {
+  expects(config_.fanout >= 1, "flood fanout must be at least 1");
+  expects(config_.repeat_rounds >= 1, "flood needs at least one round");
+  expects(static_cast<bool>(on_start_), "start callback required");
+}
+
+void FloodStarter::initiate(std::uint64_t instance) {
+  trigger(instance);
+}
+
+bool FloodStarter::on_message(const net::Message& message) {
+  const auto& bytes = message.payload.bytes();
+  if (bytes.empty() || bytes[0] != kWireType) return false;
+  agg::ByteReader r(bytes);
+  (void)r.u8();
+  const std::uint64_t instance = r.u64();
+  trigger(instance);
+  return true;
+}
+
+void FloodStarter::trigger(std::uint64_t instance) {
+  // Instances are expected to start in order; an already-seen (or older)
+  // instance id is a duplicate START and is ignored.
+  if (last_started_ != kNone && instance <= last_started_) return;
+  last_started_ = instance;
+  on_start_(instance);
+  forward_round(instance, config_.repeat_rounds);
+}
+
+void FloodStarter::forward_round(std::uint64_t instance,
+                                 std::uint32_t rounds_left) {
+  if (rounds_left == 0) return;
+  agg::ByteWriter w;
+  w.u8(kWireType);
+  w.u64(instance);
+  const auto bytes = w.take();
+
+  std::vector<MemberId> others;
+  for (const MemberId m : view_.members()) {
+    if (m != self_) others.push_back(m);
+  }
+  if (!others.empty()) {
+    const auto picks = rng_.sample_indices(
+        others.size(),
+        std::min<std::size_t>(config_.fanout, others.size()));
+    for (const std::size_t i : picks) {
+      network_->send(net::Message{self_, others[i], net::Payload{bytes}});
+    }
+  }
+  simulator_->schedule_after(
+      config_.round_duration, [this, instance, rounds_left]() {
+        // A newer instance supersedes the flood of an older one.
+        if (last_started_ == instance) {
+          forward_round(instance, rounds_left - 1);
+        }
+      });
+}
+
+}  // namespace gridbox::protocols::gossip

@@ -1,0 +1,92 @@
+// Protocol initiation by epidemic flood (§2: "The protocol is assumed to be
+// initiated simultaneously at all members, but our results apply in cases
+// such as a multicast being used for protocol initiation").
+//
+// The network provides only unicast, so the "multicast" is a gossip flood:
+// an initiator sends START to a few random view members; every member, on
+// its first START, fires its callback (typically HierGossipNode::start) and
+// re-forwards START to `fanout` random members each round for `repeat_rounds`
+// rounds. With fanout >= 2 the flood reaches the whole group in O(log N)
+// rounds with high probability, giving exactly the bounded start skew the
+// gossip protocol tolerates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/membership/view.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace gridbox::protocols::gossip {
+
+struct FloodConfig {
+  std::uint32_t fanout = 3;
+  std::uint32_t repeat_rounds = 3;
+  SimTime round_duration = SimTime::millis(10);
+  /// Identifies the protocol instance being started; echoed to the callback
+  /// so one flood endpoint can serve successive instances.
+  std::uint64_t instance = 0;
+};
+
+/// Per-member flood participant. Not itself a net::Endpoint — it is meant to
+/// sit behind a demultiplexer (see MessageDemux) next to the protocol node it
+/// starts. Wire format: u8 type (kStartFlood) + u64 instance.
+class FloodStarter {
+ public:
+  /// `on_start(instance)` fires exactly once per instance id, at the
+  /// simulated time the first START for it arrives (or initiate() is called).
+  FloodStarter(MemberId self, membership::View view, sim::Simulator& simulator,
+               net::SimNetwork& network, Rng rng, FloodConfig config,
+               std::function<void(std::uint64_t)> on_start);
+
+  /// The wire type tag this class uses (first payload byte).
+  static constexpr std::uint8_t kWireType = 0x10;
+
+  /// Called at the initiating member: fires the callback locally and begins
+  /// flooding.
+  void initiate(std::uint64_t instance);
+
+  /// Feed a received message; returns true if it was a START frame (handled).
+  bool on_message(const net::Message& message);
+
+  [[nodiscard]] bool started(std::uint64_t instance) const {
+    return last_started_ != kNone && instance <= last_started_;
+  }
+
+ private:
+  static constexpr std::uint64_t kNone = ~std::uint64_t{0};
+
+  void trigger(std::uint64_t instance);
+  void forward_round(std::uint64_t instance, std::uint32_t rounds_left);
+
+  MemberId self_;
+  membership::View view_;
+  sim::Simulator* simulator_;
+  net::SimNetwork* network_;
+  Rng rng_;
+  FloodConfig config_;
+  std::function<void(std::uint64_t)> on_start_;
+  std::uint64_t last_started_ = kNone;
+};
+
+/// Routes inbound messages by their leading type byte: START frames to the
+/// FloodStarter, everything else to the wrapped protocol endpoint. Attach
+/// *this* to the network in place of the protocol node.
+class MessageDemux final : public net::Endpoint {
+ public:
+  MessageDemux(FloodStarter& starter, net::Endpoint& protocol)
+      : starter_(&starter), protocol_(&protocol) {}
+
+  void on_message(const net::Message& message) override {
+    if (!starter_->on_message(message)) protocol_->on_message(message);
+  }
+
+ private:
+  FloodStarter* starter_;
+  net::Endpoint* protocol_;
+};
+
+}  // namespace gridbox::protocols::gossip

@@ -1,0 +1,81 @@
+#include "src/protocols/gossip/periodic.h"
+
+#include <utility>
+
+#include "src/common/ensure.h"
+#include "src/hierarchy/hierarchy.h"
+
+namespace gridbox::protocols::gossip {
+
+PeriodicAggregatorNode::PeriodicAggregatorNode(
+    MemberId self, std::function<double(std::size_t)> vote_for_epoch,
+    membership::View view, protocols::NodeEnv env, Rng rng,
+    PeriodicConfig config)
+    : self_(self),
+      vote_for_epoch_(std::move(vote_for_epoch)),
+      view_(std::move(view)),
+      env_(env),
+      rng_(rng),
+      config_(config) {
+  expects(static_cast<bool>(vote_for_epoch_), "vote function required");
+  expects(config_.epochs >= 1, "need at least one epoch");
+  expects(env_.hierarchy != nullptr, "hierarchy required");
+  // Worst-case instance duration: every phase runs to its deadline, plus the
+  // start tick; then in-flight messages need max_latency to drain.
+  const std::uint64_t rounds =
+      config_.gossip.rounds_per_phase(env_.hierarchy->group_size_estimate()) *
+      env_.hierarchy->num_phases();
+  const SimTime duration =
+      SimTime{static_cast<SimTime::underlying>(rounds + 2) *
+              config_.gossip.round_duration.ticks()} +
+      config_.gossip.start_skew_max + config_.max_latency;
+  expects(config_.period > duration,
+          "period must exceed the worst-case instance duration plus latency "
+          "(epochs may not overlap on the wire)");
+}
+
+void PeriodicAggregatorNode::start(SimTime at) {
+  expects(!started_, "start called twice");
+  started_ = true;
+  // Epoch e begins at `at + e * period`; the chain self-schedules so crashes
+  // stop it naturally (a dead member's instance never finishes and the next
+  // begin_epoch call still happens but the instance won't act).
+  env_.simulator->schedule_at(at, [this]() { begin_epoch(0); });
+}
+
+void PeriodicAggregatorNode::begin_epoch(std::size_t epoch) {
+  harvest_previous();
+  epoch_ = epoch;
+  instance_ = std::make_unique<HierGossipNode>(
+      self_, vote_for_epoch_(epoch), view_, env_,
+      rng_.derive(0xE90C0000 + epoch), config_.gossip);
+  instance_->start(env_.simulator->now());
+  if (epoch + 1 < config_.epochs) {
+    env_.simulator->schedule_after(
+        config_.period, [this, next = epoch + 1]() { begin_epoch(next); });
+  } else {
+    // Harvest the final epoch once it must have drained.
+    env_.simulator->schedule_after(config_.period,
+                                   [this]() { harvest_previous(); });
+  }
+}
+
+void PeriodicAggregatorNode::harvest_previous() {
+  if (instance_ == nullptr) return;
+  if (instance_->finished()) {
+    history_.push_back(instance_->outcome());
+  } else {
+    // Crashed or starved epochs leave a hole: record an unfinished outcome
+    // so history_ stays aligned with epoch numbers.
+    history_.push_back(protocols::NodeOutcome{});
+  }
+  instance_.reset();
+}
+
+void PeriodicAggregatorNode::on_message(const net::Message& message) {
+  if (instance_ != nullptr) instance_->on_message(message);
+  // Messages between epochs (none, by the period precondition) or before
+  // start are dropped.
+}
+
+}  // namespace gridbox::protocols::gossip

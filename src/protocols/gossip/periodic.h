@@ -1,0 +1,83 @@
+// Periodic aggregation (§2: "Our discussion considers only one run of the
+// aggregation protocol, but this can be extended to one which periodically
+// calculates the global aggregate").
+//
+// A PeriodicAggregatorNode runs successive one-shot Hierarchical Gossiping
+// instances — epochs — over the same long-lived group, sampling a fresh vote
+// each epoch from a caller-supplied function (a sensor read, a load probe).
+// Epochs are sequential in simulated time: the period must exceed the
+// worst-case instance duration plus the maximum network latency, so an
+// epoch's stragglers cannot leak messages into the next instance (validated
+// at construction). One epoch at a time keeps the wire format of the
+// underlying protocol unchanged.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/protocols/gossip/hier_gossip.h"
+
+namespace gridbox::protocols::gossip {
+
+struct PeriodicConfig {
+  GossipConfig gossip;
+
+  /// Time between epoch starts.
+  SimTime period = SimTime::seconds(2);
+
+  /// Epochs to run; the node stops scheduling after the last one.
+  std::size_t epochs = 1;
+
+  /// Upper bound on one-way network latency, used to validate that epochs
+  /// cannot overlap on the wire.
+  SimTime max_latency = SimTime::millis(10);
+};
+
+class PeriodicAggregatorNode final : public net::Endpoint {
+ public:
+  /// `vote_for_epoch(e)` is sampled at the start of epoch e (0-based).
+  PeriodicAggregatorNode(MemberId self,
+                         std::function<double(std::size_t)> vote_for_epoch,
+                         membership::View view, protocols::NodeEnv env,
+                         Rng rng, PeriodicConfig config);
+
+  /// Schedules epoch 0 at `at` and each next epoch one period later.
+  void start(SimTime at);
+
+  void on_message(const net::Message& message) override;
+
+  /// Outcomes of all *completed* epochs, in epoch order.
+  [[nodiscard]] const std::vector<protocols::NodeOutcome>& history() const {
+    return history_;
+  }
+
+  /// The epoch currently running (last scheduled), 0-based; meaningful once
+  /// start() was called.
+  [[nodiscard]] std::size_t current_epoch() const { return epoch_; }
+
+  /// The most recent completed estimate, if any epoch has finished.
+  [[nodiscard]] const protocols::NodeOutcome* latest() const {
+    return history_.empty() ? nullptr : &history_.back();
+  }
+
+  [[nodiscard]] MemberId self() const { return self_; }
+
+ private:
+  void begin_epoch(std::size_t epoch);
+  void harvest_previous();
+
+  MemberId self_;
+  std::function<double(std::size_t)> vote_for_epoch_;
+  membership::View view_;
+  protocols::NodeEnv env_;
+  Rng rng_;
+  PeriodicConfig config_;
+
+  bool started_ = false;
+  std::size_t epoch_ = 0;
+  std::unique_ptr<HierGossipNode> instance_;
+  std::vector<protocols::NodeOutcome> history_;
+};
+
+}  // namespace gridbox::protocols::gossip

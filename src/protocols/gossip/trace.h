@@ -1,0 +1,59 @@
+// Observability hooks for Hierarchical Gossiping.
+//
+// A GossipTrace receives structured callbacks as nodes move through the
+// protocol: phase entries, value arrivals, and conclusions (with *why* the
+// phase ended — timeout, saturation, or adoption). Used by tests to assert
+// internal behaviour and by operators to understand a run; the default
+// no-op implementation costs one null check per event.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace gridbox::protocols::gossip {
+
+/// Why a phase ended at a member.
+enum class PhaseEnd : std::uint8_t {
+  kTimeout = 0,    ///< the phase-deadline grid expired
+  kSaturated = 1,  ///< all K child values (step 2(b)) were obtained
+  kAdopted = 2,    ///< an enclosing subtree aggregate was adopted
+};
+
+class GossipTrace {
+ public:
+  virtual ~GossipTrace() = default;
+
+  /// `member` began working on `phase` (1-based).
+  virtual void on_phase_entered(MemberId member, std::size_t phase) {
+    (void)member;
+    (void)phase;
+  }
+
+  /// `member` learned a value: a vote (phase 1, `index` = origin id) or a
+  /// child aggregate (phase >= 2, `index` = slot).
+  virtual void on_value_learned(MemberId member, std::size_t phase,
+                                std::uint32_t index) {
+    (void)member;
+    (void)phase;
+    (void)index;
+  }
+
+  /// `member` concluded `phase` covering `votes` votes, for reason `how`.
+  /// Adoption that skips phases reports the *highest* phase concluded.
+  virtual void on_phase_concluded(MemberId member, std::size_t phase,
+                                  PhaseEnd how, std::uint32_t votes) {
+    (void)member;
+    (void)phase;
+    (void)how;
+    (void)votes;
+  }
+
+  /// The protocol terminated at `member` with `votes` votes covered.
+  virtual void on_finished(MemberId member, std::uint32_t votes) {
+    (void)member;
+    (void)votes;
+  }
+};
+
+}  // namespace gridbox::protocols::gossip

@@ -1,0 +1,39 @@
+#include "src/protocols/node.h"
+
+#include <utility>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::protocols {
+
+ProtocolNode::ProtocolNode(MemberId self, double vote, membership::View view,
+                           NodeEnv env, Rng rng)
+    : self_(self),
+      vote_(vote),
+      view_(std::move(view)),
+      env_(env),
+      rng_(rng) {
+  expects(env_.simulator != nullptr, "node env: simulator required");
+  expects(env_.network != nullptr, "node env: network required");
+  expects(env_.hierarchy != nullptr, "node env: hierarchy required");
+}
+
+void ProtocolNode::send_to(MemberId to, std::vector<std::uint8_t> bytes) {
+  ++messages_sent_;
+  env_.network->send(
+      net::Message{self_, to, net::Payload{std::move(bytes)}});
+}
+
+std::uint64_t ProtocolNode::register_own_vote() {
+  if (env_.audit == nullptr) return agg::kNoAuditToken;
+  return env_.audit->register_vote(self_);
+}
+
+void ProtocolNode::set_outcome(agg::Partial estimate, std::uint64_t token) {
+  outcome_.finished = true;
+  outcome_.estimate = estimate;
+  outcome_.audit_token = token;
+  outcome_.finish_time = env_.simulator->now();
+}
+
+}  // namespace gridbox::protocols

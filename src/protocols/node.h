@@ -1,0 +1,104 @@
+// Framework shared by every aggregation protocol.
+//
+// A protocol is a set of per-member state machines (ProtocolNode) driven by
+// the simulator's clock and the network's deliveries. Nodes act only on
+//   - their own configuration and view,
+//   - the well-known hierarchy parameters (H, K, N-estimate), and
+//   - received messages;
+// they never read the experiment's ground truth. The one exception is the
+// liveness oracle: a crashed process simply stops executing, which we model
+// by nodes checking their own liveness before acting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/agg/aggregate.h"
+#include "src/agg/audit.h"
+#include "src/agg/vote.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/hierarchy/hierarchy.h"
+#include "src/membership/view.h"
+#include "src/net/network.h"
+#include "src/sim/simulator.h"
+
+namespace gridbox::protocols {
+
+/// Everything a node needs from its environment. All pointers are non-owning
+/// and must outlive the node; `audit` may be null (audit off).
+struct NodeEnv {
+  sim::Simulator* simulator = nullptr;
+  net::SimNetwork* network = nullptr;
+  const hierarchy::GridBoxHierarchy* hierarchy = nullptr;
+  agg::AuditRegistry* audit = nullptr;  // nullable
+  /// Liveness of *this* node: a crashed process stops executing.
+  std::function<bool(MemberId)> is_alive;
+  agg::AggregateKind kind = agg::AggregateKind::kAverage;
+};
+
+/// Final outcome at one member.
+struct NodeOutcome {
+  bool finished = false;              ///< protocol terminated at this member
+  agg::Partial estimate;              ///< its global aggregate estimate
+  std::uint64_t audit_token = agg::kNoAuditToken;
+  SimTime finish_time = SimTime::zero();
+};
+
+class ProtocolNode : public net::Endpoint {
+ public:
+  /// `vote` is this member's own input; `view` the members it knows about.
+  ProtocolNode(MemberId self, double vote, membership::View view, NodeEnv env,
+               Rng rng);
+  ~ProtocolNode() override = default;
+
+  /// Schedules this node's behaviour starting at `at`. Called once.
+  virtual void start(SimTime at) = 0;
+
+  [[nodiscard]] MemberId self() const { return self_; }
+  [[nodiscard]] double own_vote() const { return vote_; }
+  [[nodiscard]] const membership::View& view() const { return view_; }
+
+  [[nodiscard]] const NodeOutcome& outcome() const { return outcome_; }
+  [[nodiscard]] bool finished() const { return outcome_.finished; }
+
+  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
+  [[nodiscard]] std::uint64_t rounds_executed() const { return rounds_; }
+
+ protected:
+  [[nodiscard]] sim::Simulator& simulator() { return *env_.simulator; }
+  [[nodiscard]] net::SimNetwork& network() { return *env_.network; }
+  [[nodiscard]] const hierarchy::GridBoxHierarchy& hier() const {
+    return *env_.hierarchy;
+  }
+  [[nodiscard]] agg::AuditRegistry* audit() { return env_.audit; }
+  [[nodiscard]] agg::AggregateKind kind() const { return env_.kind; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  [[nodiscard]] bool alive() const {
+    return !env_.is_alive || env_.is_alive(self_);
+  }
+
+  /// Sends payload bytes to `to`, with bookkeeping.
+  void send_to(MemberId to, std::vector<std::uint8_t> bytes);
+
+  /// Registers this node's own vote with the audit registry (token 0 if
+  /// audit is off). Call once during start().
+  [[nodiscard]] std::uint64_t register_own_vote();
+
+  void count_round() { ++rounds_; }
+  void set_outcome(agg::Partial estimate, std::uint64_t token);
+
+ private:
+  MemberId self_;
+  double vote_;
+  membership::View view_;
+  NodeEnv env_;
+  Rng rng_;
+  NodeOutcome outcome_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace gridbox::protocols

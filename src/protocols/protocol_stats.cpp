@@ -1,0 +1,65 @@
+#include "src/protocols/protocol_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::protocols {
+
+RunMeasurement measure_run(
+    const membership::Group& group,
+    const std::vector<std::unique_ptr<ProtocolNode>>& nodes,
+    const agg::VoteTable& votes, agg::AggregateKind kind,
+    const net::NetworkStats& net_stats, const agg::AuditRegistry* audit) {
+  expects(nodes.size() == group.size(), "one node per group member expected");
+
+  RunMeasurement m;
+  m.group_size = group.size();
+  m.network_messages = net_stats.messages_sent;
+  m.true_value = votes.exact_partial_all().value(kind);
+
+  const auto n = static_cast<double>(group.size());
+  double completeness_sum = 0.0;
+  double error_sum = 0.0;
+  double min_completeness = 1.0;
+
+  for (const auto& node : nodes) {
+    m.protocol_messages += node->messages_sent();
+    m.max_rounds = std::max(m.max_rounds, node->rounds_executed());
+    if (!group.is_alive(node->self())) continue;
+    ++m.survivors;
+
+    double completeness = 0.0;
+    if (node->finished()) {
+      ++m.finished_nodes;
+      const NodeOutcome& out = node->outcome();
+      completeness = static_cast<double>(out.estimate.count()) / n;
+      if (!out.estimate.empty()) {
+        error_sum += std::abs(out.estimate.value(kind) - m.true_value);
+      }
+      m.last_finish = std::max(m.last_finish, out.finish_time);
+      if (audit != nullptr && out.audit_token != agg::kNoAuditToken) {
+        // Cross-check: the count-based completeness must equal the audited
+        // provenance set size, or the partial was corrupted along the way.
+        ensures(audit->votes_behind(out.audit_token) == out.estimate.count(),
+                "estimate count disagrees with audited vote set");
+      }
+    }
+    completeness_sum += completeness;
+    min_completeness = std::min(min_completeness, completeness);
+  }
+
+  if (m.survivors > 0) {
+    m.mean_completeness = completeness_sum / static_cast<double>(m.survivors);
+    m.min_completeness = min_completeness;
+  }
+  m.mean_incompleteness = 1.0 - m.mean_completeness;
+  if (m.finished_nodes > 0) {
+    m.mean_abs_error = error_sum / static_cast<double>(m.finished_nodes);
+  }
+  if (audit != nullptr) m.audit_violations = audit->violation_count();
+  return m;
+}
+
+}  // namespace gridbox::protocols

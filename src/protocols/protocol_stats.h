@@ -1,0 +1,50 @@
+// Run-level measurement: turns per-node outcomes into the paper's metrics.
+//
+// Completeness (§2) is "the percentage of group member votes taken into
+// account in the final global function value calculated at a random member".
+// Per node that is the partial's count() / N — exact because merges are over
+// disjoint sets (the audit registry verifies this; any violation is surfaced
+// here). A surviving member with no estimate at all counts as completeness 0;
+// crashed members are not sampled.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/agg/audit.h"
+#include "src/agg/vote.h"
+#include "src/membership/group.h"
+#include "src/net/stats.h"
+#include "src/protocols/node.h"
+
+namespace gridbox::protocols {
+
+struct RunMeasurement {
+  std::size_t group_size = 0;
+  std::size_t survivors = 0;        ///< members alive at the end of the run
+  std::size_t finished_nodes = 0;   ///< survivors that delivered an estimate
+
+  double mean_completeness = 0.0;   ///< avg over survivors (unfinished = 0)
+  double min_completeness = 0.0;
+  double mean_incompleteness = 1.0;
+
+  /// Mean |node estimate − true aggregate| over survivors with an estimate;
+  /// the "accuracy" interpretation of completeness (§2).
+  double mean_abs_error = 0.0;
+  double true_value = 0.0;
+
+  std::uint64_t protocol_messages = 0;  ///< sum of per-node send counts
+  std::uint64_t network_messages = 0;   ///< accepted by the transport
+  std::uint64_t max_rounds = 0;         ///< slowest node's round count
+  SimTime last_finish = SimTime::zero();
+  std::uint64_t audit_violations = 0;   ///< nonzero = double counting bug
+};
+
+[[nodiscard]] RunMeasurement measure_run(
+    const membership::Group& group,
+    const std::vector<std::unique_ptr<ProtocolNode>>& nodes,
+    const agg::VoteTable& votes, agg::AggregateKind kind,
+    const net::NetworkStats& net_stats, const agg::AuditRegistry* audit);
+
+}  // namespace gridbox::protocols

@@ -1,0 +1,310 @@
+#include "src/runner/cli.h"
+
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/runner/experiment.h"
+#include "src/runner/stats.h"
+#include "src/runner/table.h"
+
+namespace gridbox::runner {
+
+namespace {
+
+struct Parser {
+  CliOptions options;
+  std::string error;
+
+  [[nodiscard]] bool fail(const std::string& message) {
+    error = message;
+    return false;
+  }
+
+  [[nodiscard]] bool parse_double(const std::string& flag,
+                                  const std::string& value, double* out) {
+    try {
+      std::size_t used = 0;
+      *out = std::stod(value, &used);
+      if (used != value.size()) return fail(flag + ": not a number: " + value);
+    } catch (const std::exception&) {
+      return fail(flag + ": not a number: " + value);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool parse_uint(const std::string& flag,
+                                const std::string& value, std::uint64_t* out) {
+    try {
+      std::size_t used = 0;
+      const long long parsed = std::stoll(value, &used);
+      if (used != value.size() || parsed < 0) {
+        return fail(flag + ": not a non-negative integer: " + value);
+      }
+      *out = static_cast<std::uint64_t>(parsed);
+    } catch (const std::exception&) {
+      return fail(flag + ": not a non-negative integer: " + value);
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool parse_protocol(const std::string& value) {
+    static const std::map<std::string, ProtocolKind> kNames = {
+        {"hier-gossip", ProtocolKind::kHierGossip},
+        {"all-to-all", ProtocolKind::kFullyDistributed},
+        {"centralized", ProtocolKind::kCentralized},
+        {"leader", ProtocolKind::kLeaderElection},
+        {"committee", ProtocolKind::kCommittee},
+    };
+    const auto it = kNames.find(value);
+    if (it == kNames.end()) return fail("--protocol: unknown: " + value);
+    options.config.protocol = it->second;
+    return true;
+  }
+
+  [[nodiscard]] bool parse_aggregate(const std::string& value) {
+    static const std::map<std::string, agg::AggregateKind> kNames = {
+        {"average", agg::AggregateKind::kAverage},
+        {"sum", agg::AggregateKind::kSum},
+        {"min", agg::AggregateKind::kMin},
+        {"max", agg::AggregateKind::kMax},
+        {"count", agg::AggregateKind::kCount},
+        {"range", agg::AggregateKind::kRange},
+        {"stddev", agg::AggregateKind::kStdDev},
+    };
+    const auto it = kNames.find(value);
+    if (it == kNames.end()) return fail("--aggregate: unknown: " + value);
+    options.config.aggregate = it->second;
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string usage_text() {
+  return R"(gridbox_sim — one-shot aggregation experiments (DSN'01 reproduction)
+
+usage: gridbox_sim [flags]
+
+protocol
+  --protocol NAME        hier-gossip (default) | all-to-all | centralized |
+                         leader | committee
+  --committee-size N     committee size K' for --protocol committee (default 3)
+
+group & hierarchy
+  --n N                  group size (default 200)
+  --k K                  members per grid box / tree fanout (default 4)
+  --view-coverage F      fraction of members in each view, (0,1] (default 1)
+  --hash NAME            fair (default) | topo   (topo assigns positions)
+
+gossip tuning
+  --m M                  gossipees per round (default 2)
+  --c C                  rounds-per-phase multiplier (default 1.0)
+  --rounds-per-phase R   override the round formula with exactly R rounds
+  --exchange MODE        full (default) | single  (values per message)
+  --no-early-bump        synchronous phases (analysis model)
+  --no-linger            terminate on final-phase saturation
+
+faults
+  --loss P               iid unicast loss probability (default 0.25)
+  --partition-loss P     soft-partition cross loss; unset = no partition
+  --pf P                 per-round member crash probability (default 0.001)
+
+workload & measurement
+  --workload NAME        uniform (default) | normal | field
+  --aggregate NAME       average (default) | sum | min | max | count |
+                         range | stddev
+  --audit                verify no-double-counting per run
+  --seed S               root seed (default 1); run r uses seed S+r
+  --runs R               independent runs (default 1)
+  --csv PATH             also write per-run rows as CSV
+
+  --help                 this text
+)";
+}
+
+CliParseResult parse_cli(const std::vector<std::string>& args) {
+  Parser p;
+  ExperimentConfig& config = p.options.config;
+
+  std::size_t i = 0;
+  const auto next_value = [&](const std::string& flag,
+                              std::string* out) -> bool {
+    if (i + 1 >= args.size()) return p.fail(flag + ": missing value");
+    *out = args[++i];
+    return true;
+  };
+
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    std::string value;
+    double d = 0.0;
+    std::uint64_t u = 0;
+
+    if (flag == "--help" || flag == "-h") {
+      p.options.show_help = true;
+      return CliParseResult{p.options, ""};
+    } else if (flag == "--protocol") {
+      if (!next_value(flag, &value) || !p.parse_protocol(value)) break;
+    } else if (flag == "--aggregate") {
+      if (!next_value(flag, &value) || !p.parse_aggregate(value)) break;
+    } else if (flag == "--n") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      config.group_size = static_cast<std::size_t>(u);
+    } else if (flag == "--k") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      config.gossip.k = static_cast<std::uint32_t>(u);
+      config.hierarchy_k = static_cast<std::uint32_t>(u);
+    } else if (flag == "--m") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      config.gossip.fanout_m = static_cast<std::uint32_t>(u);
+    } else if (flag == "--c") {
+      if (!next_value(flag, &value) || !p.parse_double(flag, value, &d)) break;
+      config.gossip.round_multiplier_c = d;
+    } else if (flag == "--rounds-per-phase") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      config.gossip.rounds_per_phase_override = u;
+    } else if (flag == "--exchange") {
+      if (!next_value(flag, &value)) break;
+      if (value == "full") {
+        config.gossip.exchange_mode =
+            protocols::gossip::ExchangeMode::kFullState;
+      } else if (value == "single") {
+        config.gossip.exchange_mode =
+            protocols::gossip::ExchangeMode::kSingleValue;
+      } else {
+        (void)p.fail("--exchange: unknown: " + value);
+        break;
+      }
+    } else if (flag == "--no-early-bump") {
+      config.gossip.early_bump = false;
+    } else if (flag == "--no-linger") {
+      config.gossip.final_phase_linger = false;
+    } else if (flag == "--committee-size") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      config.committee.committee_size = static_cast<std::uint32_t>(u);
+    } else if (flag == "--view-coverage") {
+      if (!next_value(flag, &value) || !p.parse_double(flag, value, &d)) break;
+      config.view_coverage = d;
+    } else if (flag == "--hash") {
+      if (!next_value(flag, &value)) break;
+      if (value == "fair") {
+        config.hash = HashKind::kFair;
+      } else if (value == "topo") {
+        config.hash = HashKind::kTopoAware;
+        config.assign_positions = true;
+      } else {
+        (void)p.fail("--hash: unknown: " + value);
+        break;
+      }
+    } else if (flag == "--loss") {
+      if (!next_value(flag, &value) || !p.parse_double(flag, value, &d)) break;
+      config.ucast_loss = d;
+    } else if (flag == "--partition-loss") {
+      if (!next_value(flag, &value) || !p.parse_double(flag, value, &d)) break;
+      config.partition_loss = d;
+    } else if (flag == "--pf") {
+      if (!next_value(flag, &value) || !p.parse_double(flag, value, &d)) break;
+      config.crash_probability = d;
+    } else if (flag == "--workload") {
+      if (!next_value(flag, &value)) break;
+      if (value == "uniform") {
+        config.workload = WorkloadKind::kUniform;
+      } else if (value == "normal") {
+        config.workload = WorkloadKind::kNormal;
+      } else if (value == "field") {
+        config.workload = WorkloadKind::kField;
+        config.assign_positions = true;
+      } else {
+        (void)p.fail("--workload: unknown: " + value);
+        break;
+      }
+    } else if (flag == "--audit") {
+      config.audit = true;
+    } else if (flag == "--seed") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      config.seed = u;
+    } else if (flag == "--runs") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      if (u == 0) {
+        (void)p.fail("--runs: must be at least 1");
+        break;
+      }
+      p.options.runs = static_cast<std::size_t>(u);
+    } else if (flag == "--csv") {
+      if (!next_value(flag, &value)) break;
+      p.options.csv_path = value;
+    } else {
+      (void)p.fail("unknown flag: " + flag);
+      break;
+    }
+  }
+
+  if (!p.error.empty()) return CliParseResult{std::nullopt, p.error};
+  return CliParseResult{p.options, ""};
+}
+
+int run_cli(const CliOptions& options) {
+  if (options.show_help) {
+    std::fputs(usage_text().c_str(), stdout);
+    return 0;
+  }
+
+  Table table({"run", "seed", "completeness", "incompleteness", "survivors",
+               "true value", "mean abs err", "msgs", "rounds"});
+  std::vector<double> completeness;
+  std::vector<double> incompleteness;
+  std::uint64_t audit_violations = 0;
+
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    ExperimentConfig config = options.config;
+    config.seed = options.config.seed + run;
+    RunResult result{};
+    try {
+      result = run_experiment(config);
+    } catch (const std::exception& ex) {
+      std::fprintf(stderr, "error: %s\n", ex.what());
+      return 1;
+    }
+    const auto& m = result.measurement;
+    completeness.push_back(m.mean_completeness);
+    incompleteness.push_back(m.mean_incompleteness);
+    audit_violations += m.audit_violations;
+    table.add_row({std::to_string(run), std::to_string(config.seed),
+                   Table::num(m.mean_completeness),
+                   Table::num(m.mean_incompleteness),
+                   std::to_string(m.survivors),
+                   Table::num(m.true_value), Table::num(m.mean_abs_error),
+                   std::to_string(m.network_messages),
+                   std::to_string(m.max_rounds)});
+  }
+
+  std::fputs(table.to_text().c_str(), stdout);
+  if (!options.csv_path.empty()) {
+    if (table.write_csv(options.csv_path)) {
+      std::printf("[csv] %s\n", options.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.csv_path.c_str());
+      return 1;
+    }
+  }
+
+  const SummaryStats c = summarize(completeness);
+  const SummaryStats q = summarize(incompleteness);
+  std::printf(
+      "\nsummary over %zu run(s): completeness %.6f +/- %.6f (95%% CI), "
+      "incompleteness mean %.3g geomean %.3g\n",
+      options.runs, c.mean, c.ci95_half_width, q.mean,
+      geometric_mean(incompleteness));
+  if (options.config.audit) {
+    std::printf("audit: %llu double-counting violations%s\n",
+                static_cast<unsigned long long>(audit_violations),
+                audit_violations == 0 ? " (clean)" : " — BUG");
+  }
+  return audit_violations == 0 ? 0 : 2;
+}
+
+}  // namespace gridbox::runner

@@ -1,0 +1,37 @@
+// Command-line front end for the experiment runner (the `gridbox_sim` tool).
+//
+// The parser is a library function so tests can exercise it without spawning
+// processes; the tool's main() is a thin wrapper (tools/gridbox_sim.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/runner/config.h"
+
+namespace gridbox::runner {
+
+struct CliOptions {
+  ExperimentConfig config;
+  std::size_t runs = 1;
+  std::string csv_path;  ///< empty = no CSV output
+  bool show_help = false;
+};
+
+struct CliParseResult {
+  std::optional<CliOptions> options;  ///< set on success
+  std::string error;                  ///< set on failure
+};
+
+/// Parses gridbox_sim flags (see usage_text()). `args` excludes argv[0].
+[[nodiscard]] CliParseResult parse_cli(const std::vector<std::string>& args);
+
+/// The --help text.
+[[nodiscard]] std::string usage_text();
+
+/// Runs the experiment(s) described by `options` and prints per-run rows and
+/// a summary to stdout. Returns a process exit code.
+int run_cli(const CliOptions& options);
+
+}  // namespace gridbox::runner

@@ -1,0 +1,31 @@
+#include "src/runner/config.h"
+
+namespace gridbox::runner {
+
+std::string to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kHierGossip: return "hier-gossip";
+    case ProtocolKind::kFullyDistributed: return "all-to-all";
+    case ProtocolKind::kCentralized: return "centralized";
+    case ProtocolKind::kLeaderElection: return "leader";
+    case ProtocolKind::kCommittee: return "committee";
+  }
+  return "unknown";
+}
+
+SimTime ExperimentConfig::round_duration() const {
+  switch (protocol) {
+    case ProtocolKind::kHierGossip:
+      return gossip.round_duration;
+    case ProtocolKind::kFullyDistributed:
+      return fully_distributed.round_duration;
+    case ProtocolKind::kCentralized:
+      return centralized.round_duration;
+    case ProtocolKind::kLeaderElection:
+    case ProtocolKind::kCommittee:
+      return committee.round_duration;
+  }
+  return SimTime::millis(10);
+}
+
+}  // namespace gridbox::runner

@@ -1,0 +1,223 @@
+#include "src/runner/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/agg/vote.h"
+#include "src/common/ensure.h"
+#include "src/hashing/fair_hash.h"
+#include "src/hashing/topo_hash.h"
+#include "src/hierarchy/hierarchy.h"
+#include "src/membership/group.h"
+#include "src/net/network.h"
+#include "src/protocols/baseline/leader_election.h"
+#include "src/protocols/gossip/hier_gossip.h"
+#include "src/sim/simulator.h"
+#include "src/analysis/epidemic.h"
+
+namespace gridbox::runner {
+
+namespace {
+
+// Independent rng stream tags.
+constexpr std::uint64_t kVoteStream = 0x01;
+constexpr std::uint64_t kNetStream = 0x02;
+constexpr std::uint64_t kCrashStream = 0x03;
+constexpr std::uint64_t kPositionStream = 0x04;
+constexpr std::uint64_t kHashSaltStream = 0x05;
+constexpr std::uint64_t kViewStream = 0x06;
+constexpr std::uint64_t kNodeStreamBase = 0x1000;
+
+// The view a given member starts with: complete, or an independent random
+// subset of the others at the configured coverage (self always included).
+[[nodiscard]] membership::View make_view(const ExperimentConfig& config,
+                                         const membership::Group& group,
+                                         MemberId self, Rng& view_rng) {
+  if (config.view_coverage >= 1.0) return group.full_view();
+  expects(config.view_coverage > 0.0, "view coverage must be positive");
+  expects(config.protocol == ProtocolKind::kHierGossip ||
+              config.protocol == ProtocolKind::kFullyDistributed,
+          "partial views: leader/committee baselines need complete views");
+  std::vector<MemberId> known;
+  known.push_back(self);
+  for (const MemberId m : group.members()) {
+    if (m != self && view_rng.bernoulli(config.view_coverage)) {
+      known.push_back(m);
+    }
+  }
+  return membership::View{std::move(known)};
+}
+
+[[nodiscard]] agg::VoteTable make_votes(const ExperimentConfig& config,
+                                        const membership::Group& group,
+                                        Rng& rng) {
+  switch (config.workload) {
+    case WorkloadKind::kUniform:
+      return agg::uniform_votes(config.group_size, rng, config.vote_lo,
+                                config.vote_hi);
+    case WorkloadKind::kNormal:
+      return agg::normal_votes(config.group_size, rng, config.vote_mu,
+                               config.vote_sigma);
+    case WorkloadKind::kField:
+      expects(group.has_positions(),
+              "field workload requires assign_positions");
+      return agg::field_votes(
+          config.group_size, [&group](MemberId m) { return group.position(m); },
+          rng, config.vote_mu, config.vote_sigma, config.vote_sigma * 0.1);
+  }
+  ensures(false, "unhandled workload kind");
+  return agg::uniform_votes(config.group_size, rng, 0.0, 1.0);
+}
+
+[[nodiscard]] std::unique_ptr<net::FaultModel> make_faults(
+    const ExperimentConfig& config) {
+  if (config.partition_loss >= 0.0) {
+    return net::PartitionLoss::split_at(
+        static_cast<MemberId::underlying>(config.group_size / 2),
+        config.ucast_loss, config.partition_loss);
+  }
+  if (config.ucast_loss <= 0.0) return std::make_unique<net::NoLoss>();
+  return std::make_unique<net::IndependentLoss>(config.ucast_loss);
+}
+
+[[nodiscard]] std::unique_ptr<protocols::ProtocolNode> make_node(
+    const ExperimentConfig& config, MemberId id, double vote,
+    membership::View view, protocols::NodeEnv env, Rng rng) {
+  switch (config.protocol) {
+    case ProtocolKind::kHierGossip:
+      return std::make_unique<protocols::gossip::HierGossipNode>(
+          id, vote, std::move(view), env, rng, config.gossip);
+    case ProtocolKind::kFullyDistributed:
+      return std::make_unique<protocols::baseline::FullyDistributedNode>(
+          id, vote, std::move(view), env, rng, config.fully_distributed);
+    case ProtocolKind::kCentralized:
+      return std::make_unique<protocols::baseline::CentralizedNode>(
+          id, vote, std::move(view), env, rng, config.centralized);
+    case ProtocolKind::kLeaderElection:
+      return std::make_unique<protocols::baseline::LeaderElectionNode>(
+          id, vote, std::move(view), env, rng, config.committee);
+    case ProtocolKind::kCommittee:
+      return std::make_unique<protocols::baseline::CommitteeNode>(
+          id, vote, std::move(view), env, rng, config.committee);
+  }
+  ensures(false, "unhandled protocol kind");
+  return nullptr;
+}
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& config) {
+  expects(config.group_size >= 2, "need at least two members");
+  const Rng root(config.seed);
+
+  membership::Group group(config.group_size);
+  if (config.assign_positions || config.hash == HashKind::kTopoAware ||
+      config.workload == WorkloadKind::kField) {
+    Rng pos_rng = root.derive(kPositionStream);
+    group.scatter_positions(pos_rng);
+  }
+
+  Rng vote_rng = root.derive(kVoteStream);
+  const agg::VoteTable votes = make_votes(config, group, vote_rng);
+
+  // The well-known hash H: same salt at every member (it is group-wide
+  // knowledge), different across seeds so box assignments vary per run.
+  std::unique_ptr<hashing::HashFunction> hash;
+  if (config.hash == HashKind::kTopoAware) {
+    expects(group.has_positions(), "topo-aware hash requires positions");
+    std::vector<Position> sample;
+    sample.reserve(group.size());
+    for (const MemberId m : group.members()) sample.push_back(group.position(m));
+    hash = std::make_unique<hashing::TopoAwareHash>(
+        [&group](MemberId m) { return group.position(m); }, sample);
+  } else {
+    Rng salt_rng = root.derive(kHashSaltStream);
+    hash = std::make_unique<hashing::FairHash>(salt_rng.raw());
+  }
+
+  const std::uint32_t k = config.protocol == ProtocolKind::kHierGossip
+                              ? config.gossip.k
+                              : config.hierarchy_k;
+  hierarchy::GridBoxHierarchy hier(config.group_size, k, *hash);
+
+  sim::Simulator simulator;
+  net::SimNetwork network(
+      simulator, make_faults(config),
+      std::make_unique<net::UniformLatency>(config.latency_lo,
+                                            config.latency_hi),
+      root.derive(kNetStream));
+  network.set_liveness([&group](MemberId m) { return group.is_alive(m); });
+  if (group.has_positions()) {
+    network.set_distance([&group](MemberId a, MemberId b) {
+      return std::sqrt(squared_distance(group.position(a), group.position(b)));
+    });
+  }
+
+  std::unique_ptr<agg::AuditRegistry> audit;
+  if (config.audit) {
+    audit = std::make_unique<agg::AuditRegistry>(config.group_size);
+  }
+
+  protocols::NodeEnv env;
+  env.simulator = &simulator;
+  env.network = &network;
+  env.hierarchy = &hier;
+  env.audit = audit.get();
+  env.is_alive = [&group](MemberId m) { return group.is_alive(m); };
+  env.kind = config.aggregate;
+
+  Rng view_rng = root.derive(kViewStream);
+  std::vector<std::unique_ptr<protocols::ProtocolNode>> nodes;
+  nodes.reserve(config.group_size);
+  for (const MemberId m : group.members()) {
+    auto node = make_node(config, m, votes.of(m),
+                          make_view(config, group, m, view_rng), env,
+                          root.derive(kNodeStreamBase + m.value()));
+    network.attach(m, *node);
+    nodes.push_back(std::move(node));
+  }
+  for (auto& node : nodes) node->start(SimTime::zero());
+
+  // Crash clock: one tick per gossip round, applying pf to each live member
+  // (paper §7: crash without recovery). Stops once no live member is still
+  // running the protocol, letting the simulation drain and finish.
+  const membership::PerRoundCrash crash_model(config.crash_probability);
+  if (config.crash_probability > 0.0) {
+    auto crash_rng = std::make_shared<Rng>(root.derive(kCrashStream));
+    auto round = std::make_shared<std::uint64_t>(0);
+    simulator.schedule_periodic(
+        config.round_duration(), config.round_duration(),
+        [&group, &nodes, &crash_model, crash_rng, round]() {
+          (void)group.apply_round_crashes(crash_model, (*round)++, *crash_rng);
+          for (const auto& node : nodes) {
+            if (!node->finished() && group.is_alive(node->self())) return true;
+          }
+          return false;
+        });
+  }
+
+  (void)simulator.run();
+
+  RunResult result;
+  result.measurement = protocols::measure_run(group, nodes, votes,
+                                              config.aggregate,
+                                              network.stats(), audit.get());
+  result.network = network.stats();
+  if (group.has_positions() && network.stats().messages_sent > 0) {
+    result.mean_link_distance =
+        network.stats().link_distance_sum /
+        static_cast<double>(network.stats().messages_sent);
+  }
+  if (config.protocol == ProtocolKind::kHierGossip) {
+    result.effective_b = analysis::effective_b(
+        config.gossip.fanout_m, std::max(0.0, config.ucast_loss),
+        static_cast<double>(config.gossip.rounds_per_phase(config.group_size)),
+        config.gossip.k, config.group_size);
+  }
+  return result;
+}
+
+}  // namespace gridbox::runner

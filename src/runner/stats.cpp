@@ -1,0 +1,41 @@
+#include "src/runner/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::runner {
+
+SummaryStats summarize(std::vector<double> samples) {
+  expects(!samples.empty(), "cannot summarize zero samples");
+  SummaryStats s;
+  s.n = samples.size();
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+
+  double sq = 0.0;
+  for (const double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(sq / static_cast<double>(s.n - 1)) : 0.0;
+  s.ci95_half_width =
+      s.n > 1 ? 1.96 * s.stddev / std::sqrt(static_cast<double>(s.n)) : 0.0;
+
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  const std::size_t mid = s.n / 2;
+  s.median =
+      s.n % 2 == 1 ? samples[mid] : 0.5 * (samples[mid - 1] + samples[mid]);
+  return s;
+}
+
+double geometric_mean(const std::vector<double>& samples, double floor) {
+  expects(!samples.empty(), "cannot summarize zero samples");
+  expects(floor > 0.0, "floor must be positive");
+  double log_sum = 0.0;
+  for (const double v : samples) log_sum += std::log(std::max(v, floor));
+  return std::exp(log_sum / static_cast<double>(samples.size()));
+}
+
+}  // namespace gridbox::runner

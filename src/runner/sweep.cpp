@@ -1,0 +1,57 @@
+#include "src/runner/sweep.h"
+
+#include "src/common/ensure.h"
+
+namespace gridbox::runner {
+
+SweepResult run_sweep(
+    const ExperimentConfig& base, std::string x_label,
+    const std::vector<double>& xs,
+    const std::function<void(ExperimentConfig&, double)>& apply,
+    std::size_t runs_per_point) {
+  expects(!xs.empty(), "sweep needs at least one x value");
+  expects(runs_per_point >= 1, "sweep needs at least one run per point");
+
+  SweepResult result;
+  result.x_label = std::move(x_label);
+  result.points.reserve(xs.size());
+
+  std::uint64_t seed_cursor = base.seed;
+  for (const double x : xs) {
+    SweepPoint point;
+    point.x = x;
+
+    std::vector<double> incompleteness;
+    std::vector<double> completeness;
+    std::vector<double> messages;
+    std::vector<double> rounds;
+    std::vector<double> errors;
+    double b_sum = 0.0;
+
+    for (std::size_t run = 0; run < runs_per_point; ++run) {
+      ExperimentConfig config = base;
+      apply(config, x);
+      config.seed = seed_cursor++;
+      const RunResult r = run_experiment(config);
+      incompleteness.push_back(r.measurement.mean_incompleteness);
+      completeness.push_back(r.measurement.mean_completeness);
+      messages.push_back(static_cast<double>(r.measurement.network_messages));
+      rounds.push_back(static_cast<double>(r.measurement.max_rounds));
+      errors.push_back(r.measurement.mean_abs_error);
+      b_sum += r.effective_b;
+      point.audit_violations += r.measurement.audit_violations;
+    }
+
+    point.incompleteness = summarize(incompleteness);
+    point.incompleteness_geomean = geometric_mean(incompleteness);
+    point.completeness = summarize(completeness);
+    point.messages = summarize(messages);
+    point.rounds = summarize(rounds);
+    point.abs_error = summarize(errors);
+    point.mean_effective_b = b_sum / static_cast<double>(runs_per_point);
+    result.points.push_back(point);
+  }
+  return result;
+}
+
+}  // namespace gridbox::runner

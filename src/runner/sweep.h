@@ -1,0 +1,45 @@
+// Parameter sweeps: the machinery behind every figure reproduction.
+//
+// A sweep varies one knob across a list of x values; at each point it runs
+// `runs_per_point` independent seeds and summarizes the measured
+// incompleteness (and auxiliary metrics). Bench binaries print the resulting
+// series — the same rows the paper plots.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/runner/config.h"
+#include "src/runner/experiment.h"
+#include "src/runner/stats.h"
+
+namespace gridbox::runner {
+
+struct SweepPoint {
+  double x = 0.0;
+  SummaryStats incompleteness;       ///< 1 − mean completeness, per run
+  double incompleteness_geomean = 0.0;  ///< log-scale-friendly average
+  SummaryStats completeness;
+  SummaryStats messages;             ///< network messages per run
+  SummaryStats rounds;               ///< slowest node's rounds per run
+  SummaryStats abs_error;            ///< |estimate − truth| per run
+  double mean_effective_b = 0.0;
+  std::uint64_t audit_violations = 0;  ///< summed across runs (must be 0)
+};
+
+struct SweepResult {
+  std::string x_label;
+  std::vector<SweepPoint> points;
+};
+
+/// Runs the sweep. `apply` mutates a copy of `base` for the given x; seeds
+/// are base.seed, base.seed+1, ... per run, offset per point so no two
+/// points share a seed.
+[[nodiscard]] SweepResult run_sweep(
+    const ExperimentConfig& base, std::string x_label,
+    const std::vector<double>& xs,
+    const std::function<void(ExperimentConfig&, double)>& apply,
+    std::size_t runs_per_point);
+
+}  // namespace gridbox::runner

@@ -1,0 +1,100 @@
+#include "src/runner/table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::runner {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  expects(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  expects(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v) {
+  const double mag = std::abs(v);
+  if (v != 0.0 && (mag < 1e-3 || mag >= 1e7)) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3e", v);
+    return buf;
+  }
+  return num(v, mag >= 100.0 ? 1 : 4);
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  const auto emit_row = [&width](std::string& out,
+                                 const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) out.append(width[c] - row[c].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(out, header_);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    rule += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(out, row);
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char ch : field) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::string out;
+  const auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += csv_escape(row[c]);
+      if (c + 1 < row.size()) out += ',';
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace gridbox::runner

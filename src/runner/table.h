@@ -1,0 +1,39 @@
+// Aligned console tables and CSV export for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gridbox::runner {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double compactly: scientific for very small/large magnitudes,
+  /// fixed otherwise.
+  [[nodiscard]] static std::string num(double v);
+  [[nodiscard]] static std::string num(double v, int precision);
+
+  /// Renders with aligned columns (2-space gutters).
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as CSV (header + rows). Fields containing commas or quotes are
+  /// quoted.
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the CSV form to `path` (overwrites). Returns false on IO error.
+  bool write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridbox::runner

@@ -1,0 +1,32 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::sim {
+
+void EventQueue::push(SimTime time, Action action) {
+  heap_.push(Event{time, next_sequence_++, std::move(action)});
+}
+
+Event EventQueue::pop() {
+  expects(!heap_.empty(), "pop on empty event queue");
+  // std::priority_queue::top() returns const&; the action must be moved out,
+  // so copy the header fields then const_cast the (about to be popped) slot.
+  Event event = std::move(const_cast<Event&>(heap_.top()));
+  heap_.pop();
+  return event;
+}
+
+SimTime EventQueue::next_time() const {
+  expects(!heap_.empty(), "next_time on empty event queue");
+  return heap_.top().time;
+}
+
+void EventQueue::clear() {
+  heap_ = {};
+  next_sequence_ = 0;
+}
+
+}  // namespace gridbox::sim

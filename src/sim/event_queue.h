@@ -1,0 +1,57 @@
+// Deterministically ordered discrete-event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace gridbox::sim {
+
+/// Action executed when an event fires.
+using Action = std::function<void()>;
+
+/// A scheduled event. Events at equal times fire in scheduling order: the
+/// monotone sequence number makes the whole simulation a deterministic
+/// function of the seed, independent of container or heap internals.
+struct Event {
+  SimTime time;
+  std::uint64_t sequence = 0;
+  Action action;
+};
+
+/// Min-heap of events ordered by (time, sequence).
+class EventQueue {
+ public:
+  /// Enqueues an action at an absolute simulated time.
+  void push(SimTime time, Action action);
+
+  /// Removes and returns the earliest event. Requires !empty().
+  [[nodiscard]] Event pop();
+
+  /// Time of the earliest event. Requires !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Total events ever pushed (also the next sequence number).
+  [[nodiscard]] std::uint64_t total_pushed() const { return next_sequence_; }
+
+  void clear();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace gridbox::sim

@@ -1,0 +1,72 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::sim {
+
+void Simulator::schedule_at(SimTime time, Action action) {
+  if (time < now_) time = now_;
+  queue_.push(time, std::move(action));
+}
+
+void Simulator::schedule_after(SimTime delay, Action action) {
+  expects(delay.ticks() >= 0, "negative delay");
+  queue_.push(now_ + delay, std::move(action));
+}
+
+namespace {
+
+// Self-rescheduling periodic action. Owns the tick callable by value and
+// re-enqueues a copy of itself while the tick returns true, so there is no
+// shared-ownership cycle and the chain dies naturally with the queue.
+struct Repeater {
+  Simulator* simulator;
+  SimTime interval;
+  std::function<bool()> tick;
+
+  void operator()() {
+    if (tick()) simulator->schedule_after(interval, Repeater{*this});
+  }
+};
+
+}  // namespace
+
+void Simulator::schedule_periodic(SimTime start, SimTime interval,
+                                  std::function<bool()> tick) {
+  expects(interval.ticks() > 0, "periodic interval must be positive");
+  schedule_at(start, Repeater{this, interval, std::move(tick)});
+}
+
+std::uint64_t Simulator::run() {
+  std::uint64_t count = 0;
+  while (step()) {
+    ++count;
+    ensures(count <= event_limit_, "event limit exceeded: likely a runaway reschedule loop");
+  }
+  return count;
+}
+
+std::uint64_t Simulator::run_until(SimTime deadline) {
+  std::uint64_t count = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    (void)step();
+    ++count;
+    ensures(count <= event_limit_, "event limit exceeded: likely a runaway reschedule loop");
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event event = queue_.pop();
+  ensures(event.time >= now_, "event queue returned an event from the past");
+  now_ = event.time;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+}  // namespace gridbox::sim

@@ -1,0 +1,62 @@
+// The simulation engine: a virtual clock driving an event queue.
+//
+// All gridbox protocols are state machines driven by this engine; nothing in
+// the library uses wall-clock time or threads, so every run is a pure,
+// reproducible function of (configuration, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/types.h"
+#include "src/sim/event_queue.h"
+
+namespace gridbox::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules an action at an absolute time (>= now; earlier times are
+  /// clamped to now, which models "as soon as possible").
+  void schedule_at(SimTime time, Action action);
+
+  /// Schedules an action after a relative delay (>= 0).
+  void schedule_after(SimTime delay, Action action);
+
+  /// Schedules `tick` at `start` and then every `interval` until it returns
+  /// false. Each tick reschedules itself, so cancellation is by return value.
+  void schedule_periodic(SimTime start, SimTime interval,
+                         std::function<bool()> tick);
+
+  /// Runs until the queue is empty. Returns events executed.
+  std::uint64_t run();
+
+  /// Runs until the queue is empty or simulated time would exceed `deadline`.
+  /// Events at exactly `deadline` do fire.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Executes at most one event. Returns false if the queue was empty.
+  bool step();
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Hard cap on events per run() call; exceeding it throws InvariantError.
+  /// Guards against protocol bugs that reschedule forever.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  SimTime now_ = SimTime::zero();
+  EventQueue queue_;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_limit_ = 500'000'000;
+};
+
+}  // namespace gridbox::sim

@@ -1,0 +1,104 @@
+#include "src/hierarchy/address.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::hierarchy {
+namespace {
+
+TEST(CheckedPow, ComputesSmallPowers) {
+  EXPECT_EQ(checked_pow(2, 0), 1u);
+  EXPECT_EQ(checked_pow(2, 10), 1024u);
+  EXPECT_EQ(checked_pow(4, 3), 64u);
+  EXPECT_EQ(checked_pow(10, 6), 1'000'000u);
+}
+
+TEST(CheckedPow, ThrowsOnOverflow) {
+  EXPECT_THROW((void)checked_pow(2, 64), PreconditionError);
+  EXPECT_THROW((void)checked_pow(10, 20), PreconditionError);
+}
+
+TEST(CheckedPow, RequiresRadixAtLeastTwo) {
+  EXPECT_THROW((void)checked_pow(1, 3), PreconditionError);
+}
+
+TEST(GridBoxAddress, Base2DigitsMatchPaperExample) {
+  // Paper Figure 1: N = 8, K = 2 -> 4 boxes with 2-digit binary addresses.
+  EXPECT_EQ(GridBoxAddress(GridBoxId{0}, 2, 2).to_string(), "00");
+  EXPECT_EQ(GridBoxAddress(GridBoxId{1}, 2, 2).to_string(), "01");
+  EXPECT_EQ(GridBoxAddress(GridBoxId{2}, 2, 2).to_string(), "10");
+  EXPECT_EQ(GridBoxAddress(GridBoxId{3}, 2, 2).to_string(), "11");
+}
+
+TEST(GridBoxAddress, DigitsAreMostSignificantFirst) {
+  const GridBoxAddress b(GridBoxId{6}, 3, 2);  // 110
+  EXPECT_EQ(b.digit(0), 1u);
+  EXPECT_EQ(b.digit(1), 1u);
+  EXPECT_EQ(b.digit(2), 0u);
+  EXPECT_THROW((void)b.digit(3), PreconditionError);
+}
+
+TEST(GridBoxAddress, RejectsBoxOutOfRange) {
+  EXPECT_THROW((GridBoxAddress{GridBoxId{4}, 2, 2}), PreconditionError);
+  EXPECT_NO_THROW((GridBoxAddress{GridBoxId{3}, 2, 2}));
+}
+
+TEST(GridBoxAddress, Base4Addresses) {
+  const GridBoxAddress a(GridBoxId{27}, 3, 4);  // 27 = 123 base 4
+  EXPECT_EQ(a.to_string(), "123");
+  EXPECT_EQ(a.digit(0), 1u);
+  EXPECT_EQ(a.digit(1), 2u);
+  EXPECT_EQ(a.digit(2), 3u);
+}
+
+TEST(GridBoxAddress, LargeRadixDigitsPrintBracketed) {
+  const GridBoxAddress a(GridBoxId{15}, 1, 16);
+  EXPECT_EQ(a.to_string(), "[15]");
+}
+
+TEST(GridBoxAddress, SameSubtreeMatchesPrefixes) {
+  // Figure 1: boxes 00 and 01 share subtree 0*; 00 and 10 only share **.
+  const GridBoxAddress b00(GridBoxId{0}, 2, 2);
+  const GridBoxAddress b01(GridBoxId{1}, 2, 2);
+  const GridBoxAddress b10(GridBoxId{2}, 2, 2);
+
+  EXPECT_TRUE(b00.same_subtree(b00, 0));
+  EXPECT_FALSE(b00.same_subtree(b01, 0));
+  EXPECT_TRUE(b00.same_subtree(b01, 1));
+  EXPECT_FALSE(b00.same_subtree(b10, 1));
+  EXPECT_TRUE(b00.same_subtree(b10, 2));
+  EXPECT_TRUE(b00.same_subtree(b10, 99));  // root and beyond
+}
+
+TEST(GridBoxAddress, SubtreePrefixDropsLowDigits) {
+  const GridBoxAddress a(GridBoxId{27}, 3, 4);  // 123 base 4
+  EXPECT_EQ(a.subtree_prefix(0), 27u);
+  EXPECT_EQ(a.subtree_prefix(1), 6u);   // "12"
+  EXPECT_EQ(a.subtree_prefix(2), 1u);   // "1"
+  EXPECT_EQ(a.subtree_prefix(3), 0u);   // root
+}
+
+TEST(GridBoxAddress, MaskedStringMatchesPaperFigures) {
+  const GridBoxAddress b01(GridBoxId{1}, 2, 2);
+  EXPECT_EQ(b01.to_string_masked(0), "01");
+  EXPECT_EQ(b01.to_string_masked(1), "0*");
+  EXPECT_EQ(b01.to_string_masked(2), "**");
+}
+
+TEST(GridBoxAddress, MixedHierarchyComparisonThrows) {
+  const GridBoxAddress a(GridBoxId{0}, 2, 2);
+  const GridBoxAddress b(GridBoxId{0}, 3, 2);
+  EXPECT_THROW((void)a.same_subtree(b, 1), PreconditionError);
+}
+
+TEST(GridBoxAddress, ZeroDigitAddress) {
+  // A single-box hierarchy has zero-digit addresses; everything is root.
+  const GridBoxAddress a(GridBoxId{0}, 0, 4);
+  EXPECT_EQ(a.to_string(), "");
+  EXPECT_EQ(a.subtree_prefix(0), 0u);
+  EXPECT_TRUE(a.same_subtree(a, 0));
+}
+
+}  // namespace
+}  // namespace gridbox::hierarchy

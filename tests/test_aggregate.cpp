@@ -1,0 +1,229 @@
+#include "src/agg/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/agg/codec.h"
+#include "src/agg/vote.h"
+#include "src/common/ensure.h"
+#include "src/common/rng.h"
+
+namespace gridbox::agg {
+namespace {
+
+Partial partial_of(const std::vector<double>& votes) {
+  Partial p;
+  for (const double v : votes) p.merge(Partial::from_vote(v));
+  return p;
+}
+
+TEST(Partial, EmptyIsIdentity) {
+  Partial p;
+  EXPECT_TRUE(p.empty());
+  Partial q = Partial::from_vote(3.5);
+  q.merge(Partial{});
+  EXPECT_EQ(q, Partial::from_vote(3.5));
+  Partial r;
+  r.merge(Partial::from_vote(3.5));
+  EXPECT_EQ(r, Partial::from_vote(3.5));
+}
+
+TEST(Partial, SingleVoteValues) {
+  const Partial p = Partial::from_vote(7.0);
+  EXPECT_EQ(p.count(), 1u);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kAverage), 7.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kSum), 7.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kMin), 7.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kMax), 7.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kCount), 1.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kRange), 0.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kStdDev), 0.0);
+}
+
+TEST(Partial, KnownSetValues) {
+  const Partial p = partial_of({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kAverage), 5.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kSum), 20.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kMin), 2.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kMax), 8.0);
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kRange), 6.0);
+  EXPECT_NEAR(p.value(AggregateKind::kStdDev), std::sqrt(5.0), 1e-12);
+}
+
+TEST(Partial, ValueOfEmptyThrowsExceptCount) {
+  Partial p;
+  EXPECT_DOUBLE_EQ(p.value(AggregateKind::kCount), 0.0);
+  EXPECT_THROW((void)p.value(AggregateKind::kAverage), PreconditionError);
+  EXPECT_THROW((void)p.value(AggregateKind::kMin), PreconditionError);
+}
+
+TEST(Partial, MergeIsCommutative) {
+  const Partial a = partial_of({1.0, 2.0, 3.0});
+  const Partial b = partial_of({10.0, -5.0});
+  Partial ab = a;
+  ab.merge(b);
+  Partial ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(Partial, MergeIsAssociative) {
+  const Partial a = partial_of({1.0});
+  const Partial b = partial_of({2.0, 3.0});
+  const Partial c = partial_of({4.0, 5.0, 6.0});
+  Partial left = a;
+  left.merge(b);
+  left.merge(c);
+  Partial bc = b;
+  bc.merge(c);
+  Partial right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+}
+
+// The paper's composability law: f(W1 ∪ W2) = g(f(W1), f(W2)) for disjoint
+// vote sets — property-tested across random splits and all aggregate kinds.
+class ComposabilityTest
+    : public ::testing::TestWithParam<AggregateKind> {};
+
+TEST_P(ComposabilityTest, SplitMergeEqualsWhole) {
+  const AggregateKind kind = GetParam();
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.index(50);
+    std::vector<double> votes(n);
+    for (auto& v : votes) v = rng.normal(20.0, 30.0);
+
+    const std::size_t cut = rng.index(n + 1);
+    const Partial whole = partial_of(votes);
+    const Partial left =
+        partial_of({votes.begin(), votes.begin() + static_cast<long>(cut)});
+    const Partial right =
+        partial_of({votes.begin() + static_cast<long>(cut), votes.end()});
+    Partial merged = left;
+    merged.merge(right);
+
+    ASSERT_EQ(merged.count(), whole.count());
+    if (whole.count() > 0) {
+      EXPECT_NEAR(merged.value(kind), whole.value(kind),
+                  1e-9 * (1.0 + std::abs(whole.value(kind))));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ComposabilityTest,
+    ::testing::Values(AggregateKind::kAverage, AggregateKind::kSum,
+                      AggregateKind::kMin, AggregateKind::kMax,
+                      AggregateKind::kCount, AggregateKind::kRange,
+                      AggregateKind::kStdDev),
+    [](const ::testing::TestParamInfo<AggregateKind>& info) {
+      return to_string(info.param);
+    });
+
+TEST(Partial, DeserializeRejectsCorruptMinMax) {
+  EXPECT_THROW((void)Partial::deserialize(2, 10.0, 60.0, 9.0, 1.0),
+               PreconditionError);
+}
+
+TEST(Codec, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(-1234.5678);
+  const auto bytes = w.take();
+  EXPECT_EQ(bytes.size(), 1u + 4u + 8u + 8u);
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64(), -1234.5678);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Codec, TruncatedReadThrows) {
+  ByteWriter w;
+  w.u32(7);
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  (void)r.u32();
+  EXPECT_THROW((void)r.u8(), PreconditionError);
+}
+
+TEST(Codec, PartialRoundTripsExactly) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> votes(1 + rng.index(30));
+    for (auto& v : votes) v = rng.normal(0.0, 100.0);
+    const Partial original = partial_of(votes);
+
+    ByteWriter w;
+    write_partial(w, original);
+    const auto bytes = w.take();
+    EXPECT_EQ(bytes.size(), kPartialWireBytes);
+
+    ByteReader r(bytes);
+    EXPECT_EQ(read_partial(r), original);
+  }
+}
+
+TEST(Codec, EmptyPartialRoundTrips) {
+  ByteWriter w;
+  write_partial(w, Partial{});
+  const auto bytes = w.take();
+  ByteReader r(bytes);
+  EXPECT_EQ(read_partial(r), Partial{});
+}
+
+TEST(VoteTable, ExactPartialsMatchManualComputation) {
+  const VoteTable table({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(table.of(MemberId{2}), 3.0);
+  EXPECT_THROW((void)table.of(MemberId{5}), PreconditionError);
+
+  const Partial all = table.exact_partial_all();
+  EXPECT_EQ(all.count(), 5u);
+  EXPECT_DOUBLE_EQ(all.value(AggregateKind::kAverage), 3.0);
+
+  const Partial sub = table.exact_partial({MemberId{0}, MemberId{4}});
+  EXPECT_EQ(sub.count(), 2u);
+  EXPECT_DOUBLE_EQ(sub.value(AggregateKind::kAverage), 3.0);
+  EXPECT_DOUBLE_EQ(sub.value(AggregateKind::kRange), 4.0);
+}
+
+TEST(Workloads, UniformVotesStayInRange) {
+  Rng rng(5);
+  const VoteTable table = uniform_votes(1000, rng, 15.0, 35.0);
+  for (const double v : table.values()) {
+    ASSERT_GE(v, 15.0);
+    ASSERT_LT(v, 35.0);
+  }
+  EXPECT_NEAR(table.exact_partial_all().value(AggregateKind::kAverage), 25.0,
+              0.5);
+}
+
+TEST(Workloads, NormalVotesHaveRequestedMoments) {
+  Rng rng(6);
+  const VoteTable table = normal_votes(20'000, rng, 25.0, 5.0);
+  const Partial p = table.exact_partial_all();
+  EXPECT_NEAR(p.value(AggregateKind::kAverage), 25.0, 0.15);
+  EXPECT_NEAR(p.value(AggregateKind::kStdDev), 5.0, 0.15);
+}
+
+TEST(Workloads, FieldVotesAreSpatiallyCorrelated) {
+  Rng rng(7);
+  // Two co-located sensors read nearly the same value; distant ones differ
+  // by the field amplitude.
+  std::vector<Position> pos = {{0.70, 0.30}, {0.70, 0.31}, {0.05, 0.95}};
+  const auto position_of = [&pos](MemberId m) { return pos[m.value()]; };
+  const VoteTable table = field_votes(3, position_of, rng, 20.0, 10.0, 0.0);
+  EXPECT_NEAR(table.of(MemberId{0}), table.of(MemberId{1}), 0.5);
+  EXPECT_GT(std::abs(table.of(MemberId{0}) - table.of(MemberId{2})), 2.0);
+}
+
+}  // namespace
+}  // namespace gridbox::agg

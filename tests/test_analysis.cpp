@@ -1,0 +1,149 @@
+#include "src/analysis/completeness.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/epidemic.h"
+#include "src/common/ensure.h"
+
+namespace gridbox::analysis {
+namespace {
+
+TEST(Epidemic, LogisticStartsNearOneInfective) {
+  // x(0) = m/(1+m): approximately 1 for large m (the paper's approximation).
+  EXPECT_NEAR(logistic_infected(1000.0, 2.0, 0.0), 1.0, 0.01);
+}
+
+TEST(Epidemic, LogisticSaturatesAtPopulation) {
+  EXPECT_NEAR(logistic_infected(1000.0, 2.0, 50.0), 1000.0, 1e-6);
+}
+
+TEST(Epidemic, InfectionProbabilityIsMonotoneInTime) {
+  double prev = 0.0;
+  for (double t = 0.0; t <= 30.0; t += 1.0) {
+    const double p = infection_probability(500.0, 1.5, t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Epidemic, InfectionProbabilityIsMonotoneInRate) {
+  double prev = 0.0;
+  for (double b = 0.5; b <= 8.0; b += 0.5) {
+    const double p = infection_probability(500.0, b, 10.0);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(Epidemic, RoundsToReachInvertsTheLogistic) {
+  const double m = 2000.0;
+  const double b = 1.3;
+  for (const double target : {0.5, 0.9, 0.99, 0.9999}) {
+    const double t = rounds_to_reach(m, b, target);
+    EXPECT_NEAR(infection_probability(m, b, t), target, 1e-9);
+  }
+}
+
+TEST(Epidemic, EffectiveBMatchesPaperQuote) {
+  // Paper §7: defaults N=200, K=4, M=2, C=1.0, ucastl=0.25 give b ≈ 0.75.
+  const double rounds = std::ceil(1.0 * std::log(200.0) / std::log(2.0));
+  const double b = effective_b(2, 0.25, rounds, 4, 200);
+  EXPECT_NEAR(b, 0.75, 0.35);
+
+  // Figure 11: C=1.4, ucastl=0, N≈450 gives b ≈ 1.0.
+  const double rounds11 = std::ceil(1.4 * std::log(450.0) / std::log(2.0));
+  const double b11 = effective_b(2, 0.0, rounds11, 4, 450);
+  EXPECT_NEAR(b11, 1.0, 0.35);
+}
+
+TEST(Completeness, PhaseBoundApproachesOneForLargeB) {
+  EXPECT_GT(phase_completeness_bound(1000, 4.0), 0.999999);
+  EXPECT_LT(phase_completeness_bound(1000, 1.0), 0.6);
+}
+
+TEST(Completeness, PhaseBoundsAgreeAsymptotically) {
+  for (const std::size_t n : {100u, 1000u, 10000u}) {
+    const double exact = phase_completeness_bound(n, 4.0);
+    const double simple = phase_completeness_simple(n, 4.0);
+    EXPECT_NEAR(exact, simple, 1e-6);
+  }
+}
+
+TEST(Completeness, FirstPhaseIncompletenessIsAProbability) {
+  for (const std::size_t n : {100u, 500u, 2000u}) {
+    const double q = first_phase_incompleteness(n, 4, 4.0);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+}
+
+TEST(Completeness, FirstPhaseMonotoneInB) {
+  // Figure 4/5 prerequisite: more gossip per round -> higher completeness.
+  double prev = 0.0;
+  for (double b = 1.0; b <= 8.0; b += 1.0) {
+    const double c = first_phase_completeness(2000, 4, b);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(Completeness, FirstPhaseMonotoneInK) {
+  // Figure 5: incompleteness falls monotonically with K at N=2000, b=4.
+  double prev = 1.0;
+  for (const std::uint32_t k : {4u, 8u, 16u, 32u}) {
+    const double q = first_phase_incompleteness(2000, k, 4.0);
+    EXPECT_LT(q, prev);
+    prev = q;
+  }
+}
+
+TEST(Completeness, Figure4ShapeIncompletenessBelowOneOverN) {
+  // Figure 4's conclusion (Postulate 1): at K=2, b=4 the first-phase
+  // completeness is >= 1 − 1/N across the plotted range.
+  for (const std::size_t n : {1000u, 2000u, 4000u, 8000u}) {
+    EXPECT_LT(first_phase_incompleteness(n, 2, 4.0),
+              1.0 / static_cast<double>(n));
+  }
+}
+
+TEST(Completeness, Figure4ShapeLogLogSlopeAtLeastLinear) {
+  // -log(1-C1) vs log(N) grows at least linearly (the paper reads a straight
+  // line off the plot).
+  const double q1 = first_phase_incompleteness(1000, 2, 4.0);
+  const double q8 = first_phase_incompleteness(8000, 2, 4.0);
+  // N grew 8x; incompleteness must fall at least 8x.
+  EXPECT_LT(q8, q1 / 8.0);
+}
+
+TEST(Completeness, ProtocolBoundSatisfiesTheorem1) {
+  // Theorem 1: K >= 2, b >= 4, large N -> completeness >= 1 − 1/N.
+  for (const std::size_t n : {500u, 1000u, 4000u}) {
+    for (const std::uint32_t k : {2u, 4u, 8u}) {
+      EXPECT_GE(protocol_completeness_bound(n, k, 4.0),
+                theorem1_bound(n) - 1e-9)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Completeness, ProtocolBoundDegradesGracefullyAtLowB) {
+  const double high = protocol_completeness_bound(1000, 4, 4.0);
+  const double low = protocol_completeness_bound(1000, 4, 1.5);
+  EXPECT_GT(high, low);
+  EXPECT_GT(low, 0.0);
+}
+
+TEST(Completeness, DegenerateInputsThrow) {
+  EXPECT_THROW((void)first_phase_incompleteness(1, 4, 4.0),
+               PreconditionError);
+  EXPECT_THROW((void)first_phase_incompleteness(100, 4, 0.0),
+               PreconditionError);
+  EXPECT_THROW((void)phase_completeness_bound(1, 4.0), PreconditionError);
+  EXPECT_THROW((void)first_phase_incompleteness(2, 4, 1.0),
+               PreconditionError);  // K > N
+}
+
+}  // namespace
+}  // namespace gridbox::analysis

@@ -1,0 +1,90 @@
+#include "src/agg/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::agg {
+namespace {
+
+TEST(AuditRegistry, VoteTokensAreSingletons) {
+  AuditRegistry reg(10);
+  const auto t = reg.register_vote(MemberId{3});
+  EXPECT_NE(t, kNoAuditToken);
+  EXPECT_EQ(reg.votes_behind(t), 1u);
+  EXPECT_TRUE(reg.set_of(t).test(3));
+  EXPECT_FALSE(reg.set_of(t).test(2));
+}
+
+TEST(AuditRegistry, NoTokenMeansNoVotes) {
+  AuditRegistry reg(10);
+  EXPECT_EQ(reg.votes_behind(kNoAuditToken), 0u);
+}
+
+TEST(AuditRegistry, MergeOfDisjointSetsIsClean) {
+  AuditRegistry reg(10);
+  const auto a = reg.register_vote(MemberId{1});
+  const auto b = reg.register_vote(MemberId{2});
+  const auto c = reg.register_vote(MemberId{3});
+  const auto ab = reg.register_merge({a, b});
+  EXPECT_EQ(reg.votes_behind(ab), 2u);
+  const auto abc = reg.register_merge({ab, c});
+  EXPECT_EQ(reg.votes_behind(abc), 3u);
+  EXPECT_EQ(reg.violation_count(), 0u);
+}
+
+TEST(AuditRegistry, MergeDetectsDoubleCounting) {
+  AuditRegistry reg(10);
+  const auto a = reg.register_vote(MemberId{1});
+  const auto b = reg.register_vote(MemberId{2});
+  const auto ab = reg.register_merge({a, b});
+  // Merging {1,2} with {1} counts member 1 twice.
+  (void)reg.register_merge({ab, a});
+  EXPECT_EQ(reg.violation_count(), 1u);
+}
+
+TEST(AuditRegistry, MergeIgnoresNoTokenEntries) {
+  AuditRegistry reg(10);
+  const auto a = reg.register_vote(MemberId{5});
+  const auto m = reg.register_merge({kNoAuditToken, a, kNoAuditToken});
+  EXPECT_EQ(reg.votes_behind(m), 1u);
+  EXPECT_EQ(reg.violation_count(), 0u);
+}
+
+TEST(AuditRegistry, EmptyMergeYieldsEmptySet) {
+  AuditRegistry reg(10);
+  const auto m = reg.register_merge({});
+  EXPECT_EQ(reg.votes_behind(m), 0u);
+}
+
+TEST(AuditRegistry, UnknownTokenThrows) {
+  AuditRegistry reg(10);
+  EXPECT_THROW((void)reg.set_of(999), PreconditionError);
+  EXPECT_THROW((void)reg.set_of(kNoAuditToken), PreconditionError);
+}
+
+TEST(AuditRegistry, MemberOutsideUniverseThrows) {
+  AuditRegistry reg(10);
+  EXPECT_THROW((void)reg.register_vote(MemberId{10}), PreconditionError);
+}
+
+TEST(AuditRegistry, DeepMergeChainTracksExactMembership) {
+  // Simulates the hierarchy: 16 votes merged pairwise up a binary tree.
+  AuditRegistry reg(16);
+  std::vector<std::uint64_t> level;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    level.push_back(reg.register_vote(MemberId{i}));
+  }
+  while (level.size() > 1) {
+    std::vector<std::uint64_t> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(reg.register_merge({level[i], level[i + 1]}));
+    }
+    level = next;
+  }
+  EXPECT_EQ(reg.votes_behind(level[0]), 16u);
+  EXPECT_EQ(reg.violation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gridbox::agg

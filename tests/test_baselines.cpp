@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/protocols/baseline/centralized.h"
+#include "src/protocols/baseline/fully_distributed.h"
+#include "src/protocols/baseline/leader_election.h"
+#include "tests/testing_world.h"
+
+namespace gridbox::protocols::baseline {
+namespace {
+
+using gridbox::testing::World;
+using gridbox::testing::WorldOptions;
+
+TEST(FullyDistributed, LosslessReachesFullCompleteness) {
+  WorldOptions options;
+  options.group_size = 32;
+  World world(options);
+  auto nodes =
+      world.make_nodes<FullyDistributedNode>(FullyDistributedConfig{});
+  world.start_all(nodes);
+  world.simulator().run();
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished());
+    EXPECT_EQ(node->outcome().estimate.count(), 32u);
+  }
+  EXPECT_EQ(world.audit()->violation_count(), 0u);
+}
+
+TEST(FullyDistributed, MessageComplexityIsQuadratic) {
+  WorldOptions options;
+  options.group_size = 40;
+  World world(options);
+  auto nodes =
+      world.make_nodes<FullyDistributedNode>(FullyDistributedConfig{});
+  world.start_all(nodes);
+  world.simulator().run();
+  // Exactly N(N-1) vote messages.
+  EXPECT_EQ(world.network().stats().messages_sent, 40u * 39u);
+}
+
+TEST(FullyDistributed, TimeComplexityIsLinearInN) {
+  // With bandwidth M per round, rounds ~ (N-1)/M: doubling N doubles time.
+  const auto rounds_for = [](std::size_t n) {
+    WorldOptions options;
+    options.group_size = n;
+    World world(options);
+    auto nodes =
+        world.make_nodes<FullyDistributedNode>(FullyDistributedConfig{});
+    world.start_all(nodes);
+    world.simulator().run();
+    std::uint64_t max_rounds = 0;
+    for (const auto& node : nodes) {
+      max_rounds = std::max(max_rounds, node->rounds_executed());
+    }
+    return max_rounds;
+  };
+  const auto r32 = rounds_for(32);
+  const auto r64 = rounds_for(64);
+  EXPECT_NEAR(static_cast<double>(r64) / static_cast<double>(r32), 2.0, 0.3);
+}
+
+TEST(FullyDistributed, CompletenessTracksLossRate) {
+  WorldOptions options;
+  options.group_size = 60;
+  options.loss = 0.4;
+  World world(options);
+  auto nodes =
+      world.make_nodes<FullyDistributedNode>(FullyDistributedConfig{});
+  world.start_all(nodes);
+  world.simulator().run();
+  double total = 0.0;
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished());
+    total += static_cast<double>(node->outcome().estimate.count()) / 60.0;
+  }
+  // Expected completeness ~ (1-loss) plus own vote: 0.6 + 0.4/60 ~ 0.61.
+  EXPECT_NEAR(total / 60.0, 0.61, 0.05);
+}
+
+TEST(Centralized, LosslessDeliversLeaderResultEverywhere) {
+  WorldOptions options;
+  options.group_size = 30;
+  World world(options);
+  auto nodes = world.make_nodes<CentralizedNode>(CentralizedConfig{});
+  world.start_all(nodes);
+  world.simulator().run();
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished()) << to_string(node->self());
+    EXPECT_EQ(node->outcome().estimate.count(), 30u);
+  }
+  EXPECT_EQ(world.audit()->violation_count(), 0u);
+}
+
+TEST(Centralized, MessageComplexityIsLinear) {
+  WorldOptions options;
+  options.group_size = 50;
+  World world(options);
+  auto nodes = world.make_nodes<CentralizedNode>(CentralizedConfig{});
+  world.start_all(nodes);
+  world.simulator().run();
+  // N-1 votes in, N-1 results out: exactly 2(N-1) messages.
+  EXPECT_EQ(world.network().stats().messages_sent, 2u * 49u);
+}
+
+TEST(Centralized, LeaderCrashIsCatastrophic) {
+  WorldOptions options;
+  options.group_size = 30;
+  World world(options);
+  auto nodes = world.make_nodes<CentralizedNode>(CentralizedConfig{});
+  world.start_all(nodes);
+  // Kill the leader before it can possibly disseminate.
+  world.simulator().schedule_at(SimTime::millis(1), [&world] {
+    world.group().crash(MemberId{0});
+  });
+  world.simulator().run();
+  for (const auto& node : nodes) {
+    EXPECT_FALSE(node->finished());  // nobody gets an estimate
+  }
+}
+
+TEST(Centralized, UnstaggeredSendsCauseImplosionDrops) {
+  WorldOptions options;
+  options.group_size = 120;
+  World world(options);
+  CentralizedConfig config;
+  config.staggered_sends = false;
+  config.leader_receive_cap = 8;
+  auto nodes = world.make_nodes<CentralizedNode>(config);
+  world.start_all(nodes);
+  world.simulator().run();
+  // All 119 votes land in round 0; the leader can only absorb 8 per round.
+  const auto* leader = nodes[0].get();
+  EXPECT_GT(leader->implosion_drops(), 0u);
+  EXPECT_LT(leader->outcome().estimate.count(), 120u);
+}
+
+TEST(Centralized, StaggeringAvoidsImplosion) {
+  WorldOptions options;
+  options.group_size = 120;
+  World world(options);
+  CentralizedConfig config;
+  config.staggered_sends = true;
+  config.leader_receive_cap = 8;
+  auto nodes = world.make_nodes<CentralizedNode>(config);
+  world.start_all(nodes);
+  world.simulator().run();
+  EXPECT_EQ(nodes[0]->implosion_drops(), 0u);
+  EXPECT_EQ(nodes[0]->outcome().estimate.count(), 120u);
+}
+
+TEST(LeaderElection, LosslessReachesFullCompleteness) {
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<LeaderElectionNode>(CommitteeConfig{});
+  world.start_all(nodes);
+  world.simulator().run();
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished()) << to_string(node->self());
+    EXPECT_EQ(node->outcome().estimate.count(), 64u);
+  }
+  EXPECT_EQ(world.audit()->violation_count(), 0u);
+}
+
+TEST(LeaderElection, MessageComplexityIsLinearish) {
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<LeaderElectionNode>(CommitteeConfig{});
+  world.start_all(nodes);
+  world.simulator().run();
+  // O(N): votes up + partials up + results down, each with phase_rounds=2
+  // retransmissions. Far below gossip's N log^2 N at the same N.
+  EXPECT_LT(world.network().stats().messages_sent, 64u * 12u);
+}
+
+TEST(LeaderElection, RootLeaderCrashLosesEveryone) {
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<LeaderElectionNode>(CommitteeConfig{});
+
+  // The root leader is the member with the globally smallest hash value.
+  MemberId root_leader = MemberId{0};
+  double best = 2.0;
+  for (const MemberId m : world.group().members()) {
+    if (world.hierarchy().hash_value(m) < best) {
+      best = world.hierarchy().hash_value(m);
+      root_leader = m;
+    }
+  }
+  world.start_all(nodes);
+  world.simulator().schedule_at(SimTime::millis(1), [&world, root_leader] {
+    world.group().crash(root_leader);
+  });
+  world.simulator().run();
+
+  for (const auto& node : nodes) {
+    EXPECT_FALSE(node->finished());  // no root aggregate, no dissemination
+  }
+}
+
+TEST(LeaderElection, BoxLeaderCrashLosesAboutOneBox) {
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<LeaderElectionNode>(CommitteeConfig{});
+
+  // Pick the leader of member 1's grid box, excluding the root leader so the
+  // protocol still completes.
+  const auto& hier = world.hierarchy();
+  MemberId box_leader = MemberId::invalid();
+  double best = 2.0;
+  for (const MemberId m : world.group().members()) {
+    if (hier.box_of(m) != hier.box_of(MemberId{1})) continue;
+    if (hier.hash_value(m) < best) {
+      best = hier.hash_value(m);
+      box_leader = m;
+    }
+  }
+  ASSERT_TRUE(box_leader.is_valid());
+
+  MemberId root_leader = MemberId{0};
+  double root_best = 2.0;
+  for (const MemberId m : world.group().members()) {
+    if (hier.hash_value(m) < root_best) {
+      root_best = hier.hash_value(m);
+      root_leader = m;
+    }
+  }
+  if (box_leader == root_leader) {
+    GTEST_SKIP() << "box leader is the root leader in this draw";
+  }
+
+  std::size_t box_population = 0;
+  for (const MemberId m : world.group().members()) {
+    if (hier.box_of(m) == hier.box_of(MemberId{1})) ++box_population;
+  }
+
+  world.start_all(nodes);
+  world.simulator().schedule_at(SimTime::millis(1), [&world, box_leader] {
+    world.group().crash(box_leader);
+  });
+  world.simulator().run();
+
+  // Survivors outside the dead box still finish, but the final estimate is
+  // missing (at least) the dead leader's box. Members *inside* the dead box
+  // are themselves cut off: their only dissemination path was the leader.
+  for (const auto& node : nodes) {
+    if (hier.box_of(node->self()) == hier.box_of(MemberId{1})) continue;
+    ASSERT_TRUE(node->finished()) << to_string(node->self());
+    EXPECT_LE(node->outcome().estimate.count(), 64u - box_population);
+  }
+}
+
+TEST(Committee, ToleratesSingleLeaderCrashWithKPrime2) {
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  CommitteeConfig config;
+  config.committee_size = 2;
+  auto nodes = world.make_nodes<CommitteeNode>(config);
+
+  // Crash the single globally-smallest-hash member (on every committee).
+  MemberId first = MemberId{0};
+  double best = 2.0;
+  for (const MemberId m : world.group().members()) {
+    if (world.hierarchy().hash_value(m) < best) {
+      best = world.hierarchy().hash_value(m);
+      first = m;
+    }
+  }
+  world.start_all(nodes);
+  world.simulator().schedule_at(SimTime::millis(1), [&world, first] {
+    world.group().crash(first);
+  });
+  world.simulator().run();
+
+  // The second committee member carries the protocol: most members finish
+  // and coverage stays near-total (only the victim's own vote may be lost).
+  std::size_t finished = 0;
+  for (const auto& node : nodes) {
+    if (node->self() == first) continue;
+    if (node->finished()) {
+      ++finished;
+      EXPECT_GE(node->outcome().estimate.count(), 62u);
+    }
+  }
+  EXPECT_GE(finished, 60u);
+  EXPECT_EQ(world.audit()->violation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gridbox::protocols::baseline

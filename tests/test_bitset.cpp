@@ -1,0 +1,108 @@
+#include "src/common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/ensure.h"
+
+namespace gridbox {
+namespace {
+
+TEST(MemberBitset, StartsEmpty) {
+  MemberBitset b(100);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.empty());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(MemberBitset, SetAndTest) {
+  MemberBitset b(130);  // crosses a word boundary
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_FALSE(b.test(128));
+  EXPECT_EQ(b.count(), 4u);
+}
+
+TEST(MemberBitset, SetIsIdempotent) {
+  MemberBitset b(10);
+  b.set(3);
+  b.set(3);
+  EXPECT_EQ(b.count(), 1u);
+}
+
+TEST(MemberBitset, SetOutOfRangeThrows) {
+  MemberBitset b(10);
+  EXPECT_THROW(b.set(10), PreconditionError);
+}
+
+TEST(MemberBitset, TestOutOfRangeIsFalse) {
+  MemberBitset b(10);
+  EXPECT_FALSE(b.test(10));
+  EXPECT_FALSE(b.test(1000));
+}
+
+TEST(MemberBitset, IntersectsDetectsSharedBits) {
+  MemberBitset a(200);
+  MemberBitset b(200);
+  a.set(77);
+  b.set(78);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(77);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(MemberBitset, MergeIsSetUnion) {
+  MemberBitset a(100);
+  MemberBitset b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(50));
+  EXPECT_TRUE(a.test(99));
+}
+
+TEST(MemberBitset, MergeWithEmptyUniverseIsNoop) {
+  MemberBitset a(100);
+  a.set(5);
+  MemberBitset empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(MemberBitset, MergeIntoDefaultAdoptsOther) {
+  MemberBitset a;
+  MemberBitset b(100);
+  b.set(42);
+  a.merge(b);
+  EXPECT_EQ(a.universe_size(), 100u);
+  EXPECT_TRUE(a.test(42));
+}
+
+TEST(MemberBitset, MergeMismatchedUniversesThrows) {
+  MemberBitset a(100);
+  MemberBitset b(200);
+  EXPECT_THROW(a.merge(b), PreconditionError);
+}
+
+TEST(MemberBitset, EqualityComparesContents) {
+  MemberBitset a(64);
+  MemberBitset b(64);
+  EXPECT_EQ(a, b);
+  a.set(10);
+  EXPECT_FALSE(a == b);
+  b.set(10);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace gridbox

@@ -1,0 +1,169 @@
+// Deeper unit coverage of the committee/leader baseline's internals: the
+// deterministic election rule, role assignment, and partial correctness at
+// each level.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/protocols/baseline/committee.h"
+#include "src/protocols/baseline/leader_election.h"
+#include "tests/testing_world.h"
+
+namespace gridbox::protocols::baseline {
+namespace {
+
+using gridbox::testing::World;
+using gridbox::testing::WorldOptions;
+
+// The smallest-(hash, id) member of a phase group, computed independently of
+// the implementation.
+MemberId expected_leader(const World& world, std::size_t phase,
+                         std::uint64_t prefix) {
+  const auto& hier = world.hierarchy();
+  MemberId best = MemberId::invalid();
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(world.votes().size()); ++i) {
+    const MemberId m{i};
+    if (hier.phase_group(m, phase) != prefix) continue;
+    if (!best.is_valid() || hier.hash_value(m) < hier.hash_value(best) ||
+        (hier.hash_value(m) == hier.hash_value(best) && m < best)) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+TEST(CommitteeInternals, ExactlyOneBoxLeaderPerOccupiedBox) {
+  WorldOptions options;
+  options.group_size = 96;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<LeaderElectionNode>(CommitteeConfig{});
+  world.start_all(nodes);
+  world.simulator().run_until(SimTime::millis(1));  // roles fixed at start
+
+  std::map<std::uint64_t, std::size_t> leaders_per_box;
+  for (const auto& node : nodes) {
+    if (node->on_committee(1)) {
+      ++leaders_per_box[world.hierarchy().phase_group(node->self(), 1)];
+    }
+  }
+  std::set<std::uint64_t> occupied;
+  for (const auto& node : nodes) {
+    occupied.insert(world.hierarchy().phase_group(node->self(), 1));
+  }
+  EXPECT_EQ(leaders_per_box.size(), occupied.size());
+  for (const auto& [box, count] : leaders_per_box) EXPECT_EQ(count, 1u);
+}
+
+TEST(CommitteeInternals, LeaderMatchesIndependentElectionRule) {
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<LeaderElectionNode>(CommitteeConfig{});
+  world.start_all(nodes);
+  world.simulator().run_until(SimTime::millis(1));
+
+  const auto& hier = world.hierarchy();
+  for (const auto& node : nodes) {
+    for (std::size_t phase = 1; phase <= hier.num_phases(); ++phase) {
+      const MemberId leader =
+          expected_leader(world, phase, hier.phase_group(node->self(), phase));
+      EXPECT_EQ(node->on_committee(phase), node->self() == leader)
+          << to_string(node->self()) << " phase " << phase;
+    }
+  }
+}
+
+TEST(CommitteeInternals, CommitteeSizeIsRespected) {
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  CommitteeConfig config;
+  config.committee_size = 3;
+  auto nodes = world.make_nodes<CommitteeNode>(config);
+  world.start_all(nodes);
+  world.simulator().run_until(SimTime::millis(1));
+
+  // At the root (everyone in one group), exactly min(3, N) members hold a
+  // committee seat.
+  std::size_t root_committee = 0;
+  for (const auto& node : nodes) {
+    if (node->on_committee(world.hierarchy().num_phases())) ++root_committee;
+  }
+  EXPECT_EQ(root_committee, 3u);
+}
+
+TEST(CommitteeInternals, RootCommitteeIsNestedInLowerCommittees) {
+  // The min-hash member of the whole group is also the min-hash member of
+  // its own box: a root committee member of K'=1 sits on every committee of
+  // its own chain.
+  WorldOptions options;
+  options.group_size = 80;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<LeaderElectionNode>(CommitteeConfig{});
+  world.start_all(nodes);
+  world.simulator().run_until(SimTime::millis(1));
+
+  for (const auto& node : nodes) {
+    if (!node->on_committee(world.hierarchy().num_phases())) continue;
+    for (std::size_t phase = 1; phase <= world.hierarchy().num_phases();
+         ++phase) {
+      EXPECT_TRUE(node->on_committee(phase)) << phase;
+    }
+  }
+}
+
+TEST(CommitteeInternals, PhaseRoundsOneStillCompletesLossless) {
+  // No retransmission at all (phase_rounds = 1): in a lossless network the
+  // tree exchange still completes exactly.
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  CommitteeConfig config;
+  config.phase_rounds = 1;
+  auto nodes = world.make_nodes<LeaderElectionNode>(config);
+  world.start_all(nodes);
+  world.simulator().run();
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished());
+    EXPECT_EQ(node->outcome().estimate.count(), 64u);
+  }
+}
+
+TEST(CommitteeInternals, LossyNetworkHurtsNoRetransmissionMore) {
+  const auto mean_completeness = [](std::uint32_t phase_rounds) {
+    double total = 0.0;
+    constexpr int kRuns = 8;
+    for (int run = 0; run < kRuns; ++run) {
+      WorldOptions options;
+      options.group_size = 64;
+      options.k = 4;
+      options.loss = 0.3;
+      options.seed = 50 + static_cast<std::uint64_t>(run);
+      World world(options);
+      CommitteeConfig config;
+      config.phase_rounds = phase_rounds;
+      auto nodes = world.make_nodes<LeaderElectionNode>(config);
+      world.start_all(nodes);
+      world.simulator().run();
+      for (const auto& node : nodes) {
+        total += node->finished()
+                     ? static_cast<double>(node->outcome().estimate.count()) /
+                           64.0
+                     : 0.0;
+      }
+    }
+    return total / (kRuns * 64.0);
+  };
+  EXPECT_LT(mean_completeness(1), mean_completeness(3));
+}
+
+}  // namespace
+}  // namespace gridbox::protocols::baseline

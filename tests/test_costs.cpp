@@ -1,0 +1,124 @@
+// Model validation: the closed-form cost predictions must agree with what
+// the simulation actually does — the complexity claims of §4/§5/§6.3 as
+// checked facts rather than assertions.
+#include "src/analysis/costs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/ensure.h"
+#include "src/runner/experiment.h"
+
+namespace gridbox {
+namespace {
+
+using runner::ExperimentConfig;
+using runner::ProtocolKind;
+using runner::RunResult;
+using runner::run_experiment;
+
+TEST(Costs, GossipFormulasMatchKnownValues) {
+  // N=200, K=4, M=2, C=1: 4 phases, 8 rounds each, <= 200*32*2 messages.
+  const analysis::GossipCosts costs = analysis::gossip_costs(200, 4, 2, 1.0);
+  EXPECT_EQ(costs.phases, 4u);
+  EXPECT_EQ(costs.rounds_per_phase, 8u);
+  EXPECT_EQ(costs.total_rounds, 32u);
+  EXPECT_EQ(costs.max_messages, 200u * 32u * 2u);
+}
+
+TEST(Costs, GossipRoundsGrowPolyLogarithmically) {
+  const auto rounds = [](std::size_t n) {
+    return analysis::gossip_costs(n, 4, 2, 1.0).total_rounds;
+  };
+  // N x64 (64 -> 4096) must grow rounds by far less than x64.
+  EXPECT_LT(rounds(4096), rounds(64) * 8);
+  // And messages per member = rounds * M is O(log^2 N): sublinear in N.
+  EXPECT_LT(static_cast<double>(rounds(4096)) / 4096.0,
+            static_cast<double>(rounds(64)) / 64.0);
+}
+
+TEST(Costs, DegenerateInputsThrow) {
+  EXPECT_THROW((void)analysis::gossip_costs(1, 4, 2, 1.0), PreconditionError);
+  EXPECT_THROW((void)analysis::gossip_costs(8, 1, 2, 1.0), PreconditionError);
+  EXPECT_THROW((void)analysis::fully_distributed_costs(1, 2),
+               PreconditionError);
+  EXPECT_THROW((void)analysis::centralized_costs(2, 0), PreconditionError);
+}
+
+TEST(CostsValidation, SyncGossipRunMeetsPredictionsExactly) {
+  ExperimentConfig config;
+  config.group_size = 256;
+  config.ucast_loss = 0.0;
+  config.crash_probability = 0.0;
+  config.gossip.early_bump = false;  // synchronous: exact round counts
+  const RunResult r = run_experiment(config);
+  const analysis::GossipCosts costs =
+      analysis::gossip_costs(256, config.gossip.k, config.gossip.fanout_m,
+                             config.gossip.round_multiplier_c);
+  EXPECT_EQ(r.measurement.max_rounds, costs.total_rounds);
+  EXPECT_LE(r.measurement.network_messages, costs.max_messages);
+  // The bound is tight: every member sends M messages in (nearly) every
+  // round when its phase peer set is at least M strong.
+  EXPECT_GE(r.measurement.network_messages, costs.max_messages / 2);
+}
+
+TEST(CostsValidation, AsyncGossipNeverExceedsTheBound) {
+  for (const std::size_t n : {64u, 200u, 500u}) {
+    ExperimentConfig config;
+    config.group_size = n;
+    config.ucast_loss = 0.25;
+    config.crash_probability = 0.001;
+    const RunResult r = run_experiment(config);
+    const analysis::GossipCosts costs =
+        analysis::gossip_costs(n, config.gossip.k, config.gossip.fanout_m,
+                               config.gossip.round_multiplier_c);
+    EXPECT_LE(r.measurement.max_rounds, costs.total_rounds) << n;
+    EXPECT_LE(r.measurement.network_messages, costs.max_messages) << n;
+  }
+}
+
+TEST(CostsValidation, FullyDistributedIsExact) {
+  ExperimentConfig config;
+  config.group_size = 80;
+  config.ucast_loss = 0.0;
+  config.crash_probability = 0.0;
+  config.protocol = ProtocolKind::kFullyDistributed;
+  const RunResult r = run_experiment(config);
+  const analysis::FullyDistributedCosts costs =
+      analysis::fully_distributed_costs(
+          80, config.fully_distributed.fanout_m);
+  EXPECT_EQ(r.measurement.network_messages, costs.messages);
+  // Total rounds = send rounds + drain (the final send round doubles as the
+  // first drain round).
+  EXPECT_EQ(r.measurement.max_rounds,
+            costs.send_rounds + config.fully_distributed.drain_rounds);
+}
+
+TEST(CostsValidation, CentralizedIsExactLossless) {
+  ExperimentConfig config;
+  config.group_size = 60;
+  config.ucast_loss = 0.0;
+  config.crash_probability = 0.0;
+  config.protocol = ProtocolKind::kCentralized;
+  const RunResult r = run_experiment(config);
+  const analysis::CentralizedCosts costs = analysis::centralized_costs(
+      60, config.centralized.dissemination_fanout);
+  EXPECT_EQ(r.measurement.network_messages, costs.messages);
+}
+
+TEST(CostsValidation, CrossoverAllToAllWinsOnlyWhenTiny) {
+  // The paper's motivation: all-to-all is fine for small groups. Find where
+  // gossip's message bound undercuts N(N-1): with K=4, M=2, C=1 that is
+  // around N ~ 65 (where 2 * total_rounds < N-1).
+  const auto gossip_msgs = [](std::size_t n) {
+    return analysis::gossip_costs(n, 4, 2, 1.0).max_messages;
+  };
+  const auto full_msgs = [](std::size_t n) {
+    return analysis::fully_distributed_costs(n, 2).messages;
+  };
+  EXPECT_GT(gossip_msgs(16), full_msgs(16));    // tiny: all-to-all cheaper
+  EXPECT_LT(gossip_msgs(256), full_msgs(256));  // large: gossip cheaper
+  EXPECT_LT(gossip_msgs(3200), full_msgs(3200) / 15);  // and widening
+}
+
+}  // namespace
+}  // namespace gridbox

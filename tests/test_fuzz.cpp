@@ -1,0 +1,97 @@
+// Deterministic fuzz: hammer protocol nodes with random byte payloads mixed
+// into a live run. Nothing may crash, hang, or corrupt the aggregate
+// (malformed frames count as malformed; well-formed-by-luck frames may be
+// absorbed, but audit tokens of kNoAuditToken keep the audit conservative).
+#include <gtest/gtest.h>
+
+#include "src/protocols/baseline/fully_distributed.h"
+#include "src/protocols/baseline/leader_election.h"
+#include "src/protocols/gossip/hier_gossip.h"
+#include "tests/testing_world.h"
+
+namespace gridbox {
+namespace {
+
+using gridbox::testing::World;
+using gridbox::testing::WorldOptions;
+
+// Injects `count` random payloads (random sizes up to the bound, random
+// source/destination) spread over the first 200ms of the run.
+void inject_garbage(World& world, std::size_t count, std::uint64_t seed) {
+  auto rng = std::make_shared<Rng>(seed);
+  const std::size_t n = world.group().size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const SimTime at = SimTime::micros(static_cast<SimTime::underlying>(
+        rng->uniform_int(0, 200'000)));
+    world.simulator().schedule_at(at, [&world, rng, n]() {
+      std::vector<std::uint8_t> bytes(rng->uniform_int(0, 64));
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng->raw());
+      world.network().send(net::Message{
+          MemberId{static_cast<MemberId::underlying>(rng->index(n))},
+          MemberId{static_cast<MemberId::underlying>(rng->index(n))},
+          net::Payload{std::move(bytes)}});
+    });
+  }
+}
+
+TEST(Fuzz, GossipSurvivesRandomPayloadStorm) {
+  WorldOptions options;
+  options.group_size = 48;
+  options.k = 4;
+  World world(options);
+  protocols::gossip::GossipConfig config;
+  config.k = 4;
+  config.round_multiplier_c = 2.0;
+  auto nodes = world.make_nodes<protocols::gossip::HierGossipNode>(config);
+  world.start_all(nodes);
+  inject_garbage(world, 2000, 0xF122);
+  ASSERT_NO_THROW(world.simulator().run());
+
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished());
+    // The occasional random frame that decodes as a valid vote can add a
+    // phantom origin, but garbage cannot blow coverage up.
+    EXPECT_LE(node->outcome().estimate.count(), 48u + 8u);
+  }
+}
+
+TEST(Fuzz, LeaderBaselineSurvivesRandomPayloadStorm) {
+  // Random frames occasionally decode as valid-looking votes with forged
+  // audit tokens, so the audit may report unknown tokens (and, through
+  // token collisions, spurious "violations"); the hard requirements are:
+  // no crash, no coverage inflation.
+  WorldOptions options;
+  options.group_size = 48;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<protocols::baseline::LeaderElectionNode>(
+      protocols::baseline::CommitteeConfig{});
+  world.start_all(nodes);
+  inject_garbage(world, 2000, 0xF123);
+  ASSERT_NO_THROW(world.simulator().run());
+  for (const auto& node : nodes) {
+    if (node->finished()) {
+      EXPECT_LE(node->outcome().estimate.count(), 48u + 8u);
+    }
+  }
+}
+
+TEST(Fuzz, FullyDistributedSurvivesRandomPayloadStorm) {
+  WorldOptions options;
+  options.group_size = 48;
+  World world(options);
+  auto nodes = world.make_nodes<protocols::baseline::FullyDistributedNode>(
+      protocols::baseline::FullyDistributedConfig{});
+  world.start_all(nodes);
+  inject_garbage(world, 2000, 0xF124);
+  ASSERT_NO_THROW(world.simulator().run());
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished());
+    // Forged vote frames can add phantom origins, but only a handful decode
+    // by luck; coverage cannot explode.
+    EXPECT_LE(node->outcome().estimate.count(), 48u + 8u);
+  }
+}
+
+}  // namespace
+}  // namespace gridbox

@@ -1,0 +1,177 @@
+// Wire-level and exchange-mode behaviour of Hierarchical Gossiping:
+// malformed payload safety, message-size bounds, and the full-state vs
+// single-value trade-off.
+#include <gtest/gtest.h>
+
+#include "src/agg/codec.h"
+#include "src/protocols/gossip/hier_gossip.h"
+#include "tests/testing_world.h"
+
+namespace gridbox::protocols::gossip {
+namespace {
+
+using gridbox::testing::World;
+using gridbox::testing::WorldOptions;
+
+GossipConfig base_config() {
+  GossipConfig config;
+  config.k = 4;
+  config.fanout_m = 2;
+  config.round_multiplier_c = 2.0;
+  return config;
+}
+
+TEST(GossipWire, MessagesRespectTheConstantBound) {
+  // Worst-case payloads stay within net::kMaxPayloadBytes by construction:
+  // header (1+1+8+1) + 5 child entries of (1 + 36 + 8) = 236 <= 256, and
+  // 5 vote entries of (4 + 8 + 8) = 111 <= 256. Exercise a real run and
+  // confirm the transport never rejected anything (it throws on oversize).
+  WorldOptions options;
+  options.group_size = 200;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(base_config());
+  world.start_all(nodes);
+  EXPECT_NO_THROW(world.simulator().run());
+  EXPECT_GT(world.network().stats().messages_sent, 0u);
+
+  // And the arithmetic, explicitly:
+  EXPECT_LE(1 + 1 + 8 + 1 + kMaxEntriesPerMessage * (1 + agg::kPartialWireBytes + 8),
+            net::kMaxPayloadBytes);
+  EXPECT_LE(1 + 1 + 8 + 1 + kMaxEntriesPerMessage * (4 + 8 + 8),
+            net::kMaxPayloadBytes);
+}
+
+TEST(GossipWire, MalformedPayloadsAreCountedAndIgnored) {
+  WorldOptions options;
+  options.group_size = 16;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(base_config());
+  world.start_all(nodes);
+
+  // Inject garbage at t=5ms: unknown type, truncated vote batch, truncated
+  // child batch, and a child batch whose partial violates min<=max.
+  world.simulator().schedule_at(SimTime::millis(5), [&world] {
+    const auto send_raw = [&world](std::vector<std::uint8_t> bytes) {
+      world.network().send(net::Message{MemberId{0}, MemberId{1},
+                                        net::Payload{std::move(bytes)}});
+    };
+    send_raw({0xFF, 0x00, 0x01});  // unknown type: ignored silently
+    {
+      agg::ByteWriter w;
+      w.u8(1);   // vote gossip
+      w.u8(1);   // phase 1
+      w.u64(0);  // group
+      w.u8(3);   // claims 3 entries...
+      w.u32(2);  // ...but carries half of one
+      send_raw(w.take());
+    }
+    {
+      agg::ByteWriter w;
+      w.u8(2);  // child gossip
+      w.u8(2);  // phase 2
+      w.u64(0);
+      w.u8(1);
+      w.u8(0);          // slot
+      w.u32(2);         // count
+      w.f64(10.0);      // sum
+      w.f64(100.0);     // sumsq
+      w.f64(9.0);       // min
+      w.f64(1.0);       // max < min: corrupt
+      w.u64(0);         // token
+      send_raw(w.take());
+    }
+  });
+
+  world.simulator().run();
+  // The run completes; the corrupt messages were counted, not fatal.
+  EXPECT_GE(world.network().stats().messages_malformed, 2u);
+  for (const auto& node : nodes) EXPECT_TRUE(node->finished());
+}
+
+TEST(GossipWire, FullStateBeatsSingleValueUnderLoss) {
+  const auto mean_completeness = [](ExchangeMode mode) {
+    double total = 0.0;
+    constexpr int kRuns = 8;
+    for (int run = 0; run < kRuns; ++run) {
+      WorldOptions options;
+      options.group_size = 128;
+      options.k = 4;
+      options.loss = 0.4;
+      options.seed = 600 + static_cast<std::uint64_t>(run);
+      World world(options);
+      GossipConfig config = base_config();
+      config.round_multiplier_c = 1.0;
+      config.exchange_mode = mode;
+      auto nodes = world.make_nodes<HierGossipNode>(config);
+      world.start_all(nodes);
+      world.simulator().run();
+      double run_total = 0.0;
+      for (const auto& node : nodes) {
+        run_total +=
+            static_cast<double>(node->outcome().estimate.count()) / 128.0;
+      }
+      total += run_total / 128.0;
+    }
+    return total / kRuns;
+  };
+
+  const double full = mean_completeness(ExchangeMode::kFullState);
+  const double single = mean_completeness(ExchangeMode::kSingleValue);
+  EXPECT_GT(full, single);
+  EXPECT_GT(full, 0.95);
+}
+
+TEST(GossipWire, SingleValueModeStillConvergesLossless) {
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+  GossipConfig config = base_config();
+  config.exchange_mode = ExchangeMode::kSingleValue;
+  config.round_multiplier_c = 4.0;
+  auto nodes = world.make_nodes<HierGossipNode>(config);
+  world.start_all(nodes);
+  world.simulator().run();
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished());
+    EXPECT_GE(node->outcome().estimate.count(), 60u);
+  }
+  EXPECT_EQ(world.audit()->violation_count(), 0u);
+}
+
+TEST(GossipWire, StaleVoteGossipAfterBumpIsHarmless) {
+  // A node past phase 1 receiving phase-1 vote gossip must ignore it (no
+  // absorption into later-phase state, no crash, no audit violation).
+  WorldOptions options;
+  options.group_size = 32;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(base_config());
+  world.start_all(nodes);
+
+  // Very late vote injection: everyone is long past phase 1.
+  world.simulator().schedule_at(SimTime::seconds(2), [&world] {
+    agg::ByteWriter w;
+    w.u8(1);
+    w.u8(1);
+    w.u64(0);
+    w.u8(1);
+    w.u32(999);   // bogus origin
+    w.f64(1e9);   // absurd vote
+    w.u64(0);
+    world.network().send(
+        net::Message{MemberId{0}, MemberId{1}, net::Payload{w.take()}});
+  });
+  world.simulator().run();
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished());
+    EXPECT_LE(node->outcome().estimate.count(), 32u);
+    EXPECT_LT(node->outcome().estimate.max(), 1e6);  // bogus vote excluded
+  }
+  EXPECT_EQ(world.audit()->violation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gridbox::protocols::gossip

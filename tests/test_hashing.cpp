@@ -1,0 +1,182 @@
+#include "src/hashing/fair_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/hashing/fairness.h"
+#include "src/hashing/topo_hash.h"
+#include "src/membership/group.h"
+
+namespace gridbox::hashing {
+namespace {
+
+std::vector<MemberId> member_range(std::size_t n) {
+  std::vector<MemberId> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(MemberId{static_cast<MemberId::underlying>(i)});
+  }
+  return out;
+}
+
+TEST(FairHash, DeterministicPerSalt) {
+  FairHash h1(7);
+  FairHash h2(7);
+  FairHash h3(8);
+  int diff = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(h1.unit_value(MemberId{i}), h2.unit_value(MemberId{i}));
+    if (h1.unit_value(MemberId{i}) != h3.unit_value(MemberId{i})) ++diff;
+  }
+  EXPECT_GT(diff, 990);
+}
+
+TEST(FairHash, ValuesInUnitInterval) {
+  FairHash h(1);
+  for (std::uint32_t i = 0; i < 100'000; ++i) {
+    const double u = h.unit_value(MemberId{i});
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(FairHash, OccupancyIsStatisticallyFair) {
+  // Chi-square of occupancy over B boxes ~ chi2(B-1): mean B-1,
+  // stddev sqrt(2(B-1)). 10 sigma gives a deterministic-safe bound.
+  FairHash h(3);
+  const auto members = member_range(8000);
+  const auto occ = box_occupancy(h, members, 64);
+  const double chi2 = occupancy_chi_square(occ, members.size());
+  EXPECT_LT(chi2, 63.0 + 10.0 * std::sqrt(2.0 * 63.0));
+}
+
+TEST(FairHash, MeanBoxOccupancyIsK) {
+  FairHash h(4);
+  const std::size_t n = 4096;
+  const std::size_t boxes = 1024;  // K = 4
+  const auto occ = box_occupancy(h, member_range(n), boxes);
+  std::size_t total = 0;
+  for (const std::size_t c : occ) total += c;
+  EXPECT_EQ(total, n);
+  const auto extremes = occupancy_extremes(occ);
+  EXPECT_LE(extremes.max_box, 20u);  // Poisson(4) tail; 20 is ~10 sigma
+}
+
+TEST(Fairness, ChiSquareDetectsUnfairHash) {
+  // A constant hash puts everyone in one box: chi2 explodes.
+  class ConstantHash final : public HashFunction {
+   public:
+    double unit_value(MemberId) const override { return 0.1; }
+  };
+  ConstantHash h;
+  const auto occ = box_occupancy(h, member_range(1000), 10);
+  EXPECT_GT(occupancy_chi_square(occ, 1000), 1000.0);
+}
+
+TEST(MortonKey, PreservesQuadrantLocality) {
+  // All points in the lower-left quadrant sort before any point in the
+  // upper-right quadrant (property of Z-ordering).
+  const std::uint64_t ll = morton_key(Position{0.2, 0.2});
+  const std::uint64_t ll2 = morton_key(Position{0.4, 0.4});
+  const std::uint64_t ur = morton_key(Position{0.7, 0.7});
+  EXPECT_LT(ll, ur);
+  EXPECT_LT(ll2, ur);
+}
+
+TEST(MortonKey, ClampsOutOfRangePositions) {
+  EXPECT_EQ(morton_key(Position{-1.0, -5.0}), morton_key(Position{0.0, 0.0}));
+  EXPECT_EQ(morton_key(Position{2.0, 3.0}), morton_key(Position{1.0, 1.0}));
+}
+
+TEST(TopoAwareHash, DeterministicAndInRange) {
+  membership::Group group(500);
+  Rng rng(11);
+  group.scatter_positions(rng);
+  const auto pos = [&group](MemberId m) { return group.position(m); };
+  TopoAwareHash h(pos);
+  for (const MemberId m : group.members()) {
+    const double u = h.unit_value(m);
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    EXPECT_DOUBLE_EQ(u, h.unit_value(m));
+  }
+}
+
+TEST(TopoAwareHash, NearbyMembersShareBoxes) {
+  // Two sensors a hair apart must land in the same grid box at coarse
+  // granularity; far-apart corners must not.
+  membership::Group group(4);
+  group.set_position(MemberId{0}, Position{0.10, 0.10});
+  group.set_position(MemberId{1}, Position{0.11, 0.11});
+  group.set_position(MemberId{2}, Position{0.90, 0.90});
+  group.set_position(MemberId{3}, Position{0.91, 0.89});
+  const auto pos = [&group](MemberId m) { return group.position(m); };
+  TopoAwareHash h(pos);
+
+  const auto box_of = [&h](MemberId m, std::size_t boxes) {
+    return static_cast<std::size_t>(h.unit_value(m) *
+                                    static_cast<double>(boxes));
+  };
+  EXPECT_EQ(box_of(MemberId{0}, 4), box_of(MemberId{1}, 4));
+  EXPECT_EQ(box_of(MemberId{2}, 4), box_of(MemberId{3}, 4));
+  EXPECT_NE(box_of(MemberId{0}, 4), box_of(MemberId{2}, 4));
+}
+
+TEST(TopoAwareHash, CalibrationFlattensClusteredDeployments) {
+  // Cluster all members in one corner; the uncalibrated hash crams them into
+  // few boxes, while the calibrated hash spreads them evenly.
+  membership::Group group(2000);
+  Rng rng(12);
+  for (const MemberId m : group.members()) {
+    group.set_position(m, Position{rng.uniform() * 0.1, rng.uniform() * 0.1});
+  }
+  const auto pos = [&group](MemberId m) { return group.position(m); };
+
+  std::vector<Position> sample;
+  for (const MemberId m : group.members()) sample.push_back(group.position(m));
+
+  TopoAwareHash uncalibrated(pos);
+  TopoAwareHash calibrated(pos, sample);
+
+  const auto occ_unc = box_occupancy(uncalibrated, group.members(), 64);
+  const auto occ_cal = box_occupancy(calibrated, group.members(), 64);
+  const double chi_unc = occupancy_chi_square(occ_unc, group.size());
+  const double chi_cal = occupancy_chi_square(occ_cal, group.size());
+  EXPECT_GT(chi_unc, 10.0 * chi_cal);
+  EXPECT_LT(chi_cal, 64.0 * 4.0);
+}
+
+TEST(TopoAwareHash, CalibratedStillPreservesLocality) {
+  membership::Group group(1000);
+  Rng rng(13);
+  group.scatter_positions(rng);
+  const auto pos = [&group](MemberId m) { return group.position(m); };
+  std::vector<Position> sample;
+  for (const MemberId m : group.members()) sample.push_back(group.position(m));
+  TopoAwareHash h(pos, sample);
+
+  // Mean unit-value gap between spatial near-neighbours must be far below
+  // the gap between random pairs.
+  double near_gap = 0.0;
+  double random_gap = 0.0;
+  int pairs = 0;
+  for (std::uint32_t i = 0; i + 1 < 1000; i += 2) {
+    const MemberId a{i};
+    // Make b a true spatial neighbour of a.
+    membership::Group probe(2);
+    const Position pa = group.position(a);
+    probe.set_position(MemberId{0}, pa);
+    probe.set_position(MemberId{1}, Position{pa.x + 0.001, pa.y + 0.001});
+    const auto ppos = [&probe](MemberId m) { return probe.position(m); };
+    TopoAwareHash ph(ppos, sample);
+    near_gap += std::abs(ph.unit_value(MemberId{0}) - ph.unit_value(MemberId{1}));
+    random_gap += std::abs(h.unit_value(a) - h.unit_value(MemberId{i + 1}));
+    ++pairs;
+  }
+  EXPECT_LT(near_gap / pairs, 0.2 * (random_gap / pairs));
+}
+
+}  // namespace
+}  // namespace gridbox::hashing

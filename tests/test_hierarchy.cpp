@@ -1,0 +1,191 @@
+#include "src/hierarchy/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/ensure.h"
+#include "src/hashing/fair_hash.h"
+
+namespace gridbox::hierarchy {
+namespace {
+
+std::vector<MemberId> member_range(std::size_t n) {
+  std::vector<MemberId> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(MemberId{static_cast<MemberId::underlying>(i)});
+  }
+  return out;
+}
+
+TEST(GridBoxHierarchy, PaperExampleDimensions) {
+  // N = 8, K = 2: 4 grid boxes, 2-digit addresses, 3 phases (Figure 1/2).
+  hashing::FairHash hash(1);
+  GridBoxHierarchy h(8, 2, hash);
+  EXPECT_EQ(h.num_boxes(), 4u);
+  EXPECT_EQ(h.digit_count(), 2u);
+  EXPECT_EQ(h.num_phases(), 3u);
+}
+
+TEST(GridBoxHierarchy, DefaultEvaluationSetup) {
+  // N = 200, K = 4: ceil(log4 200) = 4 phases, 64 boxes.
+  hashing::FairHash hash(1);
+  GridBoxHierarchy h(200, 4, hash);
+  EXPECT_EQ(h.num_phases(), 4u);
+  EXPECT_EQ(h.num_boxes(), 64u);
+}
+
+TEST(GridBoxHierarchy, ExactPowersUseExactLogs) {
+  hashing::FairHash hash(1);
+  EXPECT_EQ(GridBoxHierarchy(16, 2, hash).num_phases(), 4u);
+  EXPECT_EQ(GridBoxHierarchy(17, 2, hash).num_phases(), 5u);
+  EXPECT_EQ(GridBoxHierarchy(64, 4, hash).num_phases(), 3u);
+  EXPECT_EQ(GridBoxHierarchy(65, 4, hash).num_phases(), 4u);
+}
+
+TEST(GridBoxHierarchy, TinyGroupsCollapseToOneBox) {
+  hashing::FairHash hash(1);
+  GridBoxHierarchy h(3, 4, hash);
+  EXPECT_EQ(h.num_phases(), 1u);
+  EXPECT_EQ(h.num_boxes(), 1u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(h.box_of(MemberId{i}).value(), 0u);
+  }
+}
+
+TEST(GridBoxHierarchy, RejectsDegenerateParameters) {
+  hashing::FairHash hash(1);
+  EXPECT_THROW(GridBoxHierarchy(0, 4, hash), PreconditionError);
+  EXPECT_THROW(GridBoxHierarchy(8, 1, hash), PreconditionError);
+}
+
+TEST(GridBoxHierarchy, EveryMemberMapsToAValidBox) {
+  hashing::FairHash hash(2);
+  GridBoxHierarchy h(1000, 4, hash);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_LT(h.box_of(MemberId{i}).value(), h.num_boxes());
+  }
+}
+
+TEST(GridBoxHierarchy, PhaseGroupIsPrefixOfBox) {
+  hashing::FairHash hash(3);
+  GridBoxHierarchy h(256, 4, hash);  // 4 phases, 64 boxes
+  const MemberId m{17};
+  const std::uint64_t box = h.box_of(m).value();
+  EXPECT_EQ(h.phase_group(m, 1), box);
+  EXPECT_EQ(h.phase_group(m, 2), box / 4);
+  EXPECT_EQ(h.phase_group(m, 3), box / 16);
+  EXPECT_EQ(h.phase_group(m, 4), 0u);  // root: everyone together
+}
+
+TEST(GridBoxHierarchy, RootPhaseUnitesEveryone) {
+  hashing::FairHash hash(4);
+  GridBoxHierarchy h(500, 4, hash);
+  for (std::uint32_t i = 1; i < 500; ++i) {
+    EXPECT_TRUE(h.same_phase_group(MemberId{0}, MemberId{i}, h.num_phases()));
+  }
+}
+
+TEST(GridBoxHierarchy, PhaseGroupsAreNested) {
+  // Same group at phase p implies same group at every phase > p.
+  hashing::FairHash hash(5);
+  GridBoxHierarchy h(300, 4, hash);
+  for (std::uint32_t a = 0; a < 50; ++a) {
+    for (std::uint32_t b = a + 1; b < 50; ++b) {
+      for (std::size_t p = 1; p < h.num_phases(); ++p) {
+        if (h.same_phase_group(MemberId{a}, MemberId{b}, p)) {
+          EXPECT_TRUE(h.same_phase_group(MemberId{a}, MemberId{b}, p + 1));
+        }
+      }
+    }
+  }
+}
+
+TEST(GridBoxHierarchy, ChildSlotIdentifiesSubgroupWithinParent) {
+  hashing::FairHash hash(6);
+  GridBoxHierarchy h(256, 4, hash);
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    const MemberId m{i};
+    for (std::size_t p = 2; p <= h.num_phases(); ++p) {
+      const std::uint32_t slot = h.child_slot(m, p);
+      EXPECT_LT(slot, 4u);
+      // The child slot is the digit that refines the parent prefix:
+      // parent_prefix * K + slot == child (phase p-1) prefix.
+      EXPECT_EQ(h.phase_group(m, p) * 4 + slot, h.phase_group(m, p - 1));
+    }
+  }
+}
+
+TEST(GridBoxHierarchy, ChildSlotRejectsPhaseOne) {
+  hashing::FairHash hash(7);
+  GridBoxHierarchy h(64, 4, hash);
+  EXPECT_THROW((void)h.child_slot(MemberId{0}, 1), PreconditionError);
+  EXPECT_THROW((void)h.child_slot(MemberId{0}, h.num_phases() + 1),
+               PreconditionError);
+}
+
+TEST(GridBoxHierarchy, PhasePeersAreExactlyTheSameGroupMinusSelf) {
+  hashing::FairHash hash(8);
+  GridBoxHierarchy h(128, 4, hash);
+  const auto members = member_range(128);
+  const MemberId self{42};
+  for (std::size_t p = 1; p <= h.num_phases(); ++p) {
+    const auto peers = h.phase_peers(members, self, p);
+    std::set<MemberId> peer_set(peers.begin(), peers.end());
+    EXPECT_FALSE(peer_set.contains(self));
+    for (const MemberId m : members) {
+      if (m == self) continue;
+      EXPECT_EQ(peer_set.contains(m), h.same_phase_group(self, m, p));
+    }
+  }
+  // Peer sets grow (weakly) with the phase and end with everyone.
+  EXPECT_EQ(h.phase_peers(members, self, h.num_phases()).size(), 127u);
+}
+
+TEST(GridBoxHierarchy, BoxPopulationAveragesK) {
+  hashing::FairHash hash(9);
+  GridBoxHierarchy h(4096, 4, hash);  // 1024 boxes
+  std::map<GridBoxId, std::size_t> occupancy;
+  for (std::uint32_t i = 0; i < 4096; ++i) ++occupancy[h.box_of(MemberId{i})];
+  std::size_t total = 0;
+  for (const auto& [box, count] : occupancy) total += count;
+  EXPECT_EQ(total, 4096u);
+  // Average K with Poisson spread; no box should be grossly overloaded.
+  for (const auto& [box, count] : occupancy) EXPECT_LE(count, 20u);
+}
+
+TEST(GridBoxHierarchy, AddressRoundTripsThroughBoxId) {
+  hashing::FairHash hash(10);
+  GridBoxHierarchy h(256, 4, hash);
+  for (std::uint64_t b = 0; b < h.num_boxes(); ++b) {
+    const auto addr = h.address_of(GridBoxId{static_cast<std::uint32_t>(b)});
+    EXPECT_EQ(addr.box().value(), b);
+    EXPECT_EQ(addr.digit_count(), h.digit_count());
+    EXPECT_EQ(addr.radix(), 4u);
+  }
+}
+
+TEST(GridBoxHierarchy, HashValueMatchesUnderlyingHash) {
+  hashing::FairHash hash(11);
+  GridBoxHierarchy h(100, 4, hash);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(h.hash_value(MemberId{i}), hash.unit_value(MemberId{i}));
+  }
+}
+
+TEST(GridBoxHierarchy, EstimateToleranceWithinFactorK) {
+  // The hierarchy shape only changes when the estimate crosses a power of K
+  // (the paper's "approximate estimate of N usually suffices").
+  hashing::FairHash hash(12);
+  const GridBoxHierarchy h_low(65, 4, hash);
+  const GridBoxHierarchy h_high(256, 4, hash);
+  EXPECT_EQ(h_low.num_phases(), h_high.num_phases());
+  EXPECT_EQ(h_low.num_boxes(), h_high.num_boxes());
+  for (std::uint32_t i = 0; i < 65; ++i) {
+    EXPECT_EQ(h_low.box_of(MemberId{i}), h_high.box_of(MemberId{i}));
+  }
+}
+
+}  // namespace
+}  // namespace gridbox::hierarchy

@@ -1,0 +1,185 @@
+// Flood-based protocol initiation (§2's multicast start, built from unicast).
+#include "src/protocols/gossip/initiation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/protocols/gossip/hier_gossip.h"
+#include "tests/testing_world.h"
+
+namespace gridbox::protocols::gossip {
+namespace {
+
+using gridbox::testing::World;
+using gridbox::testing::WorldOptions;
+
+struct FloodFixture {
+  explicit FloodFixture(WorldOptions options, FloodConfig config = {})
+      : world(options) {
+    const membership::View view = world.group().full_view();
+    // Callbacks hold references into start_times: size it up front so the
+    // vector never reallocates under them.
+    start_times.reserve(world.group().size());
+    for (const MemberId m : world.group().members()) {
+      start_times.emplace_back();
+      auto& my_start = start_times.back();
+      starters.push_back(std::make_unique<FloodStarter>(
+          m, view, world.simulator(), world.network(),
+          world.rng().derive(0xF100D + m.value()), config,
+          [this, &my_start](std::uint64_t instance) {
+            my_start.push_back({instance, world.simulator().now()});
+          }));
+    }
+    // Attach starters directly (no protocol behind them in these tests).
+    for (std::size_t i = 0; i < starters.size(); ++i) {
+      endpoints.push_back(std::make_unique<StarterEndpoint>(*starters[i]));
+      world.network().attach(world.group().members()[i], *endpoints.back());
+    }
+  }
+
+  struct StarterEndpoint final : net::Endpoint {
+    explicit StarterEndpoint(FloodStarter& s) : starter(&s) {}
+    void on_message(const net::Message& m) override {
+      (void)starter->on_message(m);
+    }
+    FloodStarter* starter;
+  };
+
+  World world;
+  std::vector<std::unique_ptr<FloodStarter>> starters;
+  std::vector<std::unique_ptr<StarterEndpoint>> endpoints;
+  std::vector<std::vector<std::pair<std::uint64_t, SimTime>>> start_times;
+};
+
+TEST(FloodStarter, ReachesEveryMemberLossless) {
+  WorldOptions options;
+  options.group_size = 100;
+  FloodFixture f(options);
+  f.starters[0]->initiate(1);
+  f.world.simulator().run();
+  for (const auto& starts : f.start_times) {
+    ASSERT_EQ(starts.size(), 1u);
+    EXPECT_EQ(starts[0].first, 1u);
+  }
+}
+
+TEST(FloodStarter, StartSkewIsLogarithmicNotLinear) {
+  WorldOptions options;
+  options.group_size = 128;
+  FloodFixture f(options);
+  f.starters[0]->initiate(1);
+  f.world.simulator().run();
+  SimTime last = SimTime::zero();
+  for (const auto& starts : f.start_times) {
+    last = std::max(last, starts.at(0).second);
+  }
+  // Fanout 3, 128 members: everyone starts within ~log_3(128) ~= 5 rounds
+  // (10ms each) plus latency; allow 10 rounds of slack.
+  EXPECT_LE(last, SimTime::millis(100));
+}
+
+TEST(FloodStarter, DuplicateStartsFireCallbackOnce) {
+  WorldOptions options;
+  options.group_size = 30;
+  FloodFixture f(options);
+  f.starters[0]->initiate(1);
+  f.starters[5]->initiate(1);  // concurrent second initiator, same instance
+  f.world.simulator().run();
+  for (const auto& starts : f.start_times) {
+    EXPECT_EQ(starts.size(), 1u);  // every member started exactly once
+  }
+}
+
+TEST(FloodStarter, SurvivesHeavyLoss) {
+  WorldOptions options;
+  options.group_size = 100;
+  options.loss = 0.5;
+  FloodConfig config;
+  config.fanout = 4;
+  config.repeat_rounds = 6;
+  FloodFixture f(options, config);
+  f.starters[0]->initiate(1);
+  f.world.simulator().run();
+  std::size_t reached = 0;
+  for (const auto& starts : f.start_times) reached += starts.size();
+  EXPECT_GE(reached, 95u);  // epidemic floods shrug off 50% loss
+}
+
+TEST(FloodStarter, SuccessiveInstancesEachFireOnce) {
+  WorldOptions options;
+  options.group_size = 40;
+  FloodFixture f(options);
+  f.starters[0]->initiate(1);
+  f.world.simulator().run();
+  f.starters[0]->initiate(2);
+  f.world.simulator().run();
+  for (const auto& starts : f.start_times) {
+    ASSERT_EQ(starts.size(), 2u);
+    EXPECT_EQ(starts[0].first, 1u);
+    EXPECT_EQ(starts[1].first, 2u);
+  }
+}
+
+TEST(FloodStarter, StaleInstanceIsIgnored) {
+  WorldOptions options;
+  options.group_size = 10;
+  FloodFixture f(options);
+  f.starters[0]->initiate(5);
+  f.world.simulator().run();
+  f.starters[0]->initiate(3);  // older instance: no effect anywhere
+  f.world.simulator().run();
+  for (const auto& starts : f.start_times) {
+    EXPECT_EQ(starts.size(), 1u);
+    EXPECT_EQ(starts[0].first, 5u);
+  }
+}
+
+TEST(FloodInitiation, EndToEndGossipStartedByFlood) {
+  // The full §2 picture: an initiator floods START; each member's callback
+  // launches its HierGossipNode; the aggregation completes group-wide.
+  WorldOptions options;
+  options.group_size = 64;
+  options.k = 4;
+  World world(options);
+
+  GossipConfig gossip_config;
+  gossip_config.k = 4;
+  gossip_config.fanout_m = 2;
+  gossip_config.round_multiplier_c = 3.0;
+
+  const membership::View view = world.group().full_view();
+  std::vector<std::unique_ptr<HierGossipNode>> nodes;
+  std::vector<std::unique_ptr<FloodStarter>> starters;
+  std::vector<std::unique_ptr<MessageDemux>> demuxes;
+
+  for (const MemberId m : world.group().members()) {
+    nodes.push_back(std::make_unique<HierGossipNode>(
+        m, world.votes().of(m), view, world.env(),
+        world.rng().derive(0x1000 + m.value()), gossip_config));
+    HierGossipNode* node = nodes.back().get();
+    starters.push_back(std::make_unique<FloodStarter>(
+        m, view, world.simulator(), world.network(),
+        world.rng().derive(0x2000 + m.value()), FloodConfig{},
+        [node, &world](std::uint64_t) {
+          node->start(world.simulator().now());
+        }));
+    demuxes.push_back(
+        std::make_unique<MessageDemux>(*starters.back(), *node));
+    world.network().attach(m, *demuxes.back());
+  }
+
+  starters[17]->initiate(1);  // any member can initiate
+  world.simulator().run();
+
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(node->finished());
+    // Flood skew costs at most a few votes; coverage stays near-total.
+    EXPECT_GE(node->outcome().estimate.count(), 60u);
+  }
+  EXPECT_EQ(world.audit()->violation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace gridbox::protocols::gossip

@@ -1,0 +1,181 @@
+// Cross-module end-to-end checks: the contracts the paper's claims rest on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/analysis/completeness.h"
+#include "src/runner/experiment.h"
+#include "src/runner/sweep.h"
+
+namespace gridbox {
+namespace {
+
+using runner::ExperimentConfig;
+using runner::ProtocolKind;
+using runner::RunResult;
+using runner::run_experiment;
+
+ExperimentConfig paper_defaults() {
+  // §7: N=200, ucastl=0.25, pf=0.001, K=4, M=2, C=1.0.
+  ExperimentConfig config;
+  config.group_size = 200;
+  config.ucast_loss = 0.25;
+  config.crash_probability = 0.001;
+  config.gossip.k = 4;
+  config.gossip.fanout_m = 2;
+  config.gossip.round_multiplier_c = 1.0;
+  return config;
+}
+
+TEST(Integration, PaperDefaultsDeliverHighCompleteness) {
+  // At the paper's default operating point the measured incompleteness is
+  // small (Figures 6-8 place it around 1e-3..1e-2); average over seeds.
+  double total = 0.0;
+  constexpr int kRuns = 10;
+  for (int run = 0; run < kRuns; ++run) {
+    ExperimentConfig config = paper_defaults();
+    config.seed = 100 + run;
+    total += run_experiment(config).measurement.mean_completeness;
+  }
+  const double mean = total / kRuns;
+  EXPECT_GT(mean, 0.85);
+  EXPECT_LE(mean, 1.0);
+}
+
+TEST(Integration, GossipDegradesGracefullyWhereLeaderIsCatastrophic) {
+  // The paper's core robustness claim (§6.2 vs §6.3): under member crashes,
+  // hierarchical gossip *degrades gracefully* — every run keeps most votes —
+  // while single-leader aggregation has catastrophic runs: a leader crash at
+  // height i silently drops ~K^i votes, and a root-leader crash drops all.
+  double gossip_worst = 1.0;
+  double leader_worst = 1.0;
+  constexpr int kRuns = 12;
+  for (int run = 0; run < kRuns; ++run) {
+    ExperimentConfig config = paper_defaults();
+    config.group_size = 128;
+    config.ucast_loss = 0.05;
+    config.crash_probability = 0.02;  // aggressive: make failures common
+    config.gossip.round_multiplier_c = 2.0;
+    config.seed = 200 + run;
+    gossip_worst = std::min(
+        gossip_worst, run_experiment(config).measurement.mean_completeness);
+
+    config.protocol = ProtocolKind::kLeaderElection;
+    leader_worst = std::min(
+        leader_worst, run_experiment(config).measurement.mean_completeness);
+  }
+  EXPECT_GT(gossip_worst, 0.6);   // graceful: no run collapses
+  EXPECT_LT(leader_worst, 0.5);   // catastrophic: some run loses big subtrees
+  EXPECT_GT(gossip_worst, leader_worst);
+}
+
+TEST(Integration, GossipMessageCountIsNLog2NishNotN2) {
+  // O(N log^2 N): far fewer messages than all-to-all at the same N, and the
+  // per-member message count grows ~log^2 N.
+  ExperimentConfig config = paper_defaults();
+  config.group_size = 256;
+  config.ucast_loss = 0.0;
+  config.crash_probability = 0.0;
+  config.gossip.early_bump = false;  // full budget: worst case
+  const RunResult gossip = run_experiment(config);
+
+  config.protocol = ProtocolKind::kFullyDistributed;
+  const RunResult full = run_experiment(config);
+
+  EXPECT_LT(gossip.measurement.network_messages,
+            full.measurement.network_messages / 3);
+  // Exact worst-case budget: N * phases * rounds/phase * M.
+  const std::uint64_t budget = 256ull * 4 * 8 * 2;
+  EXPECT_LE(gossip.measurement.network_messages, budget);
+}
+
+TEST(Integration, GossipTimeComplexityGrowsPolyLog) {
+  // Rounds executed ~ phases * rounds_per_phase = O(log^2 N): going from
+  // N=64 to N=4096 (64x) should grow rounds by ~(phases 3->6, rounds 6->12),
+  // i.e. about 4x, nothing near 64x.
+  const auto rounds_for = [](std::size_t n) {
+    ExperimentConfig config;
+    config.group_size = n;
+    config.ucast_loss = 0.0;
+    config.crash_probability = 0.0;
+    config.gossip.early_bump = false;
+    return run_experiment(config).measurement.max_rounds;
+  };
+  const auto r_small = rounds_for(64);
+  const auto r_big = rounds_for(4096);
+  EXPECT_LT(r_big, r_small * 8);
+}
+
+TEST(Integration, AuditPassesAcrossAllProtocolsUnderFaults) {
+  for (const ProtocolKind kind :
+       {ProtocolKind::kHierGossip, ProtocolKind::kFullyDistributed,
+        ProtocolKind::kCentralized, ProtocolKind::kLeaderElection,
+        ProtocolKind::kCommittee}) {
+    ExperimentConfig config = paper_defaults();
+    config.protocol = kind;
+    config.group_size = 96;
+    config.ucast_loss = 0.3;
+    config.crash_probability = 0.005;
+    config.audit = true;
+    config.committee.committee_size = 2;
+    const RunResult r = run_experiment(config);
+    EXPECT_EQ(r.measurement.audit_violations, 0u) << runner::to_string(kind);
+  }
+}
+
+TEST(Integration, EstimateErrorShrinksWithCompleteness) {
+  // §2: with votes that don't differ vastly, completeness ~ accuracy. The
+  // mean absolute estimate error at low loss must be below the error at
+  // high loss.
+  const auto error_at = [](double loss) {
+    double total = 0.0;
+    constexpr int kRuns = 8;
+    for (int run = 0; run < kRuns; ++run) {
+      ExperimentConfig config;
+      config.group_size = 150;
+      config.ucast_loss = loss;
+      config.crash_probability = 0.0;
+      config.seed = 40 + run;
+      total += run_experiment(config).measurement.mean_abs_error;
+    }
+    return total / kRuns;
+  };
+  EXPECT_LE(error_at(0.1), error_at(0.65));
+}
+
+TEST(Integration, MinMaxAggregatesAreExactOnceSeen) {
+  // For min/max, any estimate that saw the extreme vote is exactly right;
+  // lossless runs must produce the exact extreme at every member.
+  for (const agg::AggregateKind kind :
+       {agg::AggregateKind::kMin, agg::AggregateKind::kMax}) {
+    ExperimentConfig config;
+    config.group_size = 64;
+    config.ucast_loss = 0.0;
+    config.crash_probability = 0.0;
+    config.gossip.round_multiplier_c = 4.0;  // lossless + generous: exact
+    config.aggregate = kind;
+    const RunResult r = run_experiment(config);
+    EXPECT_DOUBLE_EQ(r.measurement.mean_abs_error, 0.0);
+  }
+}
+
+TEST(Integration, SimulatedCompletenessIsNotWildlyBelowTheoryAtHighB) {
+  // With C large enough that effective b >= 4, Theorem 1 promises >= 1-1/N.
+  // The simulation (asynchronous, uniform latencies) should land in the same
+  // regime: incompleteness comparable to 1/N, not orders of magnitude worse.
+  ExperimentConfig config;
+  config.group_size = 200;
+  config.ucast_loss = 0.0;
+  config.crash_probability = 0.0;
+  config.gossip.round_multiplier_c = 6.0;  // b ~ 1.5 per analysis round
+  double worst = 0.0;
+  for (int run = 0; run < 5; ++run) {
+    config.seed = 300 + run;
+    worst = std::max(worst,
+                     run_experiment(config).measurement.mean_incompleteness);
+  }
+  EXPECT_LE(worst, 0.01);  // 1/N would be 0.005
+}
+
+}  // namespace
+}  // namespace gridbox

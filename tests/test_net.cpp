@@ -1,0 +1,241 @@
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/ensure.h"
+#include "src/net/fault_model.h"
+#include "src/net/latency_model.h"
+#include "src/net/message.h"
+
+namespace gridbox::net {
+namespace {
+
+class Recorder final : public Endpoint {
+ public:
+  void on_message(const Message& message) override {
+    received.push_back(message);
+  }
+  std::vector<Message> received;
+};
+
+Message make_message(std::uint32_t from, std::uint32_t to,
+                     std::vector<std::uint8_t> bytes = {1, 2, 3}) {
+  return Message{MemberId{from}, MemberId{to}, Payload{std::move(bytes)}};
+}
+
+TEST(Payload, EnforcesSizeBound) {
+  EXPECT_NO_THROW(Payload{std::vector<std::uint8_t>(kMaxPayloadBytes, 0)});
+  EXPECT_THROW(Payload{std::vector<std::uint8_t>(kMaxPayloadBytes + 1, 0)},
+               PreconditionError);
+}
+
+TEST(IndependentLoss, ZeroNeverDrops) {
+  IndependentLoss model(0.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(model.drops(MemberId{0}, MemberId{1}, rng));
+  }
+}
+
+TEST(IndependentLoss, OneAlwaysDrops) {
+  IndependentLoss model(1.0);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(model.drops(MemberId{0}, MemberId{1}, rng));
+  }
+}
+
+TEST(IndependentLoss, EmpiricalRateMatches) {
+  IndependentLoss model(0.25);
+  Rng rng(3);
+  int drops = 0;
+  constexpr int kTrials = 100'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (model.drops(MemberId{0}, MemberId{1}, rng)) ++drops;
+  }
+  EXPECT_NEAR(static_cast<double>(drops) / kTrials, 0.25, 0.01);
+}
+
+TEST(IndependentLoss, RejectsOutOfRangeProbability) {
+  EXPECT_THROW(IndependentLoss{-0.1}, PreconditionError);
+  EXPECT_THROW(IndependentLoss{1.1}, PreconditionError);
+}
+
+TEST(PartitionLoss, CrossAndWithinRatesDiffer) {
+  const auto model = PartitionLoss::split_at(50, 0.0, 1.0);
+  Rng rng(4);
+  // Within partition (both < 50): never dropped (within_loss = 0).
+  EXPECT_FALSE(model->drops(MemberId{1}, MemberId{2}, rng));
+  EXPECT_FALSE(model->drops(MemberId{60}, MemberId{70}, rng));
+  // Across: always dropped (cross_loss = 1).
+  EXPECT_TRUE(model->drops(MemberId{1}, MemberId{60}, rng));
+  EXPECT_TRUE(model->drops(MemberId{60}, MemberId{1}, rng));
+}
+
+TEST(PartitionLoss, EmpiricalCrossRate) {
+  const auto model = PartitionLoss::split_at(10, 0.1, 0.6);
+  Rng rng(5);
+  int within = 0;
+  int cross = 0;
+  constexpr int kTrials = 50'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (model->drops(MemberId{0}, MemberId{1}, rng)) ++within;
+    if (model->drops(MemberId{0}, MemberId{20}, rng)) ++cross;
+  }
+  EXPECT_NEAR(static_cast<double>(within) / kTrials, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(cross) / kTrials, 0.6, 0.01);
+}
+
+TEST(LinkOverrideLoss, OverridesOnlyConfiguredLinks) {
+  auto model = std::make_unique<LinkOverrideLoss>(std::make_unique<NoLoss>());
+  model->set_link(MemberId{1}, MemberId{2}, 1.0);
+  Rng rng(6);
+  EXPECT_TRUE(model->drops(MemberId{1}, MemberId{2}, rng));
+  EXPECT_FALSE(model->drops(MemberId{2}, MemberId{1}, rng));  // directed
+  EXPECT_FALSE(model->drops(MemberId{3}, MemberId{4}, rng));
+}
+
+TEST(ConstantLatency, ReturnsConfiguredDelay) {
+  ConstantLatency model(SimTime{123});
+  Rng rng(7);
+  EXPECT_EQ(model.delay(MemberId{0}, MemberId{1}, rng), SimTime{123});
+}
+
+TEST(UniformLatency, StaysInRange) {
+  UniformLatency model(SimTime{10}, SimTime{20});
+  Rng rng(8);
+  for (int i = 0; i < 10'000; ++i) {
+    const SimTime d = model.delay(MemberId{0}, MemberId{1}, rng);
+    ASSERT_GE(d.ticks(), 10);
+    ASSERT_LE(d.ticks(), 20);
+  }
+}
+
+TEST(ExponentialLatency, RespectsBaseAndCap) {
+  ExponentialLatency model(SimTime{100}, SimTime{50}, SimTime{200});
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const SimTime d = model.delay(MemberId{0}, MemberId{1}, rng);
+    ASSERT_GE(d.ticks(), 100);
+    ASSERT_LE(d.ticks(), 300);
+  }
+}
+
+TEST(DistanceLatency, GrowsWithDistance) {
+  const auto pos = [](MemberId m) {
+    return m.value() == 0 ? Position{0.0, 0.0} : Position{3.0, 4.0};
+  };
+  DistanceLatency model(pos, SimTime{10}, SimTime{100});
+  Rng rng(10);
+  EXPECT_EQ(model.delay(MemberId{0}, MemberId{0}, rng), SimTime{10});
+  // Distance 5 -> 10 + 500.
+  EXPECT_EQ(model.delay(MemberId{0}, MemberId{1}, rng), SimTime{510});
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void make_network(std::unique_ptr<FaultModel> faults,
+                    SimTime latency = SimTime{5}) {
+    network_ = std::make_unique<SimNetwork>(
+        simulator_, std::move(faults),
+        std::make_unique<ConstantLatency>(latency), Rng{42});
+  }
+
+  sim::Simulator simulator_;
+  std::unique_ptr<SimNetwork> network_;
+};
+
+TEST_F(NetworkTest, DeliversAfterLatency) {
+  make_network(std::make_unique<NoLoss>(), SimTime{7});
+  Recorder rx;
+  network_->attach(MemberId{1}, rx);
+  network_->send(make_message(0, 1));
+  simulator_.run();
+  ASSERT_EQ(rx.received.size(), 1u);
+  EXPECT_EQ(simulator_.now(), SimTime{7});
+  EXPECT_EQ(rx.received[0].source, MemberId{0});
+  EXPECT_EQ(network_->stats().messages_delivered, 1u);
+}
+
+TEST_F(NetworkTest, DropsByFaultModel) {
+  make_network(std::make_unique<IndependentLoss>(1.0));
+  Recorder rx;
+  network_->attach(MemberId{1}, rx);
+  for (int i = 0; i < 10; ++i) network_->send(make_message(0, 1));
+  simulator_.run();
+  EXPECT_TRUE(rx.received.empty());
+  EXPECT_EQ(network_->stats().messages_sent, 10u);
+  EXPECT_EQ(network_->stats().messages_dropped, 10u);
+  EXPECT_EQ(network_->stats().messages_delivered, 0u);
+}
+
+TEST_F(NetworkTest, UnattachedDestinationCountsDeadDest) {
+  make_network(std::make_unique<NoLoss>());
+  network_->send(make_message(0, 9));
+  simulator_.run();
+  EXPECT_EQ(network_->stats().messages_dead_dest, 1u);
+}
+
+TEST_F(NetworkTest, DetachedEndpointMissesInFlightMessages) {
+  make_network(std::make_unique<NoLoss>());
+  Recorder rx;
+  network_->attach(MemberId{1}, rx);
+  network_->send(make_message(0, 1));
+  network_->detach(MemberId{1});
+  simulator_.run();
+  EXPECT_TRUE(rx.received.empty());
+  EXPECT_EQ(network_->stats().messages_dead_dest, 1u);
+}
+
+TEST_F(NetworkTest, LivenessGateBlocksDeliveryAtArrivalTime) {
+  make_network(std::make_unique<NoLoss>());
+  Recorder rx;
+  bool alive = true;
+  network_->attach(MemberId{1}, rx);
+  network_->set_liveness([&alive](MemberId) { return alive; });
+  network_->send(make_message(0, 1));
+  // Crash strictly before the delivery event fires.
+  simulator_.schedule_at(SimTime{1}, [&alive] { alive = false; });
+  simulator_.run();
+  EXPECT_TRUE(rx.received.empty());
+  EXPECT_EQ(network_->stats().messages_dead_dest, 1u);
+}
+
+TEST_F(NetworkTest, SelfSendIsDelivered) {
+  make_network(std::make_unique<NoLoss>());
+  Recorder rx;
+  network_->attach(MemberId{3}, rx);
+  network_->send(make_message(3, 3));
+  simulator_.run();
+  EXPECT_EQ(rx.received.size(), 1u);
+}
+
+TEST_F(NetworkTest, BytesAndDistanceAccounting) {
+  make_network(std::make_unique<NoLoss>());
+  Recorder rx;
+  network_->attach(MemberId{1}, rx);
+  network_->set_distance([](MemberId, MemberId) { return 2.5; });
+  network_->send(make_message(0, 1, {1, 2, 3, 4}));
+  network_->send(make_message(0, 1, {1}));
+  simulator_.run();
+  EXPECT_EQ(network_->stats().bytes_sent, 5u);
+  EXPECT_DOUBLE_EQ(network_->stats().link_distance_sum, 5.0);
+}
+
+TEST_F(NetworkTest, EmpiricalDeliveryRateTracksLossModel) {
+  make_network(std::make_unique<IndependentLoss>(0.3));
+  Recorder rx;
+  network_->attach(MemberId{1}, rx);
+  constexpr int kSends = 20'000;
+  for (int i = 0; i < kSends; ++i) network_->send(make_message(0, 1));
+  simulator_.run();
+  EXPECT_NEAR(network_->stats().delivery_rate(), 0.7, 0.02);
+  EXPECT_EQ(rx.received.size(), network_->stats().messages_delivered);
+}
+
+}  // namespace
+}  // namespace gridbox::net

@@ -1,0 +1,160 @@
+// Periodic aggregation service (§2's "periodically calculates" extension).
+#include "src/protocols/gossip/periodic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tests/testing_world.h"
+
+namespace gridbox::protocols::gossip {
+namespace {
+
+using gridbox::testing::World;
+using gridbox::testing::WorldOptions;
+
+PeriodicConfig periodic_config(std::size_t epochs) {
+  PeriodicConfig config;
+  config.gossip.k = 4;
+  config.gossip.fanout_m = 2;
+  config.gossip.round_multiplier_c = 2.0;
+  config.period = SimTime::seconds(1);
+  config.epochs = epochs;
+  config.max_latency = SimTime::millis(5);
+  return config;
+}
+
+std::vector<std::unique_ptr<PeriodicAggregatorNode>> make_periodic_nodes(
+    World& world, const PeriodicConfig& config,
+    const std::function<double(MemberId, std::size_t)>& vote_fn) {
+  std::vector<std::unique_ptr<PeriodicAggregatorNode>> nodes;
+  const membership::View view = world.group().full_view();
+  for (const MemberId m : world.group().members()) {
+    nodes.push_back(std::make_unique<PeriodicAggregatorNode>(
+        m, [m, vote_fn](std::size_t epoch) { return vote_fn(m, epoch); },
+        view, world.env(), world.rng().derive(0x9E10D1C + m.value()),
+        config));
+    world.network().attach(m, *nodes.back());
+  }
+  return nodes;
+}
+
+TEST(Periodic, RunsTheConfiguredNumberOfEpochs) {
+  WorldOptions options;
+  options.group_size = 32;
+  options.audit = false;
+  World world(options);
+  auto nodes = make_periodic_nodes(
+      world, periodic_config(3),
+      [](MemberId m, std::size_t epoch) {
+        return static_cast<double>(m.value()) + 100.0 * static_cast<double>(epoch);
+      });
+  for (auto& node : nodes) node->start(SimTime::zero());
+  world.simulator().run();
+
+  for (const auto& node : nodes) {
+    ASSERT_EQ(node->history().size(), 3u);
+    for (const auto& outcome : node->history()) {
+      EXPECT_TRUE(outcome.finished);
+      EXPECT_EQ(outcome.estimate.count(), 32u);
+    }
+  }
+}
+
+TEST(Periodic, EpochEstimatesTrackChangingVotes) {
+  // Votes shift by +100 per epoch; every epoch's average must follow.
+  WorldOptions options;
+  options.group_size = 32;
+  options.audit = false;
+  World world(options);
+  auto nodes = make_periodic_nodes(
+      world, periodic_config(3),
+      [](MemberId m, std::size_t epoch) {
+        return static_cast<double>(m.value()) +
+               100.0 * static_cast<double>(epoch);
+      });
+  for (auto& node : nodes) node->start(SimTime::zero());
+  world.simulator().run();
+
+  const double base_avg = 15.5;  // mean of 0..31
+  for (const auto& node : nodes) {
+    for (std::size_t epoch = 0; epoch < 3; ++epoch) {
+      EXPECT_DOUBLE_EQ(node->history()[epoch].estimate.value(
+                           agg::AggregateKind::kAverage),
+                       base_avg + 100.0 * static_cast<double>(epoch));
+    }
+  }
+}
+
+TEST(Periodic, LatestPointsAtNewestEstimate) {
+  WorldOptions options;
+  options.group_size = 16;
+  options.audit = false;
+  World world(options);
+  auto nodes = make_periodic_nodes(
+      world, periodic_config(2),
+      [](MemberId, std::size_t epoch) { return static_cast<double>(epoch); });
+  EXPECT_EQ(nodes[0]->latest(), nullptr);
+  for (auto& node : nodes) node->start(SimTime::zero());
+  world.simulator().run();
+  ASSERT_NE(nodes[0]->latest(), nullptr);
+  EXPECT_DOUBLE_EQ(
+      nodes[0]->latest()->estimate.value(agg::AggregateKind::kAverage), 1.0);
+}
+
+TEST(Periodic, RejectsOverlappingEpochs) {
+  WorldOptions options;
+  options.group_size = 32;
+  options.audit = false;
+  World world(options);
+  PeriodicConfig config = periodic_config(2);
+  config.period = SimTime::millis(50);  // far below the instance duration
+  const membership::View view = world.group().full_view();
+  EXPECT_THROW(PeriodicAggregatorNode(
+                   MemberId{0}, [](std::size_t) { return 1.0; }, view,
+                   world.env(), Rng{1}, config),
+               PreconditionError);
+}
+
+TEST(Periodic, CrashedMemberLeavesUnfinishedEpochs) {
+  WorldOptions options;
+  options.group_size = 32;
+  options.audit = false;
+  World world(options);
+  auto nodes = make_periodic_nodes(
+      world, periodic_config(2),
+      [](MemberId, std::size_t) { return 1.0; });
+  for (auto& node : nodes) node->start(SimTime::zero());
+  // Kill member 3 during epoch 0.
+  world.simulator().schedule_at(SimTime::millis(5), [&world] {
+    world.group().crash(MemberId{3});
+  });
+  world.simulator().run();
+
+  EXPECT_EQ(nodes[3]->history().size(), 2u);
+  EXPECT_FALSE(nodes[3]->history()[0].finished);
+  EXPECT_FALSE(nodes[3]->history()[1].finished);
+  // Everyone else completes both epochs (possibly missing the dead member's
+  // later votes).
+  for (const auto& node : nodes) {
+    if (node->self() == MemberId{3}) continue;
+    ASSERT_EQ(node->history().size(), 2u);
+    EXPECT_TRUE(node->history()[0].finished);
+    EXPECT_TRUE(node->history()[1].finished);
+    EXPECT_GE(node->history()[1].estimate.count(), 31u);
+  }
+}
+
+TEST(Periodic, StartTwiceThrows) {
+  WorldOptions options;
+  options.group_size = 16;
+  options.audit = false;
+  World world(options);
+  auto nodes = make_periodic_nodes(world, periodic_config(1),
+                                   [](MemberId, std::size_t) { return 1.0; });
+  nodes[0]->start(SimTime::zero());
+  EXPECT_THROW(nodes[0]->start(SimTime::zero()), PreconditionError);
+}
+
+}  // namespace
+}  // namespace gridbox::protocols::gossip

@@ -1,0 +1,180 @@
+// Parameterized property sweeps: invariants that must hold across the whole
+// (N, K, M, loss) grid, not just at hand-picked points.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/runner/experiment.h"
+
+namespace gridbox {
+namespace {
+
+using runner::ExperimentConfig;
+using runner::ProtocolKind;
+using runner::RunResult;
+using runner::run_experiment;
+
+// ---------------------------------------------------------------------------
+// Invariant 1: lossless + crash-free + a generous gossip budget =>
+// near-exact completeness for every hierarchy shape. (Exactness is not
+// guaranteed even lossless — the paper's Figure 11 shows small nonzero
+// incompleteness from asynchronous phase bumping — but with C = 4 the
+// residual is far below half a percent.)
+class LosslessExactness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint32_t,
+                                                 std::uint32_t>> {};
+
+TEST_P(LosslessExactness, CompletenessIsNearlyOne) {
+  const auto [n, k, m] = GetParam();
+  ExperimentConfig config;
+  config.group_size = n;
+  config.ucast_loss = 0.0;
+  config.crash_probability = 0.0;
+  config.gossip.k = k;
+  config.gossip.fanout_m = m;
+  // Phase length must scale with K (the analysis uses K·log N rounds): each
+  // phase spreads up to K concurrent values, so budget C proportional to K —
+  // and doubled again for single-gossipee rounds, which halve the push rate.
+  config.gossip.round_multiplier_c = 2.0 * k * (m == 1 ? 2.0 : 1.0);
+  config.audit = true;
+  const RunResult r = run_experiment(config);
+  EXPECT_GE(r.measurement.mean_completeness, 0.995)
+      << "N=" << n << " K=" << k << " M=" << m;
+  EXPECT_EQ(r.measurement.finished_nodes, n);
+  EXPECT_EQ(r.measurement.audit_violations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LosslessExactness,
+    ::testing::Combine(::testing::Values<std::size_t>(8, 50, 128, 300),
+                       ::testing::Values<std::uint32_t>(2, 4, 8),
+                       ::testing::Values<std::uint32_t>(1, 2, 4)),
+    [](const auto& info) {
+      return "N" + std::to_string(std::get<0>(info.param)) + "_K" +
+             std::to_string(std::get<1>(info.param)) + "_M" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Invariant 2: under any loss/crash mix, no double counting, count <= N,
+// survivors' estimates stay within the true vote range (min/max safety).
+class FaultSafety
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FaultSafety, EstimatesAreSaneAndAuditClean) {
+  const auto [loss, pf] = GetParam();
+  ExperimentConfig config;
+  config.group_size = 120;
+  config.ucast_loss = loss;
+  config.crash_probability = pf;
+  config.audit = true;
+  config.seed = static_cast<std::uint64_t>(loss * 100 + pf * 10000 + 7);
+  const RunResult r = run_experiment(config);
+
+  EXPECT_EQ(r.measurement.audit_violations, 0u);
+  EXPECT_LE(r.measurement.mean_completeness, 1.0);
+  EXPECT_GE(r.measurement.mean_completeness, 0.0);
+  EXPECT_LE(r.measurement.survivors, 120u);
+  // Average estimates live inside the vote range [15, 35): any value outside
+  // would indicate corruption rather than mere incompleteness.
+  EXPECT_GE(r.measurement.true_value, 15.0);
+  EXPECT_LT(r.measurement.true_value, 35.0);
+  if (r.measurement.finished_nodes > 0) {
+    EXPECT_LE(r.measurement.mean_abs_error, 20.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LossCrashGrid, FaultSafety,
+    ::testing::Combine(::testing::Values(0.0, 0.25, 0.5, 0.7),
+                       ::testing::Values(0.0, 0.002, 0.01)),
+    [](const auto& info) {
+      return "loss" +
+             std::to_string(static_cast<int>(std::get<0>(info.param) * 100)) +
+             "_pf" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 1000));
+    });
+
+// ---------------------------------------------------------------------------
+// Invariant 3: monotonicity in the gossip budget — more rounds per phase
+// never hurts (averaged across seeds).
+TEST(Monotonicity, MoreGossipRoundsNeverHurt) {
+  const auto mean_incompleteness = [](double c) {
+    double total = 0.0;
+    constexpr int kRuns = 12;
+    for (int run = 0; run < kRuns; ++run) {
+      ExperimentConfig config;
+      config.group_size = 150;
+      config.ucast_loss = 0.35;
+      config.crash_probability = 0.0;
+      config.gossip.round_multiplier_c = c;
+      config.seed = 500 + run;
+      total += run_experiment(config).measurement.mean_incompleteness;
+    }
+    return total / kRuns;
+  };
+  const double at1 = mean_incompleteness(1.0);
+  const double at3 = mean_incompleteness(3.0);
+  const double at5 = mean_incompleteness(5.0);
+  EXPECT_GE(at1, at3 * 0.9);  // allow statistical wiggle
+  EXPECT_GE(at3, at5 * 0.9);
+  EXPECT_LT(at5, at1 + 1e-12);
+}
+
+// Invariant 4: monotonicity in loss — a lossier network can only reduce
+// average completeness (averaged across seeds).
+TEST(Monotonicity, HigherLossNeverHelps) {
+  const auto mean_completeness = [](double loss) {
+    double total = 0.0;
+    constexpr int kRuns = 12;
+    for (int run = 0; run < kRuns; ++run) {
+      ExperimentConfig config;
+      config.group_size = 150;
+      config.ucast_loss = loss;
+      config.crash_probability = 0.0;
+      config.seed = 900 + run;
+      total += run_experiment(config).measurement.mean_completeness;
+    }
+    return total / kRuns;
+  };
+  const double at0 = mean_completeness(0.0);
+  const double at40 = mean_completeness(0.4);
+  const double at70 = mean_completeness(0.7);
+  EXPECT_GE(at0 + 1e-9, at40);
+  EXPECT_GE(at40 * 1.02, at70);  // wiggle room for seed noise
+}
+
+// ---------------------------------------------------------------------------
+// Invariant 5: all aggregate kinds agree on coverage — the protocol moves
+// partials, so switching the extracted kind must not change completeness.
+class KindIndependence : public ::testing::TestWithParam<agg::AggregateKind> {
+};
+
+TEST_P(KindIndependence, CompletenessIndependentOfKind) {
+  ExperimentConfig config;
+  config.group_size = 100;
+  config.ucast_loss = 0.3;
+  config.crash_probability = 0.0;
+  config.seed = 77;
+  config.aggregate = GetParam();
+  const RunResult r = run_experiment(config);
+
+  ExperimentConfig baseline = config;
+  baseline.aggregate = agg::AggregateKind::kAverage;
+  const RunResult b = run_experiment(baseline);
+  EXPECT_DOUBLE_EQ(r.measurement.mean_completeness,
+                   b.measurement.mean_completeness);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, KindIndependence,
+    ::testing::Values(agg::AggregateKind::kAverage, agg::AggregateKind::kSum,
+                      agg::AggregateKind::kMin, agg::AggregateKind::kMax,
+                      agg::AggregateKind::kCount, agg::AggregateKind::kRange,
+                      agg::AggregateKind::kStdDev),
+    [](const ::testing::TestParamInfo<agg::AggregateKind>& info) {
+      return agg::to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace gridbox

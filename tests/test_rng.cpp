@@ -1,0 +1,206 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace gridbox {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+}
+
+TEST(SplitMix64, DistinctInputsGiveDistinctOutputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10'000; ++i) outputs.insert(splitmix64(i));
+  EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+TEST(Xoshiro256, SameSeedSameSequence) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro256, LongJumpDecorrelates) {
+  Xoshiro256 a(9);
+  Xoshiro256 b(9);
+  b.long_jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 100'000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanIsHalf) {
+  Rng rng(12);
+  double sum = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversFullRangeInclusive) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9u);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(15);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), PreconditionError);
+}
+
+TEST(Rng, UniformIntIsApproximatelyUniform) {
+  Rng rng(16);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_int(0, 9)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 10 * 0.1);
+  }
+}
+
+TEST(Rng, IndexRequiresPositiveN) {
+  Rng rng(17);
+  EXPECT_THROW((void)rng.index(0), PreconditionError);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(18);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(20);
+  double sum = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng rng(21);
+  EXPECT_THROW((void)rng.exponential(0.0), PreconditionError);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(22);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kDraws = 200'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(24);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto sample = rng.sample_indices(50, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+    for (const std::size_t i : sample) EXPECT_LT(i, 50u);
+  }
+}
+
+TEST(Rng, SampleIndicesKAtLeastNReturnsAll) {
+  Rng rng(25);
+  const auto sample = rng.sample_indices(5, 10);
+  ASSERT_EQ(sample.size(), 5u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleIndicesIsUniform) {
+  // Each index should appear in a k-of-n sample with probability k/n.
+  Rng rng(26);
+  constexpr int kTrials = 50'000;
+  std::vector<int> hits(8, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    for (const std::size_t i : rng.sample_indices(8, 2)) ++hits[i];
+  }
+  for (const int h : hits) {
+    EXPECT_NEAR(static_cast<double>(h) / kTrials, 0.25, 0.02);
+  }
+}
+
+TEST(Rng, DeriveIsDeterministicAndIndependent) {
+  const Rng root(99);
+  Rng a1 = root.derive(1);
+  Rng a2 = root.derive(1);
+  Rng b = root.derive(2);
+  int equal_ab = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a1.raw();
+    EXPECT_EQ(va, a2.raw());
+    if (va == b.raw()) ++equal_ab;
+  }
+  EXPECT_LT(equal_ab, 5);
+}
+
+}  // namespace
+}  // namespace gridbox

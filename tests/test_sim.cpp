@@ -1,0 +1,164 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/ensure.h"
+#include "src/sim/event_queue.h"
+
+namespace gridbox::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(SimTime{30}, [&] { fired.push_back(3); });
+  q.push(SimTime{10}, [&] { fired.push_back(1); });
+  q.push(SimTime{20}, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(SimTime{5}, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW((void)q.pop(), PreconditionError);
+}
+
+TEST(EventQueue, NextTimePeeksEarliest) {
+  EventQueue q;
+  q.push(SimTime{42}, [] {});
+  q.push(SimTime{7}, [] {});
+  EXPECT_EQ(q.next_time(), SimTime{7});
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.push(SimTime{1}, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.total_pushed(), 0u);
+}
+
+TEST(Simulator, ClockAdvancesToEventTimes) {
+  Simulator sim;
+  std::vector<SimTime::underlying> times;
+  sim.schedule_at(SimTime{100}, [&] { times.push_back(sim.now().ticks()); });
+  sim.schedule_at(SimTime{50}, [&] { times.push_back(sim.now().ticks()); });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(times, (std::vector<SimTime::underlying>{50, 100}));
+  EXPECT_EQ(sim.now(), SimTime{100});
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime fired = SimTime::zero();
+  sim.schedule_at(SimTime{10}, [&] {
+    sim.schedule_after(SimTime{5}, [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, SimTime{15});
+}
+
+TEST(Simulator, PastEventsClampToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(SimTime{100}, [&] {
+    sim.schedule_at(SimTime{10}, [&] { fired = true; });  // in the past
+  });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), SimTime{100});
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_after(SimTime{-1}, [] {}), PreconditionError);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineInclusive) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(SimTime{10}, [&] { fired.push_back(10); });
+  sim.schedule_at(SimTime{20}, [&] { fired.push_back(20); });
+  sim.schedule_at(SimTime{30}, [&] { fired.push_back(30); });
+  sim.run_until(SimTime{20});
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.now(), SimTime{20});
+  sim.run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Simulator sim;
+  sim.run_until(SimTime{500});
+  EXPECT_EQ(sim.now(), SimTime{500});
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime{1}, [&] { ++count; });
+  sim.schedule_at(SimTime{2}, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, PeriodicRunsUntilTickReturnsFalse) {
+  Simulator sim;
+  int ticks = 0;
+  sim.schedule_periodic(SimTime{0}, SimTime{10}, [&] { return ++ticks < 5; });
+  sim.run();
+  EXPECT_EQ(ticks, 5);
+  EXPECT_EQ(sim.now(), SimTime{40});
+}
+
+TEST(Simulator, PeriodicIntervalMustBePositive) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_periodic(SimTime{0}, SimTime{0}, [] { return false; }),
+               PreconditionError);
+}
+
+TEST(Simulator, EventLimitCatchesRunawayLoops) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  sim.schedule_periodic(SimTime{0}, SimTime{1}, [] { return true; });
+  EXPECT_THROW(sim.run(), InvariantError);
+}
+
+TEST(Simulator, EventsExecutedAccumulates) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_at(SimTime{i}, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, InterleavedSchedulingIsDeterministic) {
+  // Two structurally identical simulations must produce identical traces.
+  const auto trace = [] {
+    Simulator sim;
+    std::vector<int> fired;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(SimTime{i % 7}, [&fired, i] { fired.push_back(i); });
+    }
+    sim.run();
+    return fired;
+  };
+  EXPECT_EQ(trace(), trace());
+}
+
+}  // namespace
+}  // namespace gridbox::sim

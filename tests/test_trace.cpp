@@ -1,0 +1,200 @@
+// GossipTrace: the observability hooks expose the protocol's internal
+// decisions, letting these tests assert behaviour that outcomes alone
+// cannot show (why phases ended, whether adoption fired, event ordering).
+#include "src/protocols/gossip/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "src/protocols/gossip/hier_gossip.h"
+#include "tests/testing_world.h"
+
+namespace gridbox::protocols::gossip {
+namespace {
+
+using gridbox::testing::World;
+using gridbox::testing::WorldOptions;
+
+struct RecordingTrace final : GossipTrace {
+  struct Conclusion {
+    std::size_t phase;
+    PhaseEnd how;
+    std::uint32_t votes;
+  };
+
+  void on_phase_entered(MemberId member, std::size_t phase) override {
+    entered[member].push_back(phase);
+  }
+  void on_value_learned(MemberId member, std::size_t phase,
+                        std::uint32_t index) override {
+    learned[member].push_back({phase, index});
+  }
+  void on_phase_concluded(MemberId member, std::size_t phase, PhaseEnd how,
+                          std::uint32_t votes) override {
+    concluded[member].push_back({phase, how, votes});
+  }
+  void on_finished(MemberId member, std::uint32_t votes) override {
+    finished[member] = votes;
+  }
+
+  [[nodiscard]] std::size_t count(PhaseEnd how) const {
+    std::size_t n = 0;
+    for (const auto& [member, list] : concluded) {
+      for (const auto& c : list) {
+        if (c.how == how) ++n;
+      }
+    }
+    return n;
+  }
+
+  std::map<MemberId, std::vector<std::size_t>> entered;
+  std::map<MemberId, std::vector<std::pair<std::size_t, std::uint32_t>>>
+      learned;
+  std::map<MemberId, std::vector<Conclusion>> concluded;
+  std::map<MemberId, std::uint32_t> finished;
+};
+
+GossipConfig traced_config(RecordingTrace& trace, double c = 2.0) {
+  GossipConfig config;
+  config.k = 4;
+  config.fanout_m = 2;
+  config.round_multiplier_c = c;
+  config.trace = &trace;
+  return config;
+}
+
+TEST(Trace, PhaseEntriesAreSequentialFromOne) {
+  RecordingTrace trace;
+  WorldOptions options;
+  options.group_size = 64;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(traced_config(trace));
+  world.start_all(nodes);
+  world.simulator().run();
+
+  ASSERT_EQ(trace.entered.size(), 64u);
+  for (const auto& [member, phases] : trace.entered) {
+    ASSERT_FALSE(phases.empty());
+    EXPECT_EQ(phases.front(), 1u);
+    for (std::size_t i = 1; i < phases.size(); ++i) {
+      EXPECT_GT(phases[i], phases[i - 1]);  // adoption may skip, never repeat
+    }
+    EXPECT_EQ(phases.back(), world.hierarchy().num_phases());
+  }
+}
+
+TEST(Trace, EveryMemberConcludesEveryPhaseOnceOrViaAdoption) {
+  RecordingTrace trace;
+  WorldOptions options;
+  options.group_size = 100;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(traced_config(trace));
+  world.start_all(nodes);
+  world.simulator().run();
+
+  for (const auto& [member, list] : trace.concluded) {
+    // Conclusions are for strictly increasing phases ending at the root.
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_GT(list[i].phase, list[i - 1].phase);
+    }
+    EXPECT_EQ(list.back().phase, world.hierarchy().num_phases());
+    // Coverage never shrinks as phases widen.
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_GE(list[i].votes, list[i - 1].votes);
+    }
+  }
+}
+
+TEST(Trace, FinishedVotesMatchOutcome) {
+  RecordingTrace trace;
+  WorldOptions options;
+  options.group_size = 48;
+  options.loss = 0.3;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(traced_config(trace));
+  world.start_all(nodes);
+  world.simulator().run();
+
+  for (const auto& node : nodes) {
+    ASSERT_TRUE(trace.finished.contains(node->self()));
+    EXPECT_EQ(trace.finished[node->self()], node->outcome().estimate.count());
+  }
+}
+
+TEST(Trace, LosslessRunsSaturateMostNonFinalPhases) {
+  RecordingTrace trace;
+  WorldOptions options;
+  options.group_size = 128;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(traced_config(trace));
+  world.start_all(nodes);
+  world.simulator().run();
+
+  // With lingering, final phases conclude at the deadline (timeout); a good
+  // share of earlier phases should saturate (step 2(b)) in a lossless
+  // network (adoption and sparse-box timeouts take the rest).
+  EXPECT_GT(trace.count(PhaseEnd::kSaturated), 64u);
+  EXPECT_GT(trace.count(PhaseEnd::kTimeout), 0u);
+}
+
+TEST(Trace, SynchronousModeNeverSaturates) {
+  RecordingTrace trace;
+  WorldOptions options;
+  options.group_size = 64;
+  World world(options);
+  GossipConfig config = traced_config(trace);
+  config.early_bump = false;
+  auto nodes = world.make_nodes<HierGossipNode>(config);
+  world.start_all(nodes);
+  world.simulator().run();
+
+  EXPECT_EQ(trace.count(PhaseEnd::kSaturated), 0u);
+  EXPECT_EQ(trace.count(PhaseEnd::kAdopted), 0u);
+  // 64 members x 3 phases, all by timeout.
+  EXPECT_EQ(trace.count(PhaseEnd::kTimeout),
+            64u * world.hierarchy().num_phases());
+}
+
+TEST(Trace, AdoptionFiresForLaggards) {
+  // Sparse boxes (large K relative to N via small N per box) plus loss make
+  // laggards: some member should catch up by adoption.
+  RecordingTrace trace;
+  WorldOptions options;
+  options.group_size = 200;
+  options.k = 4;
+  options.loss = 0.35;
+  options.seed = 11;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(traced_config(trace, 1.0));
+  world.start_all(nodes);
+  world.simulator().run();
+
+  EXPECT_GT(trace.count(PhaseEnd::kAdopted), 0u);
+}
+
+TEST(Trace, ValueLearnedIndicesAreWellFormed) {
+  RecordingTrace trace;
+  WorldOptions options;
+  options.group_size = 64;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(traced_config(trace));
+  world.start_all(nodes);
+  world.simulator().run();
+
+  for (const auto& [member, events] : trace.learned) {
+    for (const auto& [phase, index] : events) {
+      if (phase == 1) {
+        EXPECT_LT(index, 64u);  // an origin member id
+        EXPECT_TRUE(world.hierarchy().same_phase_group(member,
+                                                       MemberId{index}, 1));
+      } else {
+        EXPECT_LT(index, 4u);  // a child slot
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gridbox::protocols::gossip

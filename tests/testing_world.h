@@ -1,0 +1,121 @@
+// Shared test scaffolding: a hand-wired simulated world, smaller and more
+// pokeable than the runner's run_experiment (which the integration tests use
+// instead).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/agg/audit.h"
+#include "src/agg/vote.h"
+#include "src/hashing/fair_hash.h"
+#include "src/hierarchy/hierarchy.h"
+#include "src/membership/group.h"
+#include "src/net/network.h"
+#include "src/protocols/node.h"
+#include "src/sim/simulator.h"
+
+namespace gridbox::testing {
+
+struct WorldOptions {
+  std::size_t group_size = 16;
+  std::uint32_t k = 4;
+  double loss = 0.0;
+  std::uint64_t seed = 1;
+  std::uint64_t hash_salt = 1;
+  bool audit = true;
+  SimTime latency_lo = SimTime::micros(100);
+  SimTime latency_hi = SimTime::micros(900);
+};
+
+/// Owns every substrate object a protocol needs, with lifetimes arranged so
+/// nodes can be created, attached, and run inside one test body.
+class World {
+ public:
+  explicit World(const WorldOptions& options)
+      : options_(options),
+        root_(options.seed),
+        group_(options.group_size),
+        votes_(make_votes(options.group_size)),
+        hash_(options.hash_salt),
+        hierarchy_(options.group_size, options.k, hash_),
+        network_(simulator_, make_faults(options.loss),
+                 std::make_unique<net::UniformLatency>(options.latency_lo,
+                                                       options.latency_hi),
+                 root_.derive(0xBEEF)) {
+    if (options.audit) {
+      audit_ = std::make_unique<agg::AuditRegistry>(options.group_size);
+    }
+    network_.set_liveness([this](MemberId m) { return group_.is_alive(m); });
+  }
+
+  [[nodiscard]] protocols::NodeEnv env(
+      agg::AggregateKind kind = agg::AggregateKind::kAverage) {
+    protocols::NodeEnv e;
+    e.simulator = &simulator_;
+    e.network = &network_;
+    e.hierarchy = &hierarchy_;
+    e.audit = audit_.get();
+    e.is_alive = [this](MemberId m) { return group_.is_alive(m); };
+    e.kind = kind;
+    return e;
+  }
+
+  /// Builds one node per member with NodeType(id, vote, view, env, rng, cfg),
+  /// attaches them, and returns the vector (world keeps no ownership).
+  template <typename NodeType, typename Config>
+  std::vector<std::unique_ptr<NodeType>> make_nodes(const Config& config) {
+    std::vector<std::unique_ptr<NodeType>> nodes;
+    const membership::View view = group_.full_view();
+    for (const MemberId m : group_.members()) {
+      auto node = std::make_unique<NodeType>(m, votes_.of(m), view, env(),
+                                             root_.derive(0x1000 + m.value()),
+                                             config);
+      network_.attach(m, *node);
+      nodes.push_back(std::move(node));
+    }
+    return nodes;
+  }
+
+  template <typename NodeType>
+  void start_all(std::vector<std::unique_ptr<NodeType>>& nodes,
+                 SimTime at = SimTime::zero()) {
+    for (auto& node : nodes) node->start(at);
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+  [[nodiscard]] net::SimNetwork& network() { return network_; }
+  [[nodiscard]] membership::Group& group() { return group_; }
+  [[nodiscard]] const agg::VoteTable& votes() const { return votes_; }
+  [[nodiscard]] const hierarchy::GridBoxHierarchy& hierarchy() const {
+    return hierarchy_;
+  }
+  [[nodiscard]] agg::AuditRegistry* audit() { return audit_.get(); }
+  [[nodiscard]] Rng& rng() { return root_; }
+
+ private:
+  static agg::VoteTable make_votes(std::size_t n) {
+    // Simple distinct votes: member i votes i. Makes expected aggregates
+    // trivially computable in tests.
+    std::vector<double> values(n);
+    for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i);
+    return agg::VoteTable{std::move(values)};
+  }
+
+  static std::unique_ptr<net::FaultModel> make_faults(double loss) {
+    if (loss <= 0.0) return std::make_unique<net::NoLoss>();
+    return std::make_unique<net::IndependentLoss>(loss);
+  }
+
+  WorldOptions options_;
+  Rng root_;
+  sim::Simulator simulator_;
+  membership::Group group_;
+  agg::VoteTable votes_;
+  hashing::FairHash hash_;
+  hierarchy::GridBoxHierarchy hierarchy_;
+  net::SimNetwork network_;
+  std::unique_ptr<agg::AuditRegistry> audit_;
+};
+
+}  // namespace gridbox::testing

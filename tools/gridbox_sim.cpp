@@ -1,0 +1,17 @@
+// gridbox_sim: command-line experiment runner. See --help.
+#include <string>
+#include <vector>
+
+#include "src/runner/cli.h"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const gridbox::runner::CliParseResult parsed =
+      gridbox::runner::parse_cli(args);
+  if (!parsed.options.has_value()) {
+    std::fprintf(stderr, "error: %s\nrun with --help for usage\n",
+                 parsed.error.c_str());
+    return 1;
+  }
+  return gridbox::runner::run_cli(*parsed.options);
+}
