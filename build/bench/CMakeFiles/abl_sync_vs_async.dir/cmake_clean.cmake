@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sync_vs_async.dir/abl_sync_vs_async.cpp.o"
+  "CMakeFiles/abl_sync_vs_async.dir/abl_sync_vs_async.cpp.o.d"
+  "abl_sync_vs_async"
+  "abl_sync_vs_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sync_vs_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_views.dir/abl_views.cpp.o"
+  "CMakeFiles/abl_views.dir/abl_views.cpp.o.d"
+  "abl_views"
+  "abl_views.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_views.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_fd_latency.dir/cmp_fd_latency.cpp.o"
+  "CMakeFiles/cmp_fd_latency.dir/cmp_fd_latency.cpp.o.d"
+  "cmp_fd_latency"
+  "cmp_fd_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_fd_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cmp_fd_latency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_analysis_c1_vs_n.dir/fig04_analysis_c1_vs_n.cpp.o"
+  "CMakeFiles/fig04_analysis_c1_vs_n.dir/fig04_analysis_c1_vs_n.cpp.o.d"
+  "fig04_analysis_c1_vs_n"
+  "fig04_analysis_c1_vs_n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_analysis_c1_vs_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_analysis_c1_vs_n.
+# This may be replaced when dependencies are built.

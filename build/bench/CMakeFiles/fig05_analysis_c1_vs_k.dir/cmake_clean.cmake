@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_analysis_c1_vs_k.dir/fig05_analysis_c1_vs_k.cpp.o"
+  "CMakeFiles/fig05_analysis_c1_vs_k.dir/fig05_analysis_c1_vs_k.cpp.o.d"
+  "fig05_analysis_c1_vs_k"
+  "fig05_analysis_c1_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_analysis_c1_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

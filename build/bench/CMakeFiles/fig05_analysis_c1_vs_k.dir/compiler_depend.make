@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_analysis_c1_vs_k.
+# This may be replaced when dependencies are built.

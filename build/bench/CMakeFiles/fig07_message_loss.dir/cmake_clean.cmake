@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_message_loss.dir/fig07_message_loss.cpp.o"
+  "CMakeFiles/fig07_message_loss.dir/fig07_message_loss.cpp.o.d"
+  "fig07_message_loss"
+  "fig07_message_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_message_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_partition.dir/fig09_partition.cpp.o"
+  "CMakeFiles/fig09_partition.dir/fig09_partition.cpp.o.d"
+  "fig09_partition"
+  "fig09_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

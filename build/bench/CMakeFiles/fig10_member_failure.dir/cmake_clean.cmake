@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_member_failure.dir/fig10_member_failure.cpp.o"
+  "CMakeFiles/fig10_member_failure.dir/fig10_member_failure.cpp.o.d"
+  "fig10_member_failure"
+  "fig10_member_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_member_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

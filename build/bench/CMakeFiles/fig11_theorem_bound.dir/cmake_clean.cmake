@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_theorem_bound.dir/fig11_theorem_bound.cpp.o"
+  "CMakeFiles/fig11_theorem_bound.dir/fig11_theorem_bound.cpp.o.d"
+  "fig11_theorem_bound"
+  "fig11_theorem_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_theorem_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airplane_wing.dir/airplane_wing.cpp.o"
+  "CMakeFiles/airplane_wing.dir/airplane_wing.cpp.o.d"
+  "airplane_wing"
+  "airplane_wing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airplane_wing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

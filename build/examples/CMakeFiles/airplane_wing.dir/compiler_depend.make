@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for airplane_wing.
+# This may be replaced when dependencies are built.

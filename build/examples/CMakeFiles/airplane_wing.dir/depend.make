@@ -1,0 +1,2 @@
+# Empty dependencies file for airplane_wing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_monitor.dir/internet_monitor.cpp.o"
+  "CMakeFiles/internet_monitor.dir/internet_monitor.cpp.o.d"
+  "internet_monitor"
+  "internet_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_service.dir/periodic_service.cpp.o"
+  "CMakeFiles/periodic_service.dir/periodic_service.cpp.o.d"
+  "periodic_service"
+  "periodic_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

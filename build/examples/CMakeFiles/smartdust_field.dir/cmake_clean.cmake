@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartdust_field.dir/smartdust_field.cpp.o"
+  "CMakeFiles/smartdust_field.dir/smartdust_field.cpp.o.d"
+  "smartdust_field"
+  "smartdust_field.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartdust_field.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

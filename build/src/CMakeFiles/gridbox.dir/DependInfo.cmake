@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agg/aggregate.cpp" "src/CMakeFiles/gridbox.dir/agg/aggregate.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/agg/aggregate.cpp.o.d"
+  "/root/repo/src/agg/audit.cpp" "src/CMakeFiles/gridbox.dir/agg/audit.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/agg/audit.cpp.o.d"
+  "/root/repo/src/agg/codec.cpp" "src/CMakeFiles/gridbox.dir/agg/codec.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/agg/codec.cpp.o.d"
+  "/root/repo/src/agg/vote.cpp" "src/CMakeFiles/gridbox.dir/agg/vote.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/agg/vote.cpp.o.d"
+  "/root/repo/src/analysis/completeness.cpp" "src/CMakeFiles/gridbox.dir/analysis/completeness.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/analysis/completeness.cpp.o.d"
+  "/root/repo/src/analysis/costs.cpp" "src/CMakeFiles/gridbox.dir/analysis/costs.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/analysis/costs.cpp.o.d"
+  "/root/repo/src/analysis/epidemic.cpp" "src/CMakeFiles/gridbox.dir/analysis/epidemic.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/analysis/epidemic.cpp.o.d"
+  "/root/repo/src/common/bitset.cpp" "src/CMakeFiles/gridbox.dir/common/bitset.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/common/bitset.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/gridbox.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/gridbox.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/common/rng.cpp.o.d"
+  "/root/repo/src/hashing/fair_hash.cpp" "src/CMakeFiles/gridbox.dir/hashing/fair_hash.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/hashing/fair_hash.cpp.o.d"
+  "/root/repo/src/hashing/fairness.cpp" "src/CMakeFiles/gridbox.dir/hashing/fairness.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/hashing/fairness.cpp.o.d"
+  "/root/repo/src/hashing/topo_hash.cpp" "src/CMakeFiles/gridbox.dir/hashing/topo_hash.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/hashing/topo_hash.cpp.o.d"
+  "/root/repo/src/hierarchy/address.cpp" "src/CMakeFiles/gridbox.dir/hierarchy/address.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/hierarchy/address.cpp.o.d"
+  "/root/repo/src/hierarchy/hierarchy.cpp" "src/CMakeFiles/gridbox.dir/hierarchy/hierarchy.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/hierarchy/hierarchy.cpp.o.d"
+  "/root/repo/src/membership/crash_model.cpp" "src/CMakeFiles/gridbox.dir/membership/crash_model.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/membership/crash_model.cpp.o.d"
+  "/root/repo/src/membership/group.cpp" "src/CMakeFiles/gridbox.dir/membership/group.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/membership/group.cpp.o.d"
+  "/root/repo/src/membership/view.cpp" "src/CMakeFiles/gridbox.dir/membership/view.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/membership/view.cpp.o.d"
+  "/root/repo/src/net/fault_model.cpp" "src/CMakeFiles/gridbox.dir/net/fault_model.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/net/fault_model.cpp.o.d"
+  "/root/repo/src/net/latency_model.cpp" "src/CMakeFiles/gridbox.dir/net/latency_model.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/net/latency_model.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/gridbox.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/gridbox.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/stats.cpp" "src/CMakeFiles/gridbox.dir/net/stats.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/net/stats.cpp.o.d"
+  "/root/repo/src/protocols/baseline/centralized.cpp" "src/CMakeFiles/gridbox.dir/protocols/baseline/centralized.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/baseline/centralized.cpp.o.d"
+  "/root/repo/src/protocols/baseline/committee.cpp" "src/CMakeFiles/gridbox.dir/protocols/baseline/committee.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/baseline/committee.cpp.o.d"
+  "/root/repo/src/protocols/baseline/fully_distributed.cpp" "src/CMakeFiles/gridbox.dir/protocols/baseline/fully_distributed.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/baseline/fully_distributed.cpp.o.d"
+  "/root/repo/src/protocols/baseline/leader_election.cpp" "src/CMakeFiles/gridbox.dir/protocols/baseline/leader_election.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/baseline/leader_election.cpp.o.d"
+  "/root/repo/src/protocols/fd/gossip_fd.cpp" "src/CMakeFiles/gridbox.dir/protocols/fd/gossip_fd.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/fd/gossip_fd.cpp.o.d"
+  "/root/repo/src/protocols/gossip/gossip_config.cpp" "src/CMakeFiles/gridbox.dir/protocols/gossip/gossip_config.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/gossip/gossip_config.cpp.o.d"
+  "/root/repo/src/protocols/gossip/hier_gossip.cpp" "src/CMakeFiles/gridbox.dir/protocols/gossip/hier_gossip.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/gossip/hier_gossip.cpp.o.d"
+  "/root/repo/src/protocols/gossip/initiation.cpp" "src/CMakeFiles/gridbox.dir/protocols/gossip/initiation.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/gossip/initiation.cpp.o.d"
+  "/root/repo/src/protocols/gossip/periodic.cpp" "src/CMakeFiles/gridbox.dir/protocols/gossip/periodic.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/gossip/periodic.cpp.o.d"
+  "/root/repo/src/protocols/node.cpp" "src/CMakeFiles/gridbox.dir/protocols/node.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/node.cpp.o.d"
+  "/root/repo/src/protocols/protocol_stats.cpp" "src/CMakeFiles/gridbox.dir/protocols/protocol_stats.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/protocols/protocol_stats.cpp.o.d"
+  "/root/repo/src/runner/cli.cpp" "src/CMakeFiles/gridbox.dir/runner/cli.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/runner/cli.cpp.o.d"
+  "/root/repo/src/runner/config.cpp" "src/CMakeFiles/gridbox.dir/runner/config.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/runner/config.cpp.o.d"
+  "/root/repo/src/runner/experiment.cpp" "src/CMakeFiles/gridbox.dir/runner/experiment.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/runner/experiment.cpp.o.d"
+  "/root/repo/src/runner/stats.cpp" "src/CMakeFiles/gridbox.dir/runner/stats.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/runner/stats.cpp.o.d"
+  "/root/repo/src/runner/sweep.cpp" "src/CMakeFiles/gridbox.dir/runner/sweep.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/runner/sweep.cpp.o.d"
+  "/root/repo/src/runner/table.cpp" "src/CMakeFiles/gridbox.dir/runner/table.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/runner/table.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/gridbox.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/gridbox.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/gridbox.dir/sim/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

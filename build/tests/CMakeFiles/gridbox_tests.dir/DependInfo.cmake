@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_address.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_address.cpp.o.d"
+  "/root/repo/tests/test_aggregate.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_aggregate.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_audit.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_audit.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_audit.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_bitset.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_bitset.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_bitset.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_cli_run.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_cli_run.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_cli_run.cpp.o.d"
+  "/root/repo/tests/test_committee_internals.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_committee_internals.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_committee_internals.cpp.o.d"
+  "/root/repo/tests/test_costs.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_costs.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_costs.cpp.o.d"
+  "/root/repo/tests/test_fd.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_fd.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_fd.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gossip.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_gossip.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_gossip.cpp.o.d"
+  "/root/repo/tests/test_gossip_wire.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_gossip_wire.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_gossip_wire.cpp.o.d"
+  "/root/repo/tests/test_hashing.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_hashing.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_hashing.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_initiation.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_initiation.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_initiation.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_membership.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_membership.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_membership.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_periodic.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_periodic.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_periodic.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_regression.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_regression.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_regression.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_views.cpp" "tests/CMakeFiles/gridbox_tests.dir/test_views.cpp.o" "gcc" "tests/CMakeFiles/gridbox_tests.dir/test_views.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridbox.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

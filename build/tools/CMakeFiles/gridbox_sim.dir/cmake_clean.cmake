@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridbox_sim.dir/gridbox_sim.cpp.o"
+  "CMakeFiles/gridbox_sim.dir/gridbox_sim.cpp.o.d"
+  "gridbox_sim"
+  "gridbox_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridbox_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
