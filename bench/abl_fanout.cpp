@@ -10,16 +10,19 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Ablation: fanout and value policy",
                       "incompleteness vs M and vs value-selection policy",
                       "N=200, K=4, ucastl=0.25, pf=0.001, C=1.0");
 
+  const std::size_t jobs = bench::jobs_from_args(argc, argv);
+
   // (a) Fanout sweep. Note rounds/phase = ceil(C*log_M N) shrinks as M
   // grows, so the per-phase message budget M*rounds is roughly constant:
   // this isolates the effect of spraying wider per round.
-  const runner::ExperimentConfig base = bench::paper_defaults();
+  runner::ExperimentConfig base = bench::paper_defaults();
+  base.jobs = jobs;
   const runner::SweepResult fanout = runner::run_sweep(
       base, "M", {1, 2, 4, 8},
       [](runner::ExperimentConfig& c, double x) {
@@ -27,6 +30,7 @@ int main() {
       },
       16);
   bench::check_audits(fanout);
+  bench::print_sweep_meta(fanout);
   bench::emit(bench::sweep_table(fanout), "abl_fanout_m");
 
   // (b) Value policy at the default M=2.
@@ -42,6 +46,7 @@ int main() {
   };
   for (const auto& entry : kPolicies) {
     runner::ExperimentConfig config = bench::paper_defaults();
+    config.jobs = jobs;
     config.gossip.value_policy = entry.policy;
     const runner::SweepResult one = runner::run_sweep(
         config, "x", {0}, [](runner::ExperimentConfig&, double) {}, 24);

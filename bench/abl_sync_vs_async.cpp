@@ -12,11 +12,13 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Ablation: sync vs async",
                       "phase-advance policy vs incompleteness",
                       "N=200, K=4, M=2, ucastl=0.25, pf=0.001; sweep C");
+
+  const std::size_t jobs = bench::jobs_from_args(argc, argv);
 
   struct Variant {
     const char* name;
@@ -33,6 +35,7 @@ int main() {
                        "mean rounds"});
   for (const Variant& v : variants) {
     runner::ExperimentConfig base = bench::paper_defaults();
+    base.jobs = jobs;
     base.gossip.early_bump = v.early_bump;
     base.gossip.final_phase_linger = v.linger;
     const runner::SweepResult sweep = runner::run_sweep(

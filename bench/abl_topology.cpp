@@ -11,33 +11,38 @@
 #include "bench/fig_common.h"
 #include "src/runner/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Ablation: topology-aware hash",
                       "mean link distance per message, fair vs topo hash",
                       "N=512, K=4, M=2, C=2, lossless; members scattered "
                       "uniformly in the unit square");
 
+  const std::size_t jobs = bench::jobs_from_args(argc, argv);
+
   runner::Table table(
       {"hash", "mean link distance", "completeness", "msgs/run"});
   double fair_distance = 0.0;
   double topo_distance = 0.0;
   for (const bool topo : {false, true}) {
+    constexpr std::size_t kRuns = 8;
+    const std::vector<runner::RunResult> results =
+        bench::run_indexed<runner::RunResult>(kRuns, jobs, [&](std::size_t r) {
+          runner::ExperimentConfig config = bench::paper_defaults();
+          config.group_size = 512;
+          config.ucast_loss = 0.0;
+          config.crash_probability = 0.0;
+          config.gossip.round_multiplier_c = 2.0;
+          config.assign_positions = true;
+          config.hash = topo ? runner::HashKind::kTopoAware
+                             : runner::HashKind::kFair;
+          config.seed = 9000 + static_cast<std::uint64_t>(r);
+          return runner::run_experiment(config);
+        });
     double distance = 0.0;
     double completeness = 0.0;
     double messages = 0.0;
-    constexpr int kRuns = 8;
-    for (int r = 0; r < kRuns; ++r) {
-      runner::ExperimentConfig config = bench::paper_defaults();
-      config.group_size = 512;
-      config.ucast_loss = 0.0;
-      config.crash_probability = 0.0;
-      config.gossip.round_multiplier_c = 2.0;
-      config.assign_positions = true;
-      config.hash = topo ? runner::HashKind::kTopoAware
-                         : runner::HashKind::kFair;
-      config.seed = 9000 + static_cast<std::uint64_t>(r);
-      const runner::RunResult result = runner::run_experiment(config);
+    for (const runner::RunResult& result : results) {
       distance += result.mean_link_distance;
       completeness += result.measurement.mean_completeness;
       messages += static_cast<double>(result.measurement.network_messages);

@@ -9,7 +9,7 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Ablation: partial views",
                       "incompleteness vs view coverage",
@@ -17,6 +17,7 @@ int main() {
                       "independent random subsets per member");
 
   runner::ExperimentConfig base = bench::paper_defaults();
+  base.jobs = bench::jobs_from_args(argc, argv);
   base.ucast_loss = 0.1;
   base.crash_probability = 0.0;
   base.gossip.round_multiplier_c = 2.0;
@@ -26,6 +27,7 @@ int main() {
       [](runner::ExperimentConfig& c, double x) { c.view_coverage = x; },
       16);
   bench::check_audits(sweep);
+  bench::print_sweep_meta(sweep);
   bench::emit(bench::sweep_table(sweep), "abl_views");
 
   bool graceful = true;

@@ -37,37 +37,42 @@ struct Row {
 };
 
 Row measure(runner::ProtocolKind kind, const Regime& regime, std::size_t n,
-            int runs) {
+            std::size_t runs, std::size_t jobs) {
+  const std::vector<runner::RunResult> results =
+      bench::run_indexed<runner::RunResult>(runs, jobs, [&](std::size_t r) {
+        runner::ExperimentConfig config = bench::paper_defaults();
+        config.protocol = kind;
+        config.group_size = n;
+        config.ucast_loss = regime.loss;
+        config.crash_probability = regime.pf;
+        config.committee.committee_size =
+            kind == runner::ProtocolKind::kCommittee ? 3 : 1;
+        config.seed = 7000 + static_cast<std::uint64_t>(r);
+        return runner::run_experiment(config);
+      });
   Row row;
-  for (int r = 0; r < runs; ++r) {
-    runner::ExperimentConfig config = bench::paper_defaults();
-    config.protocol = kind;
-    config.group_size = n;
-    config.ucast_loss = regime.loss;
-    config.crash_probability = regime.pf;
-    config.committee.committee_size =
-        kind == runner::ProtocolKind::kCommittee ? 3 : 1;
-    config.seed = 7000 + static_cast<std::uint64_t>(r);
-    const runner::RunResult result = runner::run_experiment(config);
+  for (const runner::RunResult& result : results) {
     row.mean_completeness += result.measurement.mean_completeness;
     row.worst_run =
         std::min(row.worst_run, result.measurement.mean_completeness);
     row.messages += static_cast<double>(result.measurement.network_messages);
     row.rounds += static_cast<double>(result.measurement.max_rounds);
   }
-  row.mean_completeness /= runs;
-  row.messages /= runs;
-  row.rounds /= runs;
+  row.mean_completeness /= static_cast<double>(runs);
+  row.messages /= static_cast<double>(runs);
+  row.rounds /= static_cast<double>(runs);
   return row;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Sections 4-6", "baseline comparison",
                       "N=256, K=4, M=2, C=1.0; 12 runs per cell; "
                       "'worst' is the worst run's mean completeness");
+
+  const std::size_t jobs = bench::jobs_from_args(argc, argv);
 
   const std::vector<Regime> regimes = {
       {"clean", 0.0, 0.0},
@@ -88,7 +93,7 @@ int main() {
   double leader_worst = 1.0;
   for (const Regime& regime : regimes) {
     for (const runner::ProtocolKind kind : kinds) {
-      const Row row = measure(kind, regime, 256, 12);
+      const Row row = measure(kind, regime, 256, 12, jobs);
       table.add_row({regime.name, runner::to_string(kind),
                      runner::Table::num(row.mean_completeness),
                      runner::Table::num(row.worst_run),

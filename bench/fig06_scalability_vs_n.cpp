@@ -8,13 +8,14 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header(
       "Figure 6", "incompleteness vs group size N",
       "defaults: ucastl=0.25, pf=0.001, K=4, M=2, C=1.0 (b ~ 0.75)");
 
-  const runner::ExperimentConfig base = bench::paper_defaults();
+  runner::ExperimentConfig base = bench::paper_defaults();
+  base.jobs = bench::jobs_from_args(argc, argv);
   const runner::SweepResult sweep = runner::run_sweep(
       base, "N", {200, 400, 800, 1600, 3200},
       [](runner::ExperimentConfig& c, double x) {
@@ -22,6 +23,7 @@ int main() {
       },
       8);
   bench::check_audits(sweep);
+  bench::print_sweep_meta(sweep);
   bench::emit(bench::sweep_table(sweep), "fig06_scalability_vs_n");
 
   const double first = sweep.points.front().incompleteness.mean;

@@ -8,16 +8,18 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Figure 7", "incompleteness vs unicast loss ucastl",
                       "N=200, K=4, M=2, C=1.0, pf=0.001");
 
-  const runner::ExperimentConfig base = bench::paper_defaults();
+  runner::ExperimentConfig base = bench::paper_defaults();
+  base.jobs = bench::jobs_from_args(argc, argv);
   const runner::SweepResult sweep = runner::run_sweep(
       base, "ucastl", {0.40, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70},
       [](runner::ExperimentConfig& c, double x) { c.ucast_loss = x; }, 16);
   bench::check_audits(sweep);
+  bench::print_sweep_meta(sweep);
   bench::emit(bench::sweep_table(sweep), "fig07_message_loss");
 
   // Exponential fall: log-incompleteness roughly linear in ucastl, so the

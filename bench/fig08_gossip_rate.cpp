@@ -8,13 +8,14 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Figure 8", "incompleteness vs gossip rounds per phase",
                       "N=200, K=4, M=2, ucastl=0.25, pf=0.001; x = rounds "
                       "per phase (paper's axis)");
 
-  const runner::ExperimentConfig base = bench::paper_defaults();
+  runner::ExperimentConfig base = bench::paper_defaults();
+  base.jobs = bench::jobs_from_args(argc, argv);
   const runner::SweepResult sweep = runner::run_sweep(
       base, "rounds/phase", {1, 2, 3, 4, 5},
       [](runner::ExperimentConfig& c, double x) {
@@ -22,6 +23,7 @@ int main() {
       },
       24);
   bench::check_audits(sweep);
+  bench::print_sweep_meta(sweep);
   bench::emit(bench::sweep_table(sweep), "fig08_gossip_rate");
 
   bool falling = true;

@@ -9,18 +9,20 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Figure 9", "incompleteness vs partition loss partl",
                       "N=200, K=4, M=2, C=1.0, ucastl=0.25, pf=0.001; "
                       "half/half split");
 
-  const runner::ExperimentConfig base = bench::paper_defaults();
+  runner::ExperimentConfig base = bench::paper_defaults();
+  base.jobs = bench::jobs_from_args(argc, argv);
   const runner::SweepResult sweep = runner::run_sweep(
       base, "partl", {0.50, 0.55, 0.60, 0.65, 0.70},
       [](runner::ExperimentConfig& c, double x) { c.partition_loss = x; },
       16);
   bench::check_audits(sweep);
+  bench::print_sweep_meta(sweep);
   bench::emit(bench::sweep_table(sweep), "fig09_partition");
 
   // Graceful: monotone-ish growth, no collapse to total incompleteness.

@@ -7,18 +7,20 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Figure 10", "incompleteness vs member failure rate pf",
                       "N=200, K=4, M=2, C=1.0, ucastl=0.25; crash without "
                       "recovery, pf applied per member per gossip round");
 
-  const runner::ExperimentConfig base = bench::paper_defaults();
+  runner::ExperimentConfig base = bench::paper_defaults();
+  base.jobs = bench::jobs_from_args(argc, argv);
   const runner::SweepResult sweep = runner::run_sweep(
       base, "pf", {0.002, 0.004, 0.006, 0.008},
       [](runner::ExperimentConfig& c, double x) { c.crash_probability = x; },
       48);
   bench::check_audits(sweep);
+  bench::print_sweep_meta(sweep);
   bench::emit(bench::sweep_table(sweep), "fig10_member_failure");
 
   // Individual runs are dominated by which members happen to die, so use

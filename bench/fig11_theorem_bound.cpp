@@ -9,12 +9,13 @@
 #include "bench/fig_common.h"
 #include "src/runner/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gridbox;
   bench::print_header("Figure 11", "incompleteness vs N against the 1/N bound",
                       "K=4, M=2, C=1.4, ucastl=pf=0 (b ~ 1.0)");
 
   runner::ExperimentConfig base = bench::paper_defaults();
+  base.jobs = bench::jobs_from_args(argc, argv);
   base.ucast_loss = 0.0;
   base.crash_probability = 0.0;
   base.gossip.round_multiplier_c = 1.4;
@@ -39,6 +40,7 @@ int main() {
                    runner::Table::num(p.mean_effective_b, 2)});
   }
   bench::check_audits(sweep);
+  bench::print_sweep_meta(sweep);
   bench::emit(table, "fig11_theorem_bound");
 
   std::printf("shape check: incompleteness <= 1/N at every N: %s "

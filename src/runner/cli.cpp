@@ -1,11 +1,15 @@
 #include "src/runner/cli.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <functional>
+#include <future>
 #include <map>
 #include <vector>
 
+#include "src/common/thread_pool.h"
 #include "src/runner/experiment.h"
 #include "src/runner/stats.h"
 #include "src/runner/table.h"
@@ -119,6 +123,9 @@ workload & measurement
   --audit                verify no-double-counting per run
   --seed S               root seed (default 1); run r uses seed S+r
   --runs R               independent runs (default 1)
+  --jobs N               worker threads for multi-run execution (default:
+                         GRIDBOX_JOBS env var, else hardware concurrency);
+                         results are identical for every N
   --csv PATH             also write per-run rows as CSV
 
   --help                 this text
@@ -233,6 +240,13 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
         break;
       }
       p.options.runs = static_cast<std::size_t>(u);
+    } else if (flag == "--jobs") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      if (u == 0) {
+        (void)p.fail("--jobs: must be at least 1");
+        break;
+      }
+      config.jobs = static_cast<std::size_t>(u);
     } else if (flag == "--csv") {
       if (!next_value(flag, &value)) break;
       p.options.csv_path = value;
@@ -258,21 +272,53 @@ int run_cli(const CliOptions& options) {
   std::vector<double> incompleteness;
   std::uint64_t audit_violations = 0;
 
-  for (std::size_t run = 0; run < options.runs; ++run) {
+  // Runs are independent (seed = base seed + run index) and fan across a
+  // thread pool; results land in per-run slots so the printed rows and
+  // summaries are identical for every --jobs value.
+  const std::size_t jobs =
+      std::min(options.config.resolved_jobs(), std::max<std::size_t>(options.runs, 1));
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<RunResult> results(options.runs);
+  const auto run_one = [&](std::size_t run) {
     ExperimentConfig config = options.config;
     config.seed = options.config.seed + run;
-    RunResult result{};
-    try {
-      result = run_experiment(config);
-    } catch (const std::exception& ex) {
-      std::fprintf(stderr, "error: %s\n", ex.what());
-      return 1;
+    results[run] = run_experiment(config);
+  };
+  try {
+    if (jobs <= 1) {
+      for (std::size_t run = 0; run < options.runs; ++run) run_one(run);
+    } else {
+      common::ThreadPool pool(jobs);
+      std::vector<std::future<void>> futures;
+      futures.reserve(options.runs);
+      for (std::size_t run = 0; run < options.runs; ++run) {
+        futures.push_back(pool.submit([&run_one, run] { run_one(run); }));
+      }
+      std::exception_ptr first_error;
+      for (auto& future : futures) {
+        try {
+          future.get();
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
     }
-    const auto& m = result.measurement;
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    const auto& m = results[run].measurement;
     completeness.push_back(m.mean_completeness);
     incompleteness.push_back(m.mean_incompleteness);
     audit_violations += m.audit_violations;
-    table.add_row({std::to_string(run), std::to_string(config.seed),
+    table.add_row({std::to_string(run),
+                   std::to_string(options.config.seed + run),
                    Table::num(m.mean_completeness),
                    Table::num(m.mean_incompleteness),
                    std::to_string(m.survivors),
@@ -296,9 +342,10 @@ int run_cli(const CliOptions& options) {
   const SummaryStats q = summarize(incompleteness);
   std::printf(
       "\nsummary over %zu run(s): completeness %.6f +/- %.6f (95%% CI), "
-      "incompleteness mean %.3g geomean %.3g\n",
+      "incompleteness mean %.3g geomean %.3g\n"
+      "wall-clock: %.3f s on %zu job(s)\n",
       options.runs, c.mean, c.ci95_half_width, q.mean,
-      geometric_mean(incompleteness));
+      geometric_mean(incompleteness), wall_seconds, jobs);
   if (options.config.audit) {
     std::printf("audit: %llu double-counting violations%s\n",
                 static_cast<unsigned long long>(audit_violations),

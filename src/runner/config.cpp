@@ -1,6 +1,12 @@
 #include "src/runner/config.h"
 
+#include "src/common/thread_pool.h"
+
 namespace gridbox::runner {
+
+std::size_t ExperimentConfig::resolved_jobs() const {
+  return common::ThreadPool::resolve_jobs(jobs);
+}
 
 std::string to_string(ProtocolKind kind) {
   switch (kind) {

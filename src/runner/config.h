@@ -84,6 +84,16 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 1;
 
+  /// Host-side execution knob: worker threads used when this config is the
+  /// base of a multi-run sweep (run_sweep / gridbox_sim --runs). 0 = auto
+  /// (GRIDBOX_JOBS env var, else hardware_concurrency). Never affects
+  /// simulated results — runs are seeded in closed form, so any jobs value
+  /// produces bitwise-identical measurements.
+  std::size_t jobs = 0;
+
+  /// `jobs` with the auto default resolved (env var / hardware_concurrency).
+  [[nodiscard]] std::size_t resolved_jobs() const;
+
   /// Round duration of the configured protocol (drives the crash clock).
   [[nodiscard]] SimTime round_duration() const;
 };

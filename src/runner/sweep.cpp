@@ -1,8 +1,64 @@
 #include "src/runner/sweep.h"
 
+#include <chrono>
+#include <exception>
+#include <future>
+#include <utility>
+
 #include "src/common/ensure.h"
+#include "src/common/thread_pool.h"
 
 namespace gridbox::runner {
+
+namespace {
+
+/// Runs every (point, run) pair and fills `results` (pre-sized to
+/// xs.size() * runs_per_point, indexed point_index * runs_per_point + run).
+/// The seed for each slot is derived in closed form from the slot index, so
+/// execution order — serial or across pool threads — cannot affect any
+/// result.
+void execute_runs(const ExperimentConfig& base,
+                  const std::vector<double>& xs,
+                  const std::function<void(ExperimentConfig&, double)>& apply,
+                  std::size_t runs_per_point, std::size_t jobs,
+                  std::vector<RunResult>& results) {
+  const auto run_one = [&](std::size_t point_index, std::size_t run) {
+    ExperimentConfig config = base;
+    apply(config, xs[point_index]);
+    const std::size_t slot = point_index * runs_per_point + run;
+    config.seed = base.seed + static_cast<std::uint64_t>(slot);
+    results[slot] = run_experiment(config);
+  };
+
+  if (jobs <= 1) {
+    for (std::size_t p = 0; p < xs.size(); ++p) {
+      for (std::size_t r = 0; r < runs_per_point; ++r) run_one(p, r);
+    }
+    return;
+  }
+
+  common::ThreadPool pool(jobs);
+  std::vector<std::future<void>> futures;
+  futures.reserve(results.size());
+  for (std::size_t p = 0; p < xs.size(); ++p) {
+    for (std::size_t r = 0; r < runs_per_point; ++r) {
+      futures.push_back(pool.submit([&run_one, p, r] { run_one(p, r); }));
+    }
+  }
+  // Join everything before rethrowing so no task is left writing into
+  // `results` when the first failure propagates.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
 
 SweepResult run_sweep(
     const ExperimentConfig& base, std::string x_label,
@@ -12,14 +68,21 @@ SweepResult run_sweep(
   expects(!xs.empty(), "sweep needs at least one x value");
   expects(runs_per_point >= 1, "sweep needs at least one run per point");
 
+  const auto start = std::chrono::steady_clock::now();
+
   SweepResult result;
   result.x_label = std::move(x_label);
   result.points.reserve(xs.size());
+  result.jobs_used = base.resolved_jobs();
 
-  std::uint64_t seed_cursor = base.seed;
-  for (const double x : xs) {
+  std::vector<RunResult> runs(xs.size() * runs_per_point);
+  execute_runs(base, xs, apply, runs_per_point, result.jobs_used, runs);
+
+  // Reduction stays single-threaded and in (point, run) order, so the
+  // floating-point summaries are independent of pool scheduling.
+  for (std::size_t point_index = 0; point_index < xs.size(); ++point_index) {
     SweepPoint point;
-    point.x = x;
+    point.x = xs[point_index];
 
     std::vector<double> incompleteness;
     std::vector<double> completeness;
@@ -29,10 +92,7 @@ SweepResult run_sweep(
     double b_sum = 0.0;
 
     for (std::size_t run = 0; run < runs_per_point; ++run) {
-      ExperimentConfig config = base;
-      apply(config, x);
-      config.seed = seed_cursor++;
-      const RunResult r = run_experiment(config);
+      const RunResult& r = runs[point_index * runs_per_point + run];
       incompleteness.push_back(r.measurement.mean_incompleteness);
       completeness.push_back(r.measurement.mean_completeness);
       messages.push_back(static_cast<double>(r.measurement.network_messages));
@@ -51,6 +111,10 @@ SweepResult run_sweep(
     point.mean_effective_b = b_sum / static_cast<double>(runs_per_point);
     result.points.push_back(point);
   }
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   return result;
 }
 

@@ -31,11 +31,29 @@ struct SweepPoint {
 struct SweepResult {
   std::string x_label;
   std::vector<SweepPoint> points;
+  double wall_seconds = 0.0;  ///< host wall-clock for the whole sweep
+  std::size_t jobs_used = 1;  ///< worker threads the sweep actually ran on
 };
 
-/// Runs the sweep. `apply` mutates a copy of `base` for the given x; seeds
-/// are base.seed, base.seed+1, ... per run, offset per point so no two
-/// points share a seed.
+/// Runs the sweep. `apply` mutates a copy of `base` for the given x.
+///
+/// Seeds are derived in closed form per (point, run):
+///     seed = base.seed + point_index * runs_per_point + run
+/// i.e. point 0 uses base.seed .. base.seed+runs_per_point-1, point 1 the
+/// next block, and so on — no two (point, run) pairs share a seed, and a
+/// point's seeds do not depend on how many runs preceded it in program
+/// order.
+///
+/// All (point, run) pairs are fanned across a thread pool of
+/// base.resolved_jobs() workers (base.jobs; 0 = auto from GRIDBOX_JOBS /
+/// hardware_concurrency). Because each run's seed is position-derived and
+/// results land in pre-sized slots reduced in serial order, the returned
+/// SweepResult is bitwise-identical for every jobs value, including the
+/// serial jobs=1 path.
+///
+/// With jobs > 1, `apply` is invoked concurrently from pool threads: it must
+/// only mutate the config copy it is given (capturing by value or reading
+/// immutable state is fine; writing shared state is not).
 [[nodiscard]] SweepResult run_sweep(
     const ExperimentConfig& base, std::string x_label,
     const std::vector<double>& xs,

@@ -1,5 +1,6 @@
 #include "src/sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/ensure.h"
@@ -7,25 +8,25 @@
 namespace gridbox::sim {
 
 void EventQueue::push(SimTime time, Action action) {
-  heap_.push(Event{time, next_sequence_++, std::move(action)});
+  heap_.push_back(Event{time, next_sequence_++, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 Event EventQueue::pop() {
   expects(!heap_.empty(), "pop on empty event queue");
-  // std::priority_queue::top() returns const&; the action must be moved out,
-  // so copy the header fields then const_cast the (about to be popped) slot.
-  Event event = std::move(const_cast<Event&>(heap_.top()));
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event event = std::move(heap_.back());
+  heap_.pop_back();
   return event;
 }
 
 SimTime EventQueue::next_time() const {
   expects(!heap_.empty(), "next_time on empty event queue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 void EventQueue::clear() {
-  heap_ = {};
+  heap_.clear();
   next_sequence_ = 0;
 }
 

@@ -3,7 +3,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "src/common/types.h"
@@ -23,6 +22,12 @@ struct Event {
 };
 
 /// Min-heap of events ordered by (time, sequence).
+///
+/// Implemented as a std::vector managed with std::push_heap/std::pop_heap
+/// rather than std::priority_queue: pop() must move the Event (its action is
+/// a potentially expensive std::function) out of the container, and
+/// priority_queue::top() only exposes a const reference — moving through a
+/// const_cast is undefined behaviour.
 class EventQueue {
  public:
   /// Enqueues an action at an absolute simulated time.
@@ -50,7 +55,7 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<Event> heap_;  ///< max-heap under Later, i.e. earliest on top
   std::uint64_t next_sequence_ = 0;
 };
 

@@ -43,7 +43,11 @@ std::uint64_t Simulator::run() {
   std::uint64_t count = 0;
   while (step()) {
     ++count;
-    ensures(count <= event_limit_, "event limit exceeded: likely a runaway reschedule loop");
+    // Checked against the lifetime total, not the per-call count: otherwise a
+    // caller looping over run()/run_until() would reset the runaway guard on
+    // every call and a reschedule loop could spin forever.
+    ensures(executed_ <= event_limit_,
+            "event limit exceeded: likely a runaway reschedule loop");
   }
   return count;
 }
@@ -53,7 +57,8 @@ std::uint64_t Simulator::run_until(SimTime deadline) {
   while (!queue_.empty() && queue_.next_time() <= deadline) {
     (void)step();
     ++count;
-    ensures(count <= event_limit_, "event limit exceeded: likely a runaway reschedule loop");
+    ensures(executed_ <= event_limit_,
+            "event limit exceeded: likely a runaway reschedule loop");
   }
   if (now_ < deadline) now_ = deadline;
   return count;

@@ -48,8 +48,9 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
-  /// Hard cap on events per run() call; exceeding it throws InvariantError.
-  /// Guards against protocol bugs that reschedule forever.
+  /// Hard cap on lifetime events executed (across run(), run_until(), and
+  /// step() calls); exceeding it throws InvariantError. Guards against
+  /// protocol bugs that reschedule forever.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
  private:

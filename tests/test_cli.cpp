@@ -48,6 +48,13 @@ TEST(Cli, ParsesNumericFlags) {
   EXPECT_EQ(o.runs, 7u);
 }
 
+TEST(Cli, ParsesJobs) {
+  EXPECT_EQ(must_parse({}).config.jobs, 0u);  // 0 = auto
+  EXPECT_EQ(must_parse({"--jobs", "4"}).config.jobs, 4u);
+  EXPECT_NE(must_fail({"--jobs", "0"}).find("at least 1"), std::string::npos);
+  EXPECT_NE(must_fail({"--jobs", "nope"}).find("integer"), std::string::npos);
+}
+
 TEST(Cli, ParsesEveryProtocolName) {
   EXPECT_EQ(must_parse({"--protocol", "hier-gossip"}).config.protocol,
             ProtocolKind::kHierGossip);
@@ -138,8 +145,8 @@ TEST(Cli, UsageMentionsEveryFlag) {
        {"--protocol", "--n", "--k", "--m", "--c", "--rounds-per-phase",
         "--exchange", "--no-early-bump", "--no-linger", "--committee-size",
         "--view-coverage", "--hash", "--loss", "--partition-loss", "--pf",
-        "--workload", "--aggregate", "--audit", "--seed", "--runs", "--csv",
-        "--help"}) {
+        "--workload", "--aggregate", "--audit", "--seed", "--runs", "--jobs",
+        "--csv", "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

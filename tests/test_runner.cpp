@@ -227,6 +227,95 @@ TEST(Sweep, SeedsDifferAcrossPointsAndRuns) {
   EXPECT_GT(result.points[0].messages.stddev, 0.0);
 }
 
+TEST(Sweep, SeedsAreClosedFormPerPointAndRun) {
+  // Point p, run r must use seed base.seed + p*runs_per_point + r — i.e. a
+  // point's seeds depend only on its index, not on how the sweep is
+  // executed. A sweep over {x, x} must therefore give different summaries
+  // per point (different seed blocks), while re-running a single-point
+  // sweep whose base.seed is offset by runs_per_point reproduces point 1 of
+  // the two-point sweep exactly.
+  ExperimentConfig base = lossless_config(40);
+  base.ucast_loss = 0.3;
+  base.jobs = 1;
+  const std::size_t runs = 3;
+  const SweepResult both = run_sweep(
+      base, "dup", {1.0, 1.0}, [](ExperimentConfig&, double) {}, runs);
+  EXPECT_NE(both.points[0].messages.mean, both.points[1].messages.mean);
+
+  ExperimentConfig offset = base;
+  offset.seed = base.seed + runs;  // point 1's seed block
+  const SweepResult second = run_sweep(
+      offset, "dup", {1.0}, [](ExperimentConfig&, double) {}, runs);
+  EXPECT_EQ(second.points[0].messages.mean, both.points[1].messages.mean);
+  EXPECT_EQ(second.points[0].incompleteness.mean,
+            both.points[1].incompleteness.mean);
+}
+
+void expect_same_stats(const SummaryStats& a, const SummaryStats& b) {
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.median, b.median);
+  EXPECT_EQ(a.ci95_half_width, b.ci95_half_width);
+}
+
+TEST(Sweep, ParallelSweepIsBitwiseIdenticalToSerial) {
+  ExperimentConfig base = lossless_config(40);
+  base.ucast_loss = 0.3;
+  base.crash_probability = 0.002;
+  base.audit = true;
+
+  base.jobs = 1;
+  const SweepResult serial = run_sweep(
+      base, "loss", {0.1, 0.3},
+      [](ExperimentConfig& c, double x) { c.ucast_loss = x; }, 4);
+  base.jobs = 4;
+  const SweepResult parallel = run_sweep(
+      base, "loss", {0.1, 0.3},
+      [](ExperimentConfig& c, double x) { c.ucast_loss = x; }, 4);
+
+  EXPECT_EQ(parallel.jobs_used, 4u);
+  EXPECT_EQ(serial.jobs_used, 1u);
+  ASSERT_EQ(parallel.points.size(), serial.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    const SweepPoint& s = serial.points[i];
+    const SweepPoint& p = parallel.points[i];
+    EXPECT_EQ(p.x, s.x);
+    expect_same_stats(p.incompleteness, s.incompleteness);
+    EXPECT_EQ(p.incompleteness_geomean, s.incompleteness_geomean);
+    expect_same_stats(p.completeness, s.completeness);
+    expect_same_stats(p.messages, s.messages);
+    expect_same_stats(p.rounds, s.rounds);
+    expect_same_stats(p.abs_error, s.abs_error);
+    EXPECT_EQ(p.mean_effective_b, s.mean_effective_b);
+    EXPECT_EQ(p.audit_violations, s.audit_violations);
+  }
+}
+
+TEST(Sweep, ParallelSweepPropagatesRunExceptions) {
+  ExperimentConfig base = lossless_config(40);
+  base.jobs = 4;
+  EXPECT_THROW(
+      (void)run_sweep(
+          base, "n", {40, 1},  // group_size 1 is rejected by run_experiment
+          [](ExperimentConfig& c, double x) {
+            c.group_size = static_cast<std::size_t>(x);
+          },
+          2),
+      PreconditionError);
+}
+
+TEST(Sweep, ReportsWallClockAndJobs) {
+  ExperimentConfig base = lossless_config(40);
+  base.jobs = 2;
+  const SweepResult sweep = run_sweep(
+      base, "x", {1.0}, [](ExperimentConfig&, double) {}, 2);
+  EXPECT_EQ(sweep.jobs_used, 2u);
+  EXPECT_GT(sweep.wall_seconds, 0.0);
+}
+
 TEST(Sweep, RejectsEmptyInput) {
   ExperimentConfig base;
   EXPECT_THROW((void)run_sweep(base, "x", {},

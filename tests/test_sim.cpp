@@ -30,6 +30,25 @@ TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
 }
 
+TEST(EventQueue, EqualTimesStayFifoAcrossInterleavedPushAndPop) {
+  // Regression for the vector+push_heap/pop_heap rewrite: popping must not
+  // disturb the (time, sequence) order of the events left in the heap, even
+  // when pushes and pops interleave at a single timestamp.
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 4; ++i) {
+    q.push(SimTime{5}, [&fired, i] { fired.push_back(i); });
+  }
+  q.pop().action();  // 0
+  for (int i = 4; i < 8; ++i) {
+    q.push(SimTime{5}, [&fired, i] { fired.push_back(i); });
+  }
+  q.pop().action();  // 1
+  q.push(SimTime{5}, [&fired] { fired.push_back(8); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
 TEST(EventQueue, PopOnEmptyThrows) {
   EventQueue q;
   EXPECT_THROW((void)q.pop(), PreconditionError);
@@ -137,6 +156,24 @@ TEST(Simulator, EventLimitCatchesRunawayLoops) {
   sim.set_event_limit(100);
   sim.schedule_periodic(SimTime{0}, SimTime{1}, [] { return true; });
   EXPECT_THROW(sim.run(), InvariantError);
+}
+
+TEST(Simulator, EventLimitIsLifetimeAcrossRunUntilCalls) {
+  // Regression: the runaway-reschedule guard used to reset per call, so a
+  // caller stepping time forward with repeated run_until() never tripped it.
+  Simulator sim;
+  sim.set_event_limit(100);
+  sim.schedule_periodic(SimTime{0}, SimTime{1}, [] { return true; });
+  EXPECT_NO_THROW(sim.run_until(SimTime{50}));
+  EXPECT_THROW(sim.run_until(SimTime{1000}), InvariantError);
+}
+
+TEST(Simulator, EventLimitIsLifetimeAcrossMixedRunCalls) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  sim.schedule_periodic(SimTime{0}, SimTime{1}, [] { return true; });
+  EXPECT_NO_THROW(sim.run_until(SimTime{80}));
+  EXPECT_THROW(sim.run(), InvariantError);  // 81st..101st event trips it
 }
 
 TEST(Simulator, EventsExecutedAccumulates) {

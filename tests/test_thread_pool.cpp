@@ -1,0 +1,92 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace gridbox::common {
+namespace {
+
+TEST(ThreadPool, ZeroTaskShutdown) {
+  // Construct + destruct with nothing submitted: must not hang or leak.
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, RunsAllTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PendingTasksStillRunOnDestruction) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      (void)pool.submit([&executed] { ++executed; });
+    }
+  }  // destructor drains the queue before joining
+  EXPECT_EQ(executed.load(), 50);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 1; });
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST(ThreadPool, SubmissionFromMultipleThreadsIsSafe) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &sum, t] {
+      std::vector<std::future<void>> futures;
+      for (int i = 0; i < 64; ++i) {
+        const long value = t * 64 + i;
+        futures.push_back(pool.submit([&sum, value] { sum += value; }));
+      }
+      for (auto& future : futures) future.get();
+    });
+  }
+  for (auto& submitter : submitters) submitter.join();
+  // Sum of 0..255.
+  EXPECT_EQ(sum.load(), 255L * 256L / 2L);
+}
+
+TEST(ThreadPool, ResolveJobsPrefersExplicitRequest) {
+  EXPECT_EQ(ThreadPool::resolve_jobs(5), 5u);
+}
+
+TEST(ThreadPool, ResolveJobsReadsEnvironment) {
+  ASSERT_EQ(setenv("GRIDBOX_JOBS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::resolve_jobs(0), 3u);
+  ASSERT_EQ(setenv("GRIDBOX_JOBS", "not-a-number", 1), 0);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);  // malformed -> hardware
+  ASSERT_EQ(unsetenv("GRIDBOX_JOBS"), 0);
+  EXPECT_GE(ThreadPool::resolve_jobs(0), 1u);
+}
+
+}  // namespace
+}  // namespace gridbox::common
