@@ -33,6 +33,13 @@ void SimNetwork::set_distance(
   distance_ = std::move(distance);
 }
 
+void SimNetwork::install_chaos(std::unique_ptr<ChaosSchedule> chaos) {
+  expects(chaos != nullptr, "chaos schedule required");
+  expects(stats_.messages_sent == 0, "install chaos before any send");
+  chaos_ = std::move(chaos);
+  chaos_->bind_clock([this]() { return simulator_.now(); });
+}
+
 void SimNetwork::send(Message message) {
   ++stats_.messages_sent;
   stats_.bytes_sent += message.payload.size();
@@ -40,14 +47,37 @@ void SimNetwork::send(Message message) {
     stats_.link_distance_sum +=
         distance_(message.source, message.destination);
   }
-  if (faults_->drops(message.source, message.destination, rng_)) {
+  // The drop decision happens before the latency draw, so a dropped message
+  // consumes nothing from the latency stream — and the chaos pipeline uses
+  // its own streams, so installing a no-loss chaos schedule leaves the
+  // network RNG sequence identical to a chaos-free run.
+  SimTime extra = SimTime::zero();
+  std::vector<SimTime> duplicates;
+  if (chaos_) {
+    ChaosDecision decision =
+        chaos_->on_send(message.source, message.destination);
+    if (decision.drop) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    extra = decision.extra_delay;
+    duplicates = std::move(decision.duplicate_delays);
+  } else if (faults_->drops(message.source, message.destination, rng_)) {
     ++stats_.messages_dropped;
     return;
   }
   const SimTime delay =
-      latency_->delay(message.source, message.destination, rng_);
-  simulator_.schedule_after(
-      delay, [this, message = std::move(message)]() { deliver(message); });
+      latency_->delay(message.source, message.destination, rng_) + extra;
+  // The original is scheduled first: a duplicate landing at the same tick
+  // loses the event-queue sequence tiebreak, so it can never preempt the
+  // copy it was made from.
+  simulator_.schedule_after(delay,
+                            [this, message]() { deliver(message); });
+  for (const SimTime offset : duplicates) {
+    ++stats_.messages_duplicated;
+    simulator_.schedule_after(
+        delay + offset, [this, message]() { deliver(message); });
+  }
 }
 
 void SimNetwork::deliver(const Message& message) {

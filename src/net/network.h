@@ -12,6 +12,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/net/chaos.h"
 #include "src/net/fault_model.h"
 #include "src/net/latency_model.h"
 #include "src/net/message.h"
@@ -52,6 +53,16 @@ class SimNetwork {
   /// Optional distance function for link-load accounting (topology ablation).
   void set_distance(std::function<double(MemberId, MemberId)> distance);
 
+  /// Installs a chaos schedule. While installed, the schedule's own fault
+  /// pipeline decides drops (the constructor-time fault model is bypassed —
+  /// wrap it into the schedule to keep it) and may add bounded delay and
+  /// duplicate deliveries. The network binds the schedule to its simulator
+  /// clock. Install before any send.
+  void install_chaos(std::unique_ptr<ChaosSchedule> chaos);
+
+  /// The installed schedule, or nullptr.
+  [[nodiscard]] const ChaosSchedule* chaos() const { return chaos_.get(); }
+
   /// Sends one unicast message. May be dropped by the fault model; otherwise
   /// it is delivered after the model latency, if the destination is then
   /// attached and alive. Self-sends are delivered like any other message.
@@ -67,6 +78,7 @@ class SimNetwork {
 
   sim::Simulator& simulator_;
   std::unique_ptr<FaultModel> faults_;
+  std::unique_ptr<ChaosSchedule> chaos_;
   std::unique_ptr<LatencyModel> latency_;
   Rng rng_;
   std::unordered_map<MemberId, Endpoint*> endpoints_;

@@ -11,7 +11,8 @@ struct NetworkStats {
   std::uint64_t messages_dead_dest = 0;  ///< destination crashed/detached at delivery
   std::uint64_t messages_delivered = 0;  ///< reached a live endpoint
   std::uint64_t messages_malformed = 0;  ///< rejected by the receiver's decoder
-  std::uint64_t bytes_sent = 0;          ///< payload bytes across all sends
+  std::uint64_t messages_duplicated = 0;  ///< extra deliveries from chaos dup
+  std::uint64_t bytes_sent = 0;           ///< payload bytes across all sends
 
   /// Sum of Euclidean link distances over all sends; meaningful only when a
   /// distance function is registered (topology ablation). Together with

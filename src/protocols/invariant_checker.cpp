@@ -1,0 +1,177 @@
+#include "src/protocols/invariant_checker.h"
+
+#include <utility>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::protocols {
+
+InvariantChecker::InvariantChecker(Config config)
+    : config_(std::move(config)) {
+  expects(config_.group_size > 0, "invariant checker needs a group size");
+  states_.resize(config_.group_size);
+  if (config_.audit != nullptr) {
+    audit_violations_seen_ = config_.audit->violation_count();
+  }
+}
+
+SimTime InvariantChecker::now() const {
+  return config_.simulator != nullptr ? config_.simulator->now()
+                                      : SimTime::zero();
+}
+
+InvariantChecker::MemberState& InvariantChecker::state_of(MemberId member) {
+  // Out-of-range member ids get a synthetic violation slot appended at the
+  // end rather than an OOB access; the range violation itself is reported by
+  // the caller.
+  const std::size_t i = member.value();
+  if (i >= states_.size()) states_.resize(i + 1);
+  return states_[i];
+}
+
+void InvariantChecker::check_deadline(MemberId member, std::size_t phase,
+                                      const char* event) {
+  if (config_.deadline == SimTime::zero()) return;
+  const SimTime t = now();
+  if (t > config_.deadline) {
+    violate(member, phase,
+            std::string(event) + " at t=" + std::to_string(t.ticks()) +
+                "us, past the termination deadline " +
+                std::to_string(config_.deadline.ticks()) +
+                "us (Theorem 1 bound)");
+  }
+}
+
+void InvariantChecker::violate(MemberId member, std::size_t phase,
+                               std::string what) {
+  InvariantViolation v;
+  v.member = member;
+  v.phase = phase;
+  v.at = now();
+  v.what = std::move(what);
+  violations_.push_back(v);
+  if (config_.fail_fast) {
+    const InvariantViolation& rec = violations_.back();
+    throw InvariantError("run invariant violated at member M" +
+                         std::to_string(member.value()) + " phase " +
+                         std::to_string(phase) + " t=" +
+                         std::to_string(rec.at.ticks()) + "us: " + rec.what);
+  }
+}
+
+void InvariantChecker::on_phase_entered(MemberId member, std::size_t phase) {
+  if (config_.next != nullptr) config_.next->on_phase_entered(member, phase);
+  MemberState& s = state_of(member);
+  check_deadline(member, phase, "phase entered");
+  if (member.value() >= config_.group_size) {
+    violate(member, phase, "phase entered by out-of-range member id");
+  }
+  if (phase == 0) violate(member, phase, "entered phase 0 (phases are 1-based)");
+  if (config_.num_phases != 0 && phase > config_.num_phases) {
+    violate(member, phase,
+            "entered phase beyond num_phases=" +
+                std::to_string(config_.num_phases));
+  }
+  if (s.finished) violate(member, phase, "phase entered after termination");
+  if (phase <= s.last_entered) {
+    violate(member, phase,
+            "phase index not monotone: entered phase " +
+                std::to_string(phase) + " after phase " +
+                std::to_string(s.last_entered));
+  }
+  s.last_entered = phase;
+}
+
+void InvariantChecker::on_value_learned(MemberId member, std::size_t phase,
+                                        std::uint32_t index) {
+  if (config_.next != nullptr) {
+    config_.next->on_value_learned(member, phase, index);
+  }
+  check_deadline(member, phase, "value learned");
+  if (phase == 0) {
+    violate(member, phase, "value learned in phase 0 (phases are 1-based)");
+  }
+  if (phase == 1) {
+    if (index >= config_.group_size) {
+      violate(member, phase,
+              "vote learned from out-of-range origin " +
+                  std::to_string(index) + " (group size " +
+                  std::to_string(config_.group_size) + ")");
+    }
+  } else if (config_.fanout != 0 && index >= config_.fanout) {
+    violate(member, phase,
+            "child aggregate learned for out-of-range slot " +
+                std::to_string(index) + " (fanout " +
+                std::to_string(config_.fanout) + ")");
+  }
+}
+
+void InvariantChecker::on_phase_concluded(MemberId member, std::size_t phase,
+                                          gossip::PhaseEnd how,
+                                          std::uint32_t votes) {
+  if (config_.next != nullptr) {
+    config_.next->on_phase_concluded(member, phase, how, votes);
+  }
+  MemberState& s = state_of(member);
+  check_deadline(member, phase, "phase concluded");
+  // Disjoint-merge check: conclude_phase registers its merge immediately
+  // before emitting this event (same call stack), so a jump in the audit
+  // registry's violation counter since the last event pins double counting
+  // to this member and phase — during the run, not at measurement time.
+  if (config_.audit != nullptr) {
+    const std::uint64_t current = config_.audit->violation_count();
+    if (current > audit_violations_seen_) {
+      audit_violations_seen_ = current;
+      violate(member, phase,
+              "merge combined overlapping vote sets (double counting, §2)");
+    }
+  }
+  if (phase == 0) violate(member, phase, "concluded phase 0");
+  if (phase <= s.last_concluded) {
+    violate(member, phase,
+            "phase conclusions not monotone: concluded phase " +
+                std::to_string(phase) + " after phase " +
+                std::to_string(s.last_concluded));
+  }
+  if (votes < s.votes) {
+    violate(member, phase,
+            "vote count decreased: " + std::to_string(votes) + " after " +
+                std::to_string(s.votes));
+  }
+  if (votes > config_.group_size) {
+    violate(member, phase,
+            "vote count " + std::to_string(votes) + " exceeds group size " +
+                std::to_string(config_.group_size));
+  }
+  s.last_concluded = phase;
+  s.votes = votes;
+}
+
+void InvariantChecker::on_finished(MemberId member, std::uint32_t votes) {
+  if (config_.next != nullptr) config_.next->on_finished(member, votes);
+  MemberState& s = state_of(member);
+  check_deadline(member, s.last_concluded, "termination");
+  if (s.finished) violate(member, s.last_concluded, "terminated twice");
+  if (votes != s.votes) {
+    violate(member, s.last_concluded,
+            "terminated with " + std::to_string(votes) +
+                " votes but last conclusion covered " +
+                std::to_string(s.votes));
+  }
+  s.finished = true;
+  ++finished_count_;
+}
+
+void InvariantChecker::expect_all_finished(
+    const std::vector<MemberId>& members) {
+  for (const MemberId m : members) {
+    const MemberState& s = state_of(m);
+    if (!s.finished) {
+      violate(m, s.last_concluded,
+              "member never terminated (deadline " +
+                  std::to_string(config_.deadline.ticks()) + "us)");
+    }
+  }
+}
+
+}  // namespace gridbox::protocols

@@ -1,0 +1,102 @@
+// Always-on run invariants for Hierarchical Gossiping.
+//
+// An InvariantChecker is a GossipTrace that validates protocol behaviour
+// *while the run executes*, not at measurement time. It enforces the
+// machine-checkable core of the paper's claims: phase indices only move
+// forward (§6.3 phase structure), the vote count behind a member's estimate
+// never decreases, every merge combines disjoint vote sets (§2
+// no-double-counting, via AuditRegistry deltas observed at the merge's own
+// conclusion event), values are only learned for in-range slots, and all
+// trace activity stays within the ⌈C·log_M N⌉ × num_phases deadline
+// (Theorem 1). A violation carries member/phase/time context and, by
+// default, fails fast by throwing InvariantError out of the simulator loop.
+//
+// The checker chains: forward events to `next` to stack it with a recording
+// or logging trace. Forwarding happens before checking, so a chained
+// recorder keeps the offending event even when the checker throws.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/agg/audit.h"
+#include "src/common/types.h"
+#include "src/protocols/gossip/trace.h"
+#include "src/sim/simulator.h"
+
+namespace gridbox::protocols {
+
+/// One detected invariant violation, with enough context to localize it.
+struct InvariantViolation {
+  MemberId member;
+  std::size_t phase = 0;
+  SimTime at = SimTime::zero();
+  std::string what;
+};
+
+class InvariantChecker final : public gossip::GossipTrace {
+ public:
+  struct Config {
+    /// Group size; bounds phase-1 value indices (vote origins).
+    std::size_t group_size = 0;
+    /// Hierarchy fanout K; bounds phase >= 2 value indices (child slots).
+    /// 0 disables the slot-range check.
+    std::size_t fanout = 0;
+    /// Highest legal phase index. 0 disables the phase-range check.
+    std::size_t num_phases = 0;
+    /// Clock for violation timestamps and the deadline check (optional).
+    const sim::Simulator* simulator = nullptr;
+    /// When set, merge disjointness is checked at every phase conclusion by
+    /// watching this registry's violation counter (optional).
+    const agg::AuditRegistry* audit = nullptr;
+    /// Trace events after this time violate the termination bound
+    /// (Theorem 1). zero() disables the deadline check.
+    SimTime deadline = SimTime::zero();
+    /// Throw InvariantError at the first violation (after recording it).
+    bool fail_fast = true;
+    /// Downstream trace to forward every event to (optional).
+    gossip::GossipTrace* next = nullptr;
+  };
+
+  explicit InvariantChecker(Config config);
+
+  void on_phase_entered(MemberId member, std::size_t phase) override;
+  void on_value_learned(MemberId member, std::size_t phase,
+                        std::uint32_t index) override;
+  void on_phase_concluded(MemberId member, std::size_t phase,
+                          gossip::PhaseEnd how, std::uint32_t votes) override;
+  void on_finished(MemberId member, std::uint32_t votes) override;
+
+  /// Post-run check: records a violation for every member of `members` that
+  /// never reported on_finished (call with the members still alive at the
+  /// end of the run; crashed members legitimately never finish).
+  void expect_all_finished(const std::vector<MemberId>& members);
+
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::size_t finished_count() const { return finished_count_; }
+
+ private:
+  struct MemberState {
+    std::size_t last_entered = 0;    // highest phase entered
+    std::size_t last_concluded = 0;  // highest phase concluded
+    std::uint32_t votes = 0;         // votes behind the latest conclusion
+    bool finished = false;
+  };
+
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] MemberState& state_of(MemberId member);
+  void check_deadline(MemberId member, std::size_t phase, const char* event);
+  /// Records (and, under fail_fast, throws) a violation.
+  void violate(MemberId member, std::size_t phase, std::string what);
+
+  Config config_;
+  std::vector<MemberState> states_;  // index = member id value
+  std::vector<InvariantViolation> violations_;
+  std::uint64_t audit_violations_seen_ = 0;
+  std::size_t finished_count_ = 0;
+};
+
+}  // namespace gridbox::protocols

@@ -44,6 +44,9 @@ RunMeasurement measure_run(
         // provenance set size, or the partial was corrupted along the way.
         ensures(audit->votes_behind(out.audit_token) == out.estimate.count(),
                 "estimate count disagrees with audited vote set");
+        if (!estimate_reconstructs(*node, votes, *audit)) {
+          ++m.reconstruction_failures;
+        }
       }
     }
     completeness_sum += completeness;
@@ -60,6 +63,41 @@ RunMeasurement measure_run(
   }
   if (audit != nullptr) m.audit_violations = audit->violation_count();
   return m;
+}
+
+namespace {
+
+// Relative comparison for the additive moments: the oracle re-merges in
+// ascending member order while the protocol merged in arrival order, so
+// floating-point sums may differ in the last bits.
+bool close_rel(double a, double b) {
+  const double scale = std::max({std::abs(a), std::abs(b), 1.0});
+  return std::abs(a - b) <= 1e-9 * scale;
+}
+
+}  // namespace
+
+bool estimate_reconstructs(const ProtocolNode& node,
+                           const agg::VoteTable& votes,
+                           const agg::AuditRegistry& audit) {
+  if (!node.finished()) return true;
+  const NodeOutcome& out = node.outcome();
+  if (out.audit_token == agg::kNoAuditToken) return true;
+
+  const MemberBitset& set = audit.set_of(out.audit_token);
+  agg::Partial exact;
+  for (std::size_t i = 0; i < audit.universe(); ++i) {
+    if (set.test(i)) {
+      exact.merge(agg::Partial::from_vote(
+          votes.of(MemberId(static_cast<MemberId::underlying>(i)))));
+    }
+  }
+  if (exact.count() != out.estimate.count()) return false;
+  if (exact.count() == 0) return true;
+  return exact.min() == out.estimate.min() &&
+         exact.max() == out.estimate.max() &&
+         close_rel(exact.sum(), out.estimate.sum()) &&
+         close_rel(exact.sum_squares(), out.estimate.sum_squares());
 }
 
 }  // namespace gridbox::protocols

@@ -39,6 +39,12 @@ struct RunMeasurement {
   std::uint64_t max_rounds = 0;         ///< slowest node's round count
   SimTime last_finish = SimTime::zero();
   std::uint64_t audit_violations = 0;   ///< nonzero = double counting bug
+
+  /// Finished nodes whose estimate is NOT the exact aggregate of their
+  /// audited vote set (see reconstruction oracle below); nonzero means a
+  /// wrong-but-complete answer. Only computed when an audit registry is
+  /// present.
+  std::uint64_t reconstruction_failures = 0;
 };
 
 [[nodiscard]] RunMeasurement measure_run(
@@ -46,5 +52,15 @@ struct RunMeasurement {
     const std::vector<std::unique_ptr<ProtocolNode>>& nodes,
     const agg::VoteTable& votes, agg::AggregateKind kind,
     const net::NetworkStats& net_stats, const agg::AuditRegistry* audit);
+
+/// Reconstruction oracle: re-aggregates `node`'s audited vote set from the
+/// ground-truth vote table and compares it against the node's estimate —
+/// count, min, and max must match exactly; sum and sum-of-squares to 1e-9
+/// relative (merge order may differ from the protocol's). A complete but
+/// wrong answer can never pass this. Returns true when the estimate is
+/// faithful; nodes without an audit token pass vacuously (nothing claimed).
+[[nodiscard]] bool estimate_reconstructs(const ProtocolNode& node,
+                                         const agg::VoteTable& votes,
+                                         const agg::AuditRegistry& audit);
 
 }  // namespace gridbox::protocols

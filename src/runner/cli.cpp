@@ -4,12 +4,16 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <functional>
 #include <future>
 #include <map>
+#include <sstream>
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/net/chaos.h"
+#include "src/runner/differential.h"
 #include "src/runner/experiment.h"
 #include "src/runner/stats.h"
 #include "src/runner/table.h"
@@ -83,6 +87,28 @@ struct Parser {
     options.config.aggregate = it->second;
     return true;
   }
+
+  /// --chaos accepts a spec file path or inline text (';' = newline). The
+  /// spec is validated here so a typo fails at the command line, not three
+  /// runs into a sweep.
+  [[nodiscard]] bool parse_chaos(const std::string& value) {
+    std::string text;
+    if (std::ifstream file(value); file.good()) {
+      std::ostringstream content;
+      content << file.rdbuf();
+      text = content.str();
+    } else {
+      text = value;
+      std::replace(text.begin(), text.end(), ';', '\n');
+    }
+    try {
+      (void)net::ChaosSpec::parse(text);
+    } catch (const std::exception& e) {
+      return fail(std::string("--chaos: ") + e.what());
+    }
+    options.config.chaos_spec = text;
+    return true;
+  }
 };
 
 }  // namespace
@@ -115,12 +141,19 @@ faults
   --loss P               iid unicast loss probability (default 0.25)
   --partition-loss P     soft-partition cross loss; unset = no partition
   --pf P                 per-round member crash probability (default 0.001)
+  --chaos SPEC           chaos script: a spec file path, or inline directives
+                         separated by ';' (see docs/chaos.md). Network
+                         directives replace --loss/--partition-loss
 
 workload & measurement
   --workload NAME        uniform (default) | normal | field
   --aggregate NAME       average (default) | sum | min | max | count |
                          range | stddev
   --audit                verify no-double-counting per run
+  --no-invariants        disable the always-on run invariant checker
+  --differential         run hier-gossip + all baselines over the same
+                         scenario and cross-check audited estimates
+                         (exit 2 on any disagreement)
   --seed S               root seed (default 1); run r uses seed S+r
   --runs R               independent runs (default 1)
   --jobs N               worker threads for multi-run execution (default:
@@ -230,6 +263,12 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       }
     } else if (flag == "--audit") {
       config.audit = true;
+    } else if (flag == "--chaos") {
+      if (!next_value(flag, &value) || !p.parse_chaos(value)) break;
+    } else if (flag == "--no-invariants") {
+      config.check_invariants = false;
+    } else if (flag == "--differential") {
+      p.options.differential = true;
     } else if (flag == "--seed") {
       if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
       config.seed = u;
@@ -260,11 +299,49 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
   return CliParseResult{p.options, ""};
 }
 
+namespace {
+
+int run_differential_cli(const CliOptions& options) {
+  Table table({"run", "protocol", "completeness", "survivors", "finished",
+               "true value", "audit", "reconstruct"});
+  bool all_ok = true;
+  for (std::size_t run = 0; run < options.runs; ++run) {
+    ExperimentConfig config = options.config;
+    config.seed = options.config.seed + run;
+    const DifferentialReport report = run_differential(config);
+    if (!report.ok()) all_ok = false;
+    for (const DifferentialRow& row : report.rows) {
+      if (!row.ran) {
+        table.add_row({std::to_string(run), to_string(row.protocol),
+                       "error: " + row.error, "-", "-", "-", "-", "-"});
+        continue;
+      }
+      const auto& m = row.measurement;
+      table.add_row(
+          {std::to_string(run), to_string(row.protocol),
+           Table::num(m.mean_completeness), std::to_string(m.survivors),
+           std::to_string(m.finished_nodes), Table::num(m.true_value),
+           std::to_string(m.audit_violations),
+           m.reconstruction_failures == 0 ? "ok"
+                                          : std::to_string(
+                                                m.reconstruction_failures) +
+                                                " failed"});
+    }
+  }
+  std::fputs(table.to_text().c_str(), stdout);
+  std::printf("\ndifferential oracle: %s\n",
+              all_ok ? "all protocols agree (clean)" : "DISAGREEMENT — BUG");
+  return all_ok ? 0 : 2;
+}
+
+}  // namespace
+
 int run_cli(const CliOptions& options) {
   if (options.show_help) {
     std::fputs(usage_text().c_str(), stdout);
     return 0;
   }
+  if (options.differential) return run_differential_cli(options);
 
   Table table({"run", "seed", "completeness", "incompleteness", "survivors",
                "true value", "mean abs err", "msgs", "rounds"});

@@ -17,6 +17,9 @@ struct CliOptions {
   std::size_t runs = 1;
   std::string csv_path;  ///< empty = no CSV output
   bool show_help = false;
+  /// Differential oracle mode: run all four protocols over the same
+  /// scenario and cross-check their audited estimates (--differential).
+  bool differential = false;
 };
 
 struct CliParseResult {

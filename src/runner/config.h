@@ -82,6 +82,16 @@ struct ExperimentConfig {
   // Instrumentation.
   bool audit = false;  ///< attach provenance tokens & verify no double count
 
+  /// Chaos spec text (see docs/chaos.md); empty = no chaos. Parsed once per
+  /// run; network-affecting directives replace the static ucast/partition
+  /// loss pipeline for the run, crashes schedule on the simulator clock.
+  std::string chaos_spec;
+
+  /// Run the always-on invariant checker (hier-gossip runs only; the
+  /// baselines have no trace hooks). Violations throw InvariantError out of
+  /// the run. On by default: a run that breaks an invariant is not a result.
+  bool check_invariants = true;
+
   std::uint64_t seed = 1;
 
   /// Host-side execution knob: worker threads used when this config is the

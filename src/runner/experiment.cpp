@@ -12,9 +12,11 @@
 #include "src/hashing/topo_hash.h"
 #include "src/hierarchy/hierarchy.h"
 #include "src/membership/group.h"
+#include "src/net/chaos.h"
 #include "src/net/network.h"
 #include "src/protocols/baseline/leader_election.h"
 #include "src/protocols/gossip/hier_gossip.h"
+#include "src/protocols/invariant_checker.h"
 #include "src/sim/simulator.h"
 #include "src/analysis/epidemic.h"
 
@@ -29,6 +31,7 @@ constexpr std::uint64_t kCrashStream = 0x03;
 constexpr std::uint64_t kPositionStream = 0x04;
 constexpr std::uint64_t kHashSaltStream = 0x05;
 constexpr std::uint64_t kViewStream = 0x06;
+constexpr std::uint64_t kChaosStream = 0x07;
 constexpr std::uint64_t kNodeStreamBase = 0x1000;
 
 // The view a given member starts with: complete, or an independent random
@@ -150,6 +153,18 @@ RunResult run_experiment(const ExperimentConfig& config) {
                                             config.latency_hi),
       root.derive(kNetStream));
   network.set_liveness([&group](MemberId m) { return group.is_alive(m); });
+
+  // Chaos: scripted adversity layered over (or replacing) the static fault
+  // pipeline. The schedule draws from its own derived streams, so adding a
+  // chaos spec never perturbs vote/view/node randomness.
+  net::ChaosSpec chaos = net::ChaosSpec::parse(config.chaos_spec);
+  if (chaos.affects_network()) {
+    network.install_chaos(std::make_unique<net::ChaosSchedule>(
+        chaos, make_faults(config), config.group_size,
+        root.derive(kChaosStream)));
+  }
+  net::schedule_chaos_crashes(chaos, simulator,
+                              [&group](MemberId m) { group.crash(m); });
   if (group.has_positions()) {
     network.set_distance([&group](MemberId a, MemberId b) {
       return std::sqrt(squared_distance(group.position(a), group.position(b)));
@@ -169,11 +184,39 @@ RunResult run_experiment(const ExperimentConfig& config) {
   env.is_alive = [&group](MemberId m) { return group.is_alive(m); };
   env.kind = config.aggregate;
 
+  // Always-on invariant checker (hier-gossip: it is the only protocol with
+  // trace hooks). Chains in front of any caller-supplied trace; violations
+  // throw InvariantError out of simulator.run() at the offending event.
+  ExperimentConfig node_config = config;
+  std::unique_ptr<protocols::InvariantChecker> checker;
+  if (config.check_invariants &&
+      config.protocol == ProtocolKind::kHierGossip) {
+    protocols::InvariantChecker::Config icfg;
+    icfg.group_size = config.group_size;
+    icfg.fanout = config.gossip.k;
+    icfg.num_phases = hier.num_phases();
+    icfg.simulator = &simulator;
+    icfg.audit = audit.get();
+    // Theorem 1 bound: every phase lasts ⌈C·log_M N⌉ rounds, so all trace
+    // activity must stop by start skew + num_phases × rounds-per-phase
+    // rounds, plus one round of slack for the final deadline conclusion.
+    const std::uint64_t total_rounds =
+        hier.num_phases() * config.gossip.rounds_per_phase(config.group_size) +
+        1;
+    icfg.deadline =
+        config.gossip.start_skew_max +
+        SimTime::micros(static_cast<SimTime::underlying>(total_rounds) *
+                        config.gossip.round_duration.ticks());
+    icfg.next = config.gossip.trace;
+    checker = std::make_unique<protocols::InvariantChecker>(icfg);
+    node_config.gossip.trace = checker.get();
+  }
+
   Rng view_rng = root.derive(kViewStream);
   std::vector<std::unique_ptr<protocols::ProtocolNode>> nodes;
   nodes.reserve(config.group_size);
   for (const MemberId m : group.members()) {
-    auto node = make_node(config, m, votes.of(m),
+    auto node = make_node(node_config, m, votes.of(m),
                           make_view(config, group, m, view_rng), env,
                           root.derive(kNodeStreamBase + m.value()));
     network.attach(m, *node);
@@ -200,6 +243,16 @@ RunResult run_experiment(const ExperimentConfig& config) {
   }
 
   (void)simulator.run();
+
+  if (checker != nullptr) {
+    // Termination: every member still alive at the end must have delivered
+    // an estimate within the deadline (crashed members legitimately stop).
+    std::vector<MemberId> alive;
+    for (const MemberId m : group.members()) {
+      if (group.is_alive(m)) alive.push_back(m);
+    }
+    checker->expect_all_finished(alive);
+  }
 
   RunResult result;
   result.measurement = protocols::measure_run(group, nodes, votes,

@@ -107,13 +107,11 @@ TEST(Centralized, MessageComplexityIsLinear) {
 TEST(Centralized, LeaderCrashIsCatastrophic) {
   WorldOptions options;
   options.group_size = 30;
+  // Kill the leader before it can possibly disseminate.
+  options.chaos = "crash M0 at=1ms";
   World world(options);
   auto nodes = world.make_nodes<CentralizedNode>(CentralizedConfig{});
   world.start_all(nodes);
-  // Kill the leader before it can possibly disseminate.
-  world.simulator().schedule_at(SimTime::millis(1), [&world] {
-    world.group().crash(MemberId{0});
-  });
   world.simulator().run();
   for (const auto& node : nodes) {
     EXPECT_FALSE(node->finished());  // nobody gets an estimate
@@ -195,9 +193,8 @@ TEST(LeaderElection, RootLeaderCrashLosesEveryone) {
     }
   }
   world.start_all(nodes);
-  world.simulator().schedule_at(SimTime::millis(1), [&world, root_leader] {
-    world.group().crash(root_leader);
-  });
+  world.apply_chaos("crash M" + std::to_string(root_leader.value()) +
+                    " at=1ms");
   world.simulator().run();
 
   for (const auto& node : nodes) {
@@ -244,9 +241,8 @@ TEST(LeaderElection, BoxLeaderCrashLosesAboutOneBox) {
   }
 
   world.start_all(nodes);
-  world.simulator().schedule_at(SimTime::millis(1), [&world, box_leader] {
-    world.group().crash(box_leader);
-  });
+  world.apply_chaos("crash M" + std::to_string(box_leader.value()) +
+                    " at=1ms");
   world.simulator().run();
 
   // Survivors outside the dead box still finish, but the final estimate is
@@ -278,9 +274,7 @@ TEST(Committee, ToleratesSingleLeaderCrashWithKPrime2) {
     }
   }
   world.start_all(nodes);
-  world.simulator().schedule_at(SimTime::millis(1), [&world, first] {
-    world.group().crash(first);
-  });
+  world.apply_chaos("crash M" + std::to_string(first.value()) + " at=1ms");
   world.simulator().run();
 
   // The second committee member carries the protocol: most members finish

@@ -4,9 +4,11 @@
 // absorbed, but audit tokens of kNoAuditToken keep the audit conservative).
 #include <gtest/gtest.h>
 
+#include "src/net/chaos.h"
 #include "src/protocols/baseline/fully_distributed.h"
 #include "src/protocols/baseline/leader_election.h"
 #include "src/protocols/gossip/hier_gossip.h"
+#include "src/runner/experiment.h"
 #include "tests/testing_world.h"
 
 namespace gridbox {
@@ -38,6 +40,12 @@ TEST(Fuzz, GossipSurvivesRandomPayloadStorm) {
   WorldOptions options;
   options.group_size = 48;
   options.k = 4;
+  // Forged frames that decode as votes by luck can carry out-of-range
+  // origins — a *wire-garbage* artifact the invariant checker rightly flags
+  // as protocol-illegal. This test is about surviving garbage, so the
+  // checker stays off; the chaos corpus below runs protocol-legal adversity
+  // with it on.
+  options.invariants = false;
   World world(options);
   protocols::gossip::GossipConfig config;
   config.k = 4;
@@ -90,6 +98,53 @@ TEST(Fuzz, FullyDistributedSurvivesRandomPayloadStorm) {
     // Forged vote frames can add phantom origins, but only a handful decode
     // by luck; coverage cannot explode.
     EXPECT_LE(node->outcome().estimate.count(), 48u + 8u);
+  }
+}
+
+// ---- chaos seed corpus ------------------------------------------------------
+//
+// 32 random ChaosSchedule scripts × all four protocols, audited, with the
+// invariant checker on (generated specs contain only protocol-legal
+// adversity: loss, bursts, links, jitter, duplication, partitions, crashes
+// — never forged bytes). Any violation dumps the offending spec text so the
+// exact scenario replays from the failure message alone.
+TEST(Fuzz, ChaosCorpusHoldsInvariantsAcrossAllProtocols) {
+  static constexpr runner::ProtocolKind kProtocols[] = {
+      runner::ProtocolKind::kHierGossip,
+      runner::ProtocolKind::kFullyDistributed,
+      runner::ProtocolKind::kCentralized,
+      runner::ProtocolKind::kCommittee,
+  };
+  Rng corpus_rng(0xC405);
+  for (std::size_t i = 0; i < 32; ++i) {
+    const net::ChaosSpec spec =
+        net::random_chaos_spec(corpus_rng, 24, SimTime::millis(150));
+    for (const runner::ProtocolKind protocol : kProtocols) {
+      runner::ExperimentConfig config;
+      config.protocol = protocol;
+      config.group_size = 24;
+      config.ucast_loss = 0.0;
+      config.crash_probability = 0.0;
+      config.audit = true;
+      config.seed = 0x9000 + i;
+      config.chaos_spec = spec.to_text();
+      try {
+        const runner::RunResult result = runner::run_experiment(config);
+        EXPECT_EQ(result.measurement.audit_violations, 0u)
+            << "double counting under spec " << i << " ("
+            << to_string(protocol) << "):\n"
+            << spec.to_text();
+        EXPECT_EQ(result.measurement.reconstruction_failures, 0u)
+            << "unfaithful estimate under spec " << i << " ("
+            << to_string(protocol) << "):\n"
+            << spec.to_text();
+      } catch (const std::exception& e) {
+        ADD_FAILURE() << "spec " << i << " (" << to_string(protocol)
+                      << ") violated a run invariant: " << e.what()
+                      << "\nreplay spec:\n"
+                      << spec.to_text();
+      }
+    }
   }
 }
 

@@ -1,0 +1,135 @@
+// Golden-trace regression: the complete GossipTrace event stream of two
+// canonical worlds is a checked-in fixture, asserted byte-identical on
+// replay. Any change to protocol scheduling — round timing, RNG draw order,
+// message handling — shows up as a visible fixture diff instead of silent
+// drift. Regenerate deliberately with GRIDBOX_REGEN_GOLDEN=1.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/protocols/gossip/hier_gossip.h"
+#include "src/protocols/gossip/trace.h"
+#include "tests/testing_world.h"
+
+namespace gridbox {
+namespace {
+
+using protocols::gossip::GossipConfig;
+using protocols::gossip::GossipTrace;
+using protocols::gossip::HierGossipNode;
+using protocols::gossip::PhaseEnd;
+using testing::World;
+using testing::WorldOptions;
+
+const char* how_name(PhaseEnd how) {
+  switch (how) {
+    case PhaseEnd::kTimeout:
+      return "timeout";
+    case PhaseEnd::kSaturated:
+      return "saturated";
+    case PhaseEnd::kAdopted:
+      return "adopted";
+  }
+  return "?";
+}
+
+/// Serializes every trace event as one line, timestamped from the simulator
+/// clock. The format is append-only: the exact event order IS the artifact.
+struct SerializingTrace final : GossipTrace {
+  explicit SerializingTrace(sim::Simulator& simulator)
+      : simulator(simulator) {}
+
+  void on_phase_entered(MemberId member, std::size_t phase) override {
+    out << "enter M" << member.value() << " phase=" << phase << " t="
+        << simulator.now().ticks() << "\n";
+  }
+  void on_value_learned(MemberId member, std::size_t phase,
+                        std::uint32_t index) override {
+    out << "learn M" << member.value() << " phase=" << phase
+        << " index=" << index << " t=" << simulator.now().ticks() << "\n";
+  }
+  void on_phase_concluded(MemberId member, std::size_t phase, PhaseEnd how,
+                          std::uint32_t votes) override {
+    out << "conclude M" << member.value() << " phase=" << phase
+        << " how=" << how_name(how) << " votes=" << votes << " t="
+        << simulator.now().ticks() << "\n";
+  }
+  void on_finished(MemberId member, std::uint32_t votes) override {
+    out << "finish M" << member.value() << " votes=" << votes << " t="
+        << simulator.now().ticks() << "\n";
+  }
+
+  sim::Simulator& simulator;
+  std::ostringstream out;
+};
+
+std::string record_world(double loss) {
+  WorldOptions options;
+  options.group_size = 32;
+  options.k = 4;
+  options.seed = 7;
+  options.loss = loss;
+  World world(options);
+  SerializingTrace trace(world.simulator());
+  GossipConfig config;
+  config.trace = &trace;  // the invariant checker chains in front
+  auto nodes = world.make_nodes<HierGossipNode>(config);
+  world.start_all(nodes);
+  world.simulator().run();
+  return trace.out.str();
+}
+
+void check_against_golden(const std::string& name, const std::string& got) {
+  const std::string path =
+      std::string(GRIDBOX_TEST_DATA_DIR) + "/golden/" + name;
+  if (std::getenv("GRIDBOX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << path
+                         << " (regenerate with GRIDBOX_REGEN_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  // Byte-identical, and loud about where the drift starts.
+  if (got != want.str()) {
+    const std::string& w = want.str();
+    std::size_t i = 0;
+    while (i < got.size() && i < w.size() && got[i] == w[i]) ++i;
+    std::size_t line = 1;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (w[j] == '\n') ++line;
+    }
+    FAIL() << name << ": trace drifted from golden fixture at line " << line
+           << " (byte " << i << " of " << w.size()
+           << "). If the change is intentional, regenerate with "
+              "GRIDBOX_REGEN_GOLDEN=1.";
+  }
+}
+
+TEST(GoldenTrace, LosslessWorldReplaysByteIdentical) {
+  const std::string got = record_world(0.0);
+  ASSERT_FALSE(got.empty());
+  check_against_golden("trace_lossless_n32_k4_seed7.txt", got);
+}
+
+TEST(GoldenTrace, TwentyPercentLossWorldReplaysByteIdentical) {
+  const std::string got = record_world(0.2);
+  ASSERT_FALSE(got.empty());
+  check_against_golden("trace_loss20_n32_k4_seed7.txt", got);
+}
+
+// The recording itself must be deterministic: two in-process replays of the
+// same world produce the same bytes (guards against map-iteration or
+// address-dependent ordering sneaking into the trace path).
+TEST(GoldenTrace, InProcessReplayIsDeterministic) {
+  EXPECT_EQ(record_world(0.2), record_world(0.2));
+}
+
+}  // namespace
+}  // namespace gridbox

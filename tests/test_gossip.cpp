@@ -240,15 +240,12 @@ TEST(HierGossip, CrashedMemberStopsSendingButVotesMaySurvive) {
   WorldOptions options;
   options.group_size = 32;
   options.k = 4;
+  // Kill member 5 shortly after phase 1 begins: by then its vote has very
+  // likely been gossiped onwards, so survivors may still include it.
+  options.chaos = "crash M5 at=35ms";
   World world(options);
   auto nodes = world.make_nodes<HierGossipNode>(config_for(4));
   world.start_all(nodes);
-
-  // Kill member 5 shortly after phase 1 begins: by then its vote has very
-  // likely been gossiped onwards, so survivors may still include it.
-  world.simulator().schedule_at(SimTime::millis(35), [&world] {
-    world.group().crash(MemberId{5});
-  });
   world.simulator().run();
 
   EXPECT_FALSE(nodes[5]->finished());

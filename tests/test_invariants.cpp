@@ -1,0 +1,231 @@
+// The run invariant checker: unit-level violations and the live mutation
+// test (a deliberately broken merge must be caught DURING the run by the
+// checker, not at end-of-run measurement).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/agg/audit.h"
+#include "src/common/ensure.h"
+#include "src/protocols/gossip/hier_gossip.h"
+#include "src/protocols/invariant_checker.h"
+#include "src/runner/experiment.h"
+#include "tests/testing_world.h"
+
+namespace gridbox {
+namespace {
+
+using protocols::InvariantChecker;
+using protocols::gossip::PhaseEnd;
+
+InvariantChecker::Config lax_config(std::size_t group_size = 8,
+                                    std::size_t fanout = 4,
+                                    std::size_t num_phases = 3) {
+  InvariantChecker::Config config;
+  config.group_size = group_size;
+  config.fanout = fanout;
+  config.num_phases = num_phases;
+  config.fail_fast = false;  // unit tests inspect violations() directly
+  return config;
+}
+
+TEST(InvariantChecker, CleanRunHasNoViolations) {
+  InvariantChecker checker(lax_config());
+  const MemberId m{2};
+  checker.on_phase_entered(m, 1);
+  checker.on_value_learned(m, 1, 2);
+  checker.on_value_learned(m, 1, 7);
+  checker.on_phase_concluded(m, 1, PhaseEnd::kTimeout, 2);
+  checker.on_phase_entered(m, 2);
+  checker.on_value_learned(m, 2, 3);
+  checker.on_phase_concluded(m, 2, PhaseEnd::kSaturated, 5);
+  checker.on_phase_entered(m, 3);
+  checker.on_phase_concluded(m, 3, PhaseEnd::kAdopted, 8);
+  checker.on_finished(m, 8);
+  EXPECT_TRUE(checker.violations().empty());
+  EXPECT_EQ(checker.finished_count(), 1u);
+}
+
+TEST(InvariantChecker, PhaseRegressionIsAViolation) {
+  InvariantChecker checker(lax_config());
+  checker.on_phase_entered(MemberId{0}, 2);
+  checker.on_phase_entered(MemberId{0}, 1);  // regression
+  checker.on_phase_entered(MemberId{0}, 1);  // re-entry is also a violation
+  ASSERT_EQ(checker.violations().size(), 2u);
+  EXPECT_EQ(checker.violations()[0].member, MemberId{0});
+  EXPECT_EQ(checker.violations()[0].phase, 1u);
+}
+
+TEST(InvariantChecker, VoteCountMayNeverDecrease) {
+  InvariantChecker checker(lax_config());
+  checker.on_phase_concluded(MemberId{1}, 1, PhaseEnd::kTimeout, 5);
+  checker.on_phase_concluded(MemberId{1}, 2, PhaseEnd::kTimeout, 3);
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_NE(checker.violations()[0].what.find("decreased"),
+            std::string::npos);
+}
+
+TEST(InvariantChecker, VoteCountBoundedByGroupSize) {
+  InvariantChecker checker(lax_config(8));
+  checker.on_phase_concluded(MemberId{1}, 1, PhaseEnd::kTimeout, 9);
+  ASSERT_EQ(checker.violations().size(), 1u);
+}
+
+TEST(InvariantChecker, OutOfRangeSlotAndOriginAreViolations) {
+  InvariantChecker checker(lax_config(8, 4));
+  checker.on_value_learned(MemberId{0}, 1, 8);  // origin >= group size
+  checker.on_value_learned(MemberId{0}, 2, 4);  // slot >= fanout
+  checker.on_value_learned(MemberId{0}, 2, 3);  // fine
+  EXPECT_EQ(checker.violations().size(), 2u);
+}
+
+TEST(InvariantChecker, TerminationMismatchesAreViolations) {
+  InvariantChecker checker(lax_config());
+  checker.on_phase_concluded(MemberId{4}, 3, PhaseEnd::kTimeout, 6);
+  checker.on_finished(MemberId{4}, 5);  // differs from last conclusion
+  checker.on_finished(MemberId{4}, 6);  // terminated twice
+  EXPECT_EQ(checker.violations().size(), 2u);
+  checker.on_phase_entered(MemberId{4}, 3);  // activity after termination
+  EXPECT_EQ(checker.violations().size(), 3u);
+}
+
+TEST(InvariantChecker, FailFastThrowsInvariantError) {
+  InvariantChecker::Config config = lax_config();
+  config.fail_fast = true;
+  InvariantChecker checker(config);
+  checker.on_phase_entered(MemberId{3}, 2);
+  EXPECT_THROW(checker.on_phase_entered(MemberId{3}, 1), InvariantError);
+  // The violation is recorded before the throw, with context.
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].member, MemberId{3});
+}
+
+TEST(InvariantChecker, DeadlineViolationCarriesTime) {
+  sim::Simulator simulator;
+  InvariantChecker::Config config = lax_config();
+  config.simulator = &simulator;
+  config.deadline = SimTime::millis(10);
+  InvariantChecker checker(config);
+  simulator.schedule_at(SimTime::millis(5), [&checker] {
+    checker.on_phase_entered(MemberId{0}, 1);  // in time
+  });
+  simulator.schedule_at(SimTime::millis(11), [&checker] {
+    checker.on_phase_entered(MemberId{0}, 2);  // past the deadline
+  });
+  simulator.run();
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].at, SimTime::millis(11));
+  EXPECT_NE(checker.violations()[0].what.find("deadline"),
+            std::string::npos);
+}
+
+TEST(InvariantChecker, ExpectAllFinishedFlagsStragglers) {
+  InvariantChecker checker(lax_config(4));
+  checker.on_finished(MemberId{0}, 0);
+  checker.on_finished(MemberId{2}, 0);
+  checker.expect_all_finished(
+      {MemberId{0}, MemberId{1}, MemberId{2}, MemberId{3}});
+  ASSERT_EQ(checker.violations().size(), 2u);
+  EXPECT_EQ(checker.violations()[0].member, MemberId{1});
+  EXPECT_EQ(checker.violations()[1].member, MemberId{3});
+}
+
+TEST(InvariantChecker, EventsForwardToChainedTrace) {
+  struct Counting final : protocols::gossip::GossipTrace {
+    int events = 0;
+    void on_phase_entered(MemberId, std::size_t) override { ++events; }
+    void on_phase_concluded(MemberId, std::size_t, PhaseEnd,
+                            std::uint32_t) override {
+      ++events;
+    }
+  };
+  Counting downstream;
+  InvariantChecker::Config config = lax_config();
+  config.next = &downstream;
+  InvariantChecker checker(config);
+  checker.on_phase_entered(MemberId{0}, 1);
+  checker.on_phase_concluded(MemberId{0}, 1, PhaseEnd::kTimeout, 1);
+  EXPECT_EQ(downstream.events, 2);
+}
+
+// ---- the mutation test -----------------------------------------------------
+//
+// Acceptance criterion: a deliberately broken merge is caught by the checker
+// DURING the run. We corrupt the audit registry mid-run (simulating a
+// protocol bug that merges overlapping vote sets); the next phase conclusion
+// observes the registry's violation delta and throws InvariantError out of
+// simulator.run() — long before end-of-run measurement would notice.
+TEST(InvariantChecker, BrokenMergeIsCaughtMidRunNotAtMeasurement) {
+  using protocols::gossip::GossipConfig;
+  using protocols::gossip::HierGossipNode;
+  testing::WorldOptions options;
+  options.group_size = 32;
+  testing::World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(GossipConfig{});
+  world.start_all(nodes);
+
+  // 1ms in: register a merge of two overlapping singleton sets — exactly
+  // what a double-counting protocol bug would do.
+  world.simulator().schedule_at(SimTime::millis(1), [&world] {
+    agg::AuditRegistry* audit = world.audit();
+    const std::uint64_t a = audit->register_vote(MemberId{0});
+    const std::uint64_t b = audit->register_vote(MemberId{0});
+    (void)audit->register_merge({a, b});
+  });
+
+  try {
+    world.simulator().run();
+    FAIL() << "broken merge survived the whole run undetected";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("double counting"),
+              std::string::npos);
+  }
+  // The run was aborted at the first phase conclusion after the corruption
+  // (N=32: phase 1 times out at 50ms; the full protocol runs ~3x longer) —
+  // and the violation carries context.
+  ASSERT_EQ(world.checker()->violations().size(), 1u);
+  EXPECT_LE(world.checker()->violations()[0].at, SimTime::millis(50));
+}
+
+// With invariants off, the same corruption silently reaches end-of-run
+// measurement — the before/after contrast that motivates the checker.
+TEST(InvariantChecker, WithoutCheckerCorruptionOnlySurfacesAtMeasurement) {
+  using protocols::gossip::GossipConfig;
+  using protocols::gossip::HierGossipNode;
+  testing::WorldOptions options;
+  options.group_size = 32;
+  options.invariants = false;
+  testing::World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(GossipConfig{});
+  world.start_all(nodes);
+  world.simulator().schedule_at(SimTime::millis(1), [&world] {
+    agg::AuditRegistry* audit = world.audit();
+    const std::uint64_t a = audit->register_vote(MemberId{0});
+    const std::uint64_t b = audit->register_vote(MemberId{0});
+    (void)audit->register_merge({a, b});
+  });
+  world.simulator().run();  // completes without any mid-run detection
+  EXPECT_EQ(world.audit()->violation_count(), 1u);
+}
+
+// Experiment-level: run_experiment installs the checker by default and a
+// clean run stays clean (also exercised implicitly by every other test).
+TEST(InvariantChecker, ExperimentRunsCleanUnderChaosByDefault) {
+  runner::ExperimentConfig config;
+  config.group_size = 48;
+  config.audit = true;
+  config.crash_probability = 0.0;
+  config.chaos_spec =
+      "loss 0.15\n"
+      "jitter p=0.3 0us..1ms\n"
+      "dup p=0.3 extra=1 spread=300us\n"
+      "crash M7 at=25ms\n";
+  const runner::RunResult result = runner::run_experiment(config);
+  EXPECT_EQ(result.measurement.audit_violations, 0u);
+  EXPECT_EQ(result.measurement.reconstruction_failures, 0u);
+  EXPECT_GT(result.measurement.mean_completeness, 0.5);
+}
+
+}  // namespace
+}  // namespace gridbox

@@ -1,0 +1,178 @@
+// Metamorphic relations: properties that must hold between *pairs* of runs,
+// catching bugs no single-run assertion can see.
+//
+// Two kinds of relation appear here. Statistical: completeness is
+// non-increasing in loss (averaged over seeds — at a single seed, changing
+// the loss probability decorrelates every subsequent RNG draw, so pointwise
+// monotonicity is not guaranteed). Exact: vote values never steer control
+// flow, and duplicated deliveries never change knowledge, so those runs
+// must match bit-for-bit, not approximately.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/protocols/gossip/hier_gossip.h"
+#include "src/runner/experiment.h"
+#include "tests/testing_world.h"
+
+namespace gridbox {
+namespace {
+
+using protocols::gossip::GossipConfig;
+using protocols::gossip::HierGossipNode;
+using testing::World;
+using testing::WorldOptions;
+
+constexpr std::size_t kSeeds = 5;
+
+double mean_completeness_at(double ucast_loss, double partition_loss) {
+  double sum = 0.0;
+  for (std::size_t s = 0; s < kSeeds; ++s) {
+    runner::ExperimentConfig config;
+    config.group_size = 64;
+    config.ucast_loss = ucast_loss;
+    config.partition_loss = partition_loss;
+    config.crash_probability = 0.0;
+    config.seed = 100 + s;
+    sum += runner::run_experiment(config).measurement.mean_completeness;
+  }
+  return sum / static_cast<double>(kSeeds);
+}
+
+TEST(Metamorphic, CompletenessNonIncreasingInUnicastLoss) {
+  const double c00 = mean_completeness_at(0.0, -1.0);
+  const double c30 = mean_completeness_at(0.3, -1.0);
+  const double c60 = mean_completeness_at(0.6, -1.0);
+  // Small tolerance: the relation is on means over a finite seed sample.
+  EXPECT_GE(c00 + 0.02, c30) << c00 << " -> " << c30;
+  EXPECT_GE(c30 + 0.02, c60) << c30 << " -> " << c60;
+  // And the sweep must actually bite: heavy loss costs real completeness.
+  EXPECT_LT(c60, c00);
+}
+
+TEST(Metamorphic, CompletenessNonIncreasingInPartitionLoss) {
+  const double c00 = mean_completeness_at(0.1, 0.1);
+  const double c50 = mean_completeness_at(0.1, 0.5);
+  const double c95 = mean_completeness_at(0.1, 0.95);
+  EXPECT_GE(c00 + 0.02, c50) << c00 << " -> " << c50;
+  EXPECT_GE(c50 + 0.02, c95) << c50 << " -> " << c95;
+  EXPECT_LT(c95, c00);
+}
+
+// Vote VALUES are payload, never protocol input: gossipee choice, phase
+// timing, and value selection draw only on rng streams and member ids. So
+// permuting the vote table changes which numbers flow, but every node's
+// coverage (count + audited member set) must be bitwise identical.
+TEST(Metamorphic, PermutingVotesLeavesCoverageBitwiseIdentical) {
+  const std::size_t n = 32;
+  WorldOptions base;
+  base.group_size = n;
+  base.loss = 0.25;
+  base.seed = 11;
+
+  WorldOptions permuted = base;
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i);
+  Rng perm_rng(99);
+  perm_rng.shuffle(values);
+  permuted.vote_values = values;
+
+  World world_a(base);
+  World world_b(permuted);
+  auto nodes_a = world_a.make_nodes<HierGossipNode>(GossipConfig{});
+  auto nodes_b = world_b.make_nodes<HierGossipNode>(GossipConfig{});
+  world_a.start_all(nodes_a);
+  world_b.start_all(nodes_b);
+  world_a.simulator().run();
+  world_b.simulator().run();
+
+  ASSERT_EQ(nodes_a.size(), nodes_b.size());
+  for (std::size_t i = 0; i < nodes_a.size(); ++i) {
+    ASSERT_EQ(nodes_a[i]->finished(), nodes_b[i]->finished());
+    EXPECT_EQ(nodes_a[i]->outcome().estimate.count(),
+              nodes_b[i]->outcome().estimate.count())
+        << "coverage diverged at M" << i;
+    EXPECT_EQ(nodes_a[i]->outcome().finish_time,
+              nodes_b[i]->outcome().finish_time);
+  }
+  EXPECT_EQ(world_a.network().stats().messages_sent,
+            world_b.network().stats().messages_sent);
+}
+
+// Duplication 1.0 with zero spread never changes any node's estimate:
+// duplicates are only made of delivered messages, a same-tick duplicate is
+// sequenced after its original (so the receiver's phase cannot have moved
+// between the two), and merges are first-received-wins idempotent. With
+// chaos's separated decision streams the relation is exact — estimates
+// match bit-for-bit, under loss too. (With spread > 0 a duplicate may land
+// after the receiver *entered* the message's phase and be absorbed where
+// the original was dropped as stale — legitimately more knowledge, so only
+// spread=0 admits an exact relation; see the spread>0 test below.)
+TEST(Metamorphic, FullDuplicationNeverChangesAnyEstimate) {
+  WorldOptions plain;
+  plain.group_size = 32;
+  plain.seed = 5;
+  plain.chaos = "loss 0.3\n";
+  WorldOptions duplicated = plain;
+  duplicated.chaos = "loss 0.3\ndup p=1 extra=2 spread=0us\n";
+
+  World world_a(plain);
+  World world_b(duplicated);
+  auto nodes_a = world_a.make_nodes<HierGossipNode>(GossipConfig{});
+  auto nodes_b = world_b.make_nodes<HierGossipNode>(GossipConfig{});
+  world_a.start_all(nodes_a);
+  world_b.start_all(nodes_b);
+  world_a.simulator().run();
+  world_b.simulator().run();
+
+  EXPECT_GT(world_b.network().stats().messages_duplicated, 0u);
+  for (std::size_t i = 0; i < nodes_a.size(); ++i) {
+    ASSERT_EQ(nodes_a[i]->finished(), nodes_b[i]->finished());
+    EXPECT_EQ(nodes_a[i]->outcome().estimate, nodes_b[i]->outcome().estimate)
+        << "duplication changed M" << i << "'s estimate";
+  }
+}
+
+// Same relation end-to-end through the runner (chaos spec in the config).
+TEST(Metamorphic, FullDuplicationPreservesRunMeasurement) {
+  runner::ExperimentConfig plain;
+  plain.group_size = 48;
+  plain.ucast_loss = 0.0;
+  plain.crash_probability = 0.0;
+  plain.audit = true;
+  plain.seed = 21;
+  plain.chaos_spec = "loss 0.25\n";
+
+  runner::ExperimentConfig duplicated = plain;
+  duplicated.chaos_spec = "loss 0.25\ndup p=1 extra=1 spread=0us\n";
+
+  const auto a = runner::run_experiment(plain).measurement;
+  const auto b = runner::run_experiment(duplicated).measurement;
+  EXPECT_EQ(a.mean_completeness, b.mean_completeness);
+  EXPECT_EQ(a.min_completeness, b.min_completeness);
+  EXPECT_EQ(a.true_value, b.true_value);
+  EXPECT_EQ(a.audit_violations, 0u);
+  EXPECT_EQ(b.audit_violations, 0u);
+}
+
+// Spread > 0 breaks exactness by design — a delayed copy can be absorbed in
+// a phase where the original was stale — but must only ever ADD audited
+// knowledge: the no-double-counting and reconstruction invariants hold and
+// completeness stays high.
+TEST(Metamorphic, SpreadDuplicationStaysCleanAndAudited) {
+  runner::ExperimentConfig config;
+  config.group_size = 48;
+  config.ucast_loss = 0.15;
+  config.crash_probability = 0.0;
+  config.audit = true;
+  config.seed = 22;
+  config.chaos_spec = "dup p=1 extra=2 spread=2ms\n";
+  const auto m = runner::run_experiment(config).measurement;
+  EXPECT_EQ(m.audit_violations, 0u);
+  EXPECT_EQ(m.reconstruction_failures, 0u);
+  EXPECT_GT(m.mean_completeness, 0.5);
+}
+
+}  // namespace
+}  // namespace gridbox

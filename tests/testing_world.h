@@ -1,17 +1,28 @@
 // Shared test scaffolding: a hand-wired simulated world, smaller and more
 // pokeable than the runner's run_experiment (which the integration tests use
 // instead).
+//
+// Adversity goes through the chaos spec (WorldOptions::chaos / apply_chaos)
+// rather than hand-wired fault models, so tests script loss, partitions,
+// and crashes with the same replayable text artifact the runner uses. The
+// run invariant checker is on by default for any protocol with trace hooks.
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/agg/audit.h"
 #include "src/agg/vote.h"
+#include "src/common/ensure.h"
 #include "src/hashing/fair_hash.h"
 #include "src/hierarchy/hierarchy.h"
 #include "src/membership/group.h"
+#include "src/net/chaos.h"
 #include "src/net/network.h"
+#include "src/protocols/invariant_checker.h"
 #include "src/protocols/node.h"
 #include "src/sim/simulator.h"
 
@@ -26,6 +37,18 @@ struct WorldOptions {
   bool audit = true;
   SimTime latency_lo = SimTime::micros(100);
   SimTime latency_hi = SimTime::micros(900);
+
+  /// Chaos spec text (docs/chaos.md); layered over `loss` (a `loss`
+  /// directive in the spec takes precedence). Crashes in the spec are
+  /// scheduled against this world's group.
+  std::string chaos;
+
+  /// Install the run invariant checker on nodes whose config has trace
+  /// hooks (hier-gossip). Violations throw InvariantError mid-run.
+  bool invariants = true;
+
+  /// Override the default member-i-votes-i table (same size as the group).
+  std::optional<std::vector<double>> vote_values;
 };
 
 /// Owns every substrate object a protocol needs, with lifetimes arranged so
@@ -36,7 +59,7 @@ class World {
       : options_(options),
         root_(options.seed),
         group_(options.group_size),
-        votes_(make_votes(options.group_size)),
+        votes_(make_votes(options)),
         hash_(options.hash_salt),
         hierarchy_(options.group_size, options.k, hash_),
         network_(simulator_, make_faults(options.loss),
@@ -47,6 +70,25 @@ class World {
       audit_ = std::make_unique<agg::AuditRegistry>(options.group_size);
     }
     network_.set_liveness([this](MemberId m) { return group_.is_alive(m); });
+    if (!options.chaos.empty()) apply_chaos(options.chaos);
+  }
+
+  /// Applies a chaos spec to this world: network-affecting directives
+  /// install a ChaosSchedule (at most one per world, before any send);
+  /// crash directives schedule against the group. Callable after
+  /// construction so tests can script crashes of computed member ids
+  /// (e.g. an elected leader).
+  void apply_chaos(const std::string& text) {
+    const net::ChaosSpec spec = net::ChaosSpec::parse(text);
+    if (spec.affects_network()) {
+      expects(network_.chaos() == nullptr,
+              "world already has a network chaos schedule");
+      network_.install_chaos(std::make_unique<net::ChaosSchedule>(
+          spec, make_faults(options_.loss), options_.group_size,
+          root_.derive(0xC4A05)));
+    }
+    net::schedule_chaos_crashes(spec, simulator_,
+                                [this](MemberId m) { group_.crash(m); });
   }
 
   [[nodiscard]] protocols::NodeEnv env(
@@ -62,9 +104,32 @@ class World {
   }
 
   /// Builds one node per member with NodeType(id, vote, view, env, rng, cfg),
-  /// attaches them, and returns the vector (world keeps no ownership).
+  /// attaches them, and returns the vector (world keeps no ownership). When
+  /// the config carries gossip trace hooks and invariants are enabled, the
+  /// run invariant checker is chained in front of any configured trace.
   template <typename NodeType, typename Config>
-  std::vector<std::unique_ptr<NodeType>> make_nodes(const Config& config) {
+  std::vector<std::unique_ptr<NodeType>> make_nodes(Config config) {
+    if constexpr (requires { config.trace; config.round_duration; }) {
+      if (options_.invariants) {
+        protocols::InvariantChecker::Config icfg;
+        icfg.group_size = options_.group_size;
+        icfg.fanout = options_.k;
+        icfg.num_phases = hierarchy_.num_phases();
+        icfg.simulator = &simulator_;
+        icfg.audit = audit_.get();
+        const std::uint64_t total_rounds =
+            hierarchy_.num_phases() *
+                config.rounds_per_phase(options_.group_size) +
+            1;
+        icfg.deadline =
+            config.start_skew_max +
+            SimTime::micros(static_cast<SimTime::underlying>(total_rounds) *
+                            config.round_duration.ticks());
+        icfg.next = config.trace;
+        checker_ = std::make_unique<protocols::InvariantChecker>(icfg);
+        config.trace = checker_.get();
+      }
+    }
     std::vector<std::unique_ptr<NodeType>> nodes;
     const membership::View view = group_.full_view();
     for (const MemberId m : group_.members()) {
@@ -92,13 +157,25 @@ class World {
   }
   [[nodiscard]] agg::AuditRegistry* audit() { return audit_.get(); }
   [[nodiscard]] Rng& rng() { return root_; }
+  /// The installed invariant checker (null until make_nodes on a traced
+  /// config, or when invariants are off).
+  [[nodiscard]] protocols::InvariantChecker* checker() {
+    return checker_.get();
+  }
 
  private:
-  static agg::VoteTable make_votes(std::size_t n) {
+  static agg::VoteTable make_votes(const WorldOptions& options) {
+    if (options.vote_values.has_value()) {
+      expects(options.vote_values->size() == options.group_size,
+              "vote_values must match group_size");
+      return agg::VoteTable{*options.vote_values};
+    }
     // Simple distinct votes: member i votes i. Makes expected aggregates
     // trivially computable in tests.
-    std::vector<double> values(n);
-    for (std::size_t i = 0; i < n; ++i) values[i] = static_cast<double>(i);
+    std::vector<double> values(options.group_size);
+    for (std::size_t i = 0; i < options.group_size; ++i) {
+      values[i] = static_cast<double>(i);
+    }
     return agg::VoteTable{std::move(values)};
   }
 
@@ -116,6 +193,7 @@ class World {
   hierarchy::GridBoxHierarchy hierarchy_;
   net::SimNetwork network_;
   std::unique_ptr<agg::AuditRegistry> audit_;
+  std::unique_ptr<protocols::InvariantChecker> checker_;
 };
 
 }  // namespace gridbox::testing
