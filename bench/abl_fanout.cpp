@@ -55,6 +55,7 @@ int main(int argc, char** argv) {
          runner::Table::num(one.points[0].incompleteness.mean),
          runner::Table::num(one.points[0].incompleteness_geomean)});
   }
+  bench::append_repro(policies, bench::paper_defaults().seed, jobs, "");
   bench::emit(policies, "abl_fanout_policy");
 
   std::printf(

@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
                      runner::Table::num(p.rounds.mean, 1)});
     }
   }
+  bench::append_repro(table, bench::paper_defaults().seed, jobs, "");
   bench::emit(table, "abl_sync_vs_async");
   std::printf(
       "takeaway: async+linger matches or beats synchronous at every C; "

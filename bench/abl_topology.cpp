@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
                    runner::Table::num(completeness),
                    runner::Table::num(messages, 0)});
   }
+  bench::append_repro(table, 9000, jobs, "");
   bench::emit(table, "abl_topology");
 
   std::printf(

@@ -9,11 +9,13 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <string>
 #include <vector>
 
 #include "src/common/thread_pool.h"
+#include "src/obs/json.h"
 #include "src/runner/sweep.h"
 #include "src/runner/table.h"
 
@@ -27,15 +29,62 @@ inline void print_header(const std::string& figure, const std::string& what,
 
 /// Parses `--jobs N` from a bench binary's argv. Returns 0 (= auto: the
 /// GRIDBOX_JOBS env var, else hardware_concurrency) when absent or
-/// malformed — benches never fail on flags, they fall back to auto.
+/// malformed — benches never fail on flags, they fall back to auto — but a
+/// malformed or missing value warns on stderr so a typo ("--jobs 8x",
+/// "--jobs -2") is not silently ignored.
 inline std::size_t jobs_from_args(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0) {
-      const long parsed = std::strtol(argv[i + 1], nullptr, 10);
-      if (parsed > 0) return static_cast<std::size_t>(parsed);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") != 0) continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr,
+                   "warning: --jobs: missing value, using auto job count\n");
+      return 0;
     }
+    const char* value = argv[i + 1];
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || parsed <= 0) {
+      std::fprintf(
+          stderr,
+          "warning: --jobs: not a positive integer: '%s', using auto job "
+          "count\n",
+          value);
+      return 0;
+    }
+    return static_cast<std::size_t>(parsed);
   }
   return 0;
+}
+
+/// Chaos identification for CSV cells: the spec on one line ('\n' -> ';'),
+/// or "-" when the run is chaos-free. Never empty, so columns stay aligned.
+inline std::string chaos_id(const std::string& chaos_spec) {
+  if (chaos_spec.empty()) return "-";
+  std::string id = chaos_spec;
+  while (!id.empty() && id.back() == '\n') id.pop_back();
+  for (char& c : id) {
+    if (c == '\n') c = ';';
+  }
+  return id;
+}
+
+/// Appends the reproducibility identification columns (seed / jobs / chaos)
+/// every bench CSV row must carry. `jobs` is resolved so the CSV records
+/// what actually ran, not the auto placeholder.
+inline void append_repro(runner::Table& table, std::uint64_t seed,
+                         std::size_t jobs, const std::string& chaos_spec) {
+  table.add_constant_column("seed", std::to_string(seed));
+  table.add_constant_column(
+      "jobs", std::to_string(common::ThreadPool::resolve_jobs(jobs)));
+  table.add_constant_column("chaos", chaos_id(chaos_spec));
+}
+
+/// The same columns for analysis-only benches (closed-form tables with no
+/// simulated runs): all "-", keeping every emitted CSV schema-uniform.
+inline void append_repro_analysis(runner::Table& table) {
+  table.add_constant_column("seed", "-");
+  table.add_constant_column("jobs", "-");
+  table.add_constant_column("chaos", "-");
 }
 
 /// Standard rendering of a sweep: one row per x with the paper's y metric
@@ -59,6 +108,9 @@ inline runner::Table sweep_table(const runner::SweepResult& sweep) {
                    runner::Table::num(sweep.wall_seconds, 3),
                    std::to_string(sweep.jobs_used)});
   }
+  // Reproducibility identification (jobs is already a column above).
+  table.add_constant_column("seed", std::to_string(sweep.base_seed));
+  table.add_constant_column("chaos", chaos_id(sweep.chaos_spec));
   return table;
 }
 
@@ -94,6 +146,29 @@ std::vector<T> run_indexed(std::size_t count, std::size_t jobs,
   return results;
 }
 
+/// The table as a machine-readable JSON document (schema-versioned like the
+/// BENCH files): {"schema", "name", "columns", "rows"} with all cells as
+/// strings, exactly as the CSV renders them.
+inline std::string table_to_json(const runner::Table& table,
+                                 const std::string& name) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("gridbox-bench-table/1");
+  w.key("name").value(name);
+  w.key("columns").begin_array();
+  for (const std::string& column : table.header()) w.value(column);
+  w.end_array();
+  w.key("rows").begin_array();
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    w.begin_array();
+    for (const std::string& cell : table.row(i)) w.value(cell);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
 inline void emit(const runner::Table& table, const std::string& csv_name) {
   std::fputs(table.to_text().c_str(), stdout);
   std::error_code ec;
@@ -102,6 +177,12 @@ inline void emit(const runner::Table& table, const std::string& csv_name) {
     const std::string path = "bench_results/" + csv_name + ".csv";
     if (table.write_csv(path)) {
       std::printf("\n[csv] %s\n", path.c_str());
+    }
+    // The same rows as JSON, for tooling that would rather not parse CSV.
+    const std::string json_path = "bench_results/" + csv_name + ".json";
+    if (std::ofstream out(json_path, std::ios::binary); out.good()) {
+      out << table_to_json(table, csv_name) << '\n';
+      if (out.good()) std::printf("[json] %s\n", json_path.c_str());
     }
   }
   std::printf("\n");

@@ -109,6 +109,7 @@ int main(int argc, char** argv) {
       }
     }
   }
+  bench::append_repro(table, 7000, jobs, "");
   bench::emit(table, "cmp_baselines");
 
   std::printf(

@@ -135,6 +135,7 @@ int main(int argc, char** argv) {
                    runner::Table::num(r.mean_rounds, 1),
                    runner::Table::num(r.fp_rate)});
   }
+  bench::append_repro(table, 4200, jobs, "");
   bench::emit(table, "cmp_fd_latency");
 
   std::printf(

@@ -25,6 +25,7 @@ int main() {
     if (prev != 0.0 && q > prev) monotone = false;
     prev = q;
   }
+  bench::append_repro_analysis(table);
   bench::emit(table, "fig04_analysis_c1_vs_n");
 
   std::printf("shape check: incompleteness monotonically falls with N: %s\n",

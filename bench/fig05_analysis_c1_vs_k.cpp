@@ -22,6 +22,7 @@ int main() {
     if (q > prev) monotone = false;
     prev = q;
   }
+  bench::append_repro_analysis(table);
   bench::emit(table, "fig05_analysis_c1_vs_k");
 
   std::printf(

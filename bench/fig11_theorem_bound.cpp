@@ -41,6 +41,8 @@ int main(int argc, char** argv) {
   }
   bench::check_audits(sweep);
   bench::print_sweep_meta(sweep);
+  bench::append_repro(table, sweep.base_seed, sweep.jobs_used,
+                      sweep.chaos_spec);
   bench::emit(table, "fig11_theorem_bound");
 
   std::printf("shape check: incompleteness <= 1/N at every N: %s "

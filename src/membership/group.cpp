@@ -17,6 +17,7 @@ void Group::crash(MemberId id) {
   if (alive_[id.value()]) {
     alive_[id.value()] = false;
     --alive_count_;
+    if (on_crash_) on_crash_(id);
   }
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -35,6 +36,13 @@ class Group {
 
   /// Marks a member crashed. Idempotent.
   void crash(MemberId id);
+
+  /// Observer for alive -> crashed transitions, however they are triggered
+  /// (per-round crash model or chaos schedule). Fires once per member; a
+  /// repeated crash() on a dead member does not re-notify.
+  void set_crash_listener(std::function<void(MemberId)> listener) {
+    on_crash_ = std::move(listener);
+  }
 
   /// Marks a member recovered. Idempotent.
   void recover(MemberId id);
@@ -65,6 +73,7 @@ class Group {
 
  private:
   std::vector<MemberId> members_;
+  std::function<void(MemberId)> on_crash_;
   std::vector<bool> alive_;
   std::size_t alive_count_ = 0;
   std::vector<Position> positions_;

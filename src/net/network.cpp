@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/ensure.h"
+#include "src/obs/profile.h"
 
 namespace gridbox::net {
 
@@ -41,12 +42,14 @@ void SimNetwork::install_chaos(std::unique_ptr<ChaosSchedule> chaos) {
 }
 
 void SimNetwork::send(Message message) {
+  GRIDBOX_PROFILE_SCOPE("net.send");
   ++stats_.messages_sent;
   stats_.bytes_sent += message.payload.size();
   if (distance_) {
     stats_.link_distance_sum +=
         distance_(message.source, message.destination);
   }
+  if (observer_ != nullptr) observer_->on_send(message, simulator_.now());
   // The drop decision happens before the latency draw, so a dropped message
   // consumes nothing from the latency stream — and the chaos pipeline uses
   // its own streams, so installing a no-loss chaos schedule leaves the
@@ -58,12 +61,14 @@ void SimNetwork::send(Message message) {
         chaos_->on_send(message.source, message.destination);
     if (decision.drop) {
       ++stats_.messages_dropped;
+      if (observer_ != nullptr) observer_->on_drop(message, simulator_.now());
       return;
     }
     extra = decision.extra_delay;
     duplicates = std::move(decision.duplicate_delays);
   } else if (faults_->drops(message.source, message.destination, rng_)) {
     ++stats_.messages_dropped;
+    if (observer_ != nullptr) observer_->on_drop(message, simulator_.now());
     return;
   }
   const SimTime delay =
@@ -75,6 +80,9 @@ void SimNetwork::send(Message message) {
                             [this, message]() { deliver(message); });
   for (const SimTime offset : duplicates) {
     ++stats_.messages_duplicated;
+    if (observer_ != nullptr) {
+      observer_->on_duplicate(message, simulator_.now());
+    }
     simulator_.schedule_after(
         delay + offset, [this, message]() { deliver(message); });
   }
@@ -85,9 +93,13 @@ void SimNetwork::deliver(const Message& message) {
   const bool alive = !is_alive_ || is_alive_(message.destination);
   if (it == endpoints_.end() || !alive) {
     ++stats_.messages_dead_dest;
+    if (observer_ != nullptr) {
+      observer_->on_dead_destination(message, simulator_.now());
+    }
     return;
   }
   ++stats_.messages_delivered;
+  if (observer_ != nullptr) observer_->on_deliver(message, simulator_.now());
   try {
     it->second->on_message(message);
   } catch (const PreconditionError&) {
@@ -95,6 +107,9 @@ void SimNetwork::deliver(const Message& message) {
     // failures surface as PreconditionError (ByteReader, Partial checks);
     // the message is counted and dropped, the node keeps running.
     ++stats_.messages_malformed;
+    if (observer_ != nullptr) {
+      observer_->on_malformed(message, simulator_.now());
+    }
   }
 }
 

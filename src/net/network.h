@@ -16,6 +16,7 @@
 #include "src/net/fault_model.h"
 #include "src/net/latency_model.h"
 #include "src/net/message.h"
+#include "src/net/observer.h"
 #include "src/net/stats.h"
 #include "src/sim/simulator.h"
 
@@ -63,6 +64,11 @@ class SimNetwork {
   /// The installed schedule, or nullptr.
   [[nodiscard]] const ChaosSchedule* chaos() const { return chaos_.get(); }
 
+  /// Optional observability hooks, called in deterministic event order (see
+  /// observer.h). Non-owning; null detaches. The observer must outlive the
+  /// network or be detached first.
+  void set_observer(NetworkObserver* observer) { observer_ = observer; }
+
   /// Sends one unicast message. May be dropped by the fault model; otherwise
   /// it is delivered after the model latency, if the destination is then
   /// attached and alive. Self-sends are delivered like any other message.
@@ -85,6 +91,7 @@ class SimNetwork {
   std::function<bool(MemberId)> is_alive_;
   std::function<double(MemberId, MemberId)> distance_;
   NetworkStats stats_;
+  NetworkObserver* observer_ = nullptr;
 };
 
 }  // namespace gridbox::net

@@ -1,0 +1,163 @@
+#include "src/obs/bench_io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "src/common/ensure.h"
+#include "src/obs/json.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace gridbox::obs {
+
+std::string BenchReport::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(kSchema);
+  w.key("suite").value(suite);
+  w.key("git_rev").value(git_rev);
+  w.key("repeats").value(repeats);
+  w.key("jobs").value(static_cast<std::uint64_t>(jobs));
+  w.key("entries").begin_array();
+  for (const BenchEntry& e : entries) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("wall_s").value(e.wall_s);
+    w.key("events_per_s").value(e.events_per_s);
+    w.key("msgs_per_s").value(e.msgs_per_s);
+    w.key("sim_events").value(e.sim_events);
+    w.key("network_messages").value(e.network_messages);
+    w.key("peak_rss_mb").value(e.peak_rss_mb);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) return false;
+  out << to_json() << '\n';
+  return out.good();
+}
+
+BenchReport BenchReport::parse(const std::string& json_text) {
+  const JsonValue root = json_parse(json_text);
+  expects(root.is_object(), "bench report: top level must be an object");
+  const std::string schema = root.string_or("schema", "");
+  expects(schema == kSchema,
+          "bench report: schema mismatch (want " + std::string(kSchema) +
+              ", got " + (schema.empty() ? "<missing>" : schema) + ")");
+  BenchReport report;
+  report.suite = root.string_or("suite", "");
+  report.git_rev = root.string_or("git_rev", "unknown");
+  report.repeats = static_cast<std::uint64_t>(root.number_or("repeats", 1));
+  report.jobs = static_cast<std::size_t>(root.number_or("jobs", 1));
+  const JsonValue* entries = root.find("entries");
+  expects(entries != nullptr && entries->is_array(),
+          "bench report: missing entries array");
+  for (const JsonValue& v : entries->array) {
+    expects(v.is_object(), "bench report: entry must be an object");
+    BenchEntry e;
+    e.name = v.string_or("name", "");
+    expects(!e.name.empty(), "bench report: entry without a name");
+    e.wall_s = v.number_or("wall_s", 0.0);
+    e.events_per_s = v.number_or("events_per_s", 0.0);
+    e.msgs_per_s = v.number_or("msgs_per_s", 0.0);
+    e.sim_events = static_cast<std::uint64_t>(v.number_or("sim_events", 0));
+    e.network_messages =
+        static_cast<std::uint64_t>(v.number_or("network_messages", 0));
+    e.peak_rss_mb = v.number_or("peak_rss_mb", 0.0);
+    report.entries.push_back(std::move(e));
+  }
+  return report;
+}
+
+BenchReport BenchReport::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  expects(in.good(), "bench report: cannot read " + path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return parse(content.str());
+}
+
+std::string BenchDiffReport::render() const {
+  std::ostringstream out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %12s %12s %8s\n", "case",
+                "old wall_s", "new wall_s", "ratio");
+  out << line;
+  for (const BenchDiffRow& row : rows) {
+    std::snprintf(line, sizeof(line), "%-32s %12.6f %12.6f %7.3fx%s\n",
+                  row.name.c_str(), row.old_wall_s, row.new_wall_s,
+                  row.wall_ratio, row.regressed ? "  REGRESSED" : "");
+    out << line;
+  }
+  for (const std::string& name : only_in_old) {
+    out << name << ": only in old report\n";
+  }
+  for (const std::string& name : only_in_new) {
+    out << name << ": only in new report\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "worst ratio %.3fx over %zu case(s), %zu regression(s)\n",
+                worst_ratio, rows.size(), regressions);
+  out << line;
+  return out.str();
+}
+
+BenchDiffReport bench_diff(const BenchReport& old_report,
+                           const BenchReport& new_report, double threshold) {
+  expects(threshold >= 0.0, "bench diff: threshold must be non-negative");
+  BenchDiffReport report;
+  std::map<std::string, const BenchEntry*> old_by_name;
+  for (const BenchEntry& e : old_report.entries) old_by_name[e.name] = &e;
+
+  for (const BenchEntry& e : new_report.entries) {
+    const auto it = old_by_name.find(e.name);
+    if (it == old_by_name.end()) {
+      report.only_in_new.push_back(e.name);
+      continue;
+    }
+    BenchDiffRow row;
+    row.name = e.name;
+    row.old_wall_s = it->second->wall_s;
+    row.new_wall_s = e.wall_s;
+    // A zero old time can only compare as "no regression" or "new cost".
+    row.wall_ratio = row.old_wall_s > 0.0 ? row.new_wall_s / row.old_wall_s
+                     : row.new_wall_s > 0.0 ? 1.0 + threshold + 1.0
+                                            : 1.0;
+    row.regressed = row.wall_ratio > 1.0 + threshold;
+    if (row.regressed) ++report.regressions;
+    report.worst_ratio = std::max(report.worst_ratio, row.wall_ratio);
+    report.rows.push_back(std::move(row));
+    old_by_name.erase(it);
+  }
+  for (const auto& [name, entry] : old_by_name) {
+    (void)entry;
+    report.only_in_old.push_back(name);
+  }
+  return report;
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace gridbox::obs

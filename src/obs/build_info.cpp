@@ -1,0 +1,13 @@
+#include "src/obs/build_info.h"
+
+namespace gridbox::obs {
+
+// GRIDBOX_GIT_REV is injected by src/CMakeLists.txt on this one translation
+// unit, so touching the revision only recompiles this file.
+#ifndef GRIDBOX_GIT_REV
+#define GRIDBOX_GIT_REV "unknown"
+#endif
+
+std::string git_revision() { return GRIDBOX_GIT_REV; }
+
+}  // namespace gridbox::obs

@@ -1,0 +1,13 @@
+// Build provenance for manifests and BENCH files.
+#pragma once
+
+#include <string>
+
+namespace gridbox::obs {
+
+/// The git revision the library was built from (short hash, "-dirty"
+/// suffixed when the work tree had local changes at configure time), or
+/// "unknown" when the build system could not determine it.
+[[nodiscard]] std::string git_revision();
+
+}  // namespace gridbox::obs

@@ -1,0 +1,334 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  expects(!needs_comma_.empty(), "json: end_object without begin");
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  expects(!needs_comma_.empty(), "json: end_array without begin");
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(s);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) { return value(std::string(s)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  before_value();
+  out_ += json;
+  return *this;
+}
+
+const JsonValue* JsonValue::find(const std::string& name) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(name);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+double JsonValue::number_or(const std::string& name, double fallback) const {
+  const JsonValue* v = find(name);
+  return (v != nullptr && v->is_number()) ? v->number : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& name,
+                                 const std::string& fallback) const {
+  const JsonValue* v = find(name);
+  return (v != nullptr && v->is_string()) ? v->string : fallback;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] char peek() {
+    skip_ws();
+    expects(pos < text.size(), "json: unexpected end of input");
+    return text[pos];
+  }
+
+  void expect(char c) {
+    expects(peek() == c, std::string("json: expected '") + c + "'");
+    ++pos;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    if (peek() == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] JsonValue parse_value() {
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kString;
+      v.string = parse_string();
+      return v;
+    }
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      expects(text.compare(pos, 4, "null") == 0, "json: bad literal");
+      pos += 4;
+      return JsonValue{};
+    }
+    return parse_number();
+  }
+
+  [[nodiscard]] JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      v.object.emplace(key, parse_value());
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  [[nodiscard]] JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      v.array.push_back(parse_value());
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  [[nodiscard]] std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      expects(pos < text.size(), "json: unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      expects(pos < text.size(), "json: unterminated escape");
+      const char e = text[pos++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          expects(pos + 4 <= text.size(), "json: truncated \\u escape");
+          const unsigned long code =
+              std::strtoul(text.substr(pos, 4).c_str(), nullptr, 16);
+          pos += 4;
+          // Only BMP code points below 0x80 are produced by our writer;
+          // anything else degrades to '?' rather than growing a UTF-8
+          // encoder here.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          expects(false, "json: unknown escape");
+      }
+    }
+  }
+
+  [[nodiscard]] JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text.compare(pos, 4, "true") == 0) {
+      v.boolean = true;
+      pos += 4;
+      return v;
+    }
+    expects(text.compare(pos, 5, "false") == 0, "json: bad literal");
+    pos += 5;
+    return v;
+  }
+
+  [[nodiscard]] JsonValue parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+            text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    expects(pos > start, "json: expected a value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text.substr(start, pos - start));
+    } catch (const std::exception&) {
+      expects(false, "json: malformed number");
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+JsonValue json_parse(const std::string& text) {
+  Parser parser{text};
+  JsonValue v = parser.parse_value();
+  parser.skip_ws();
+  expects(parser.pos == text.size(), "json: trailing garbage");
+  return v;
+}
+
+}  // namespace gridbox::obs

@@ -1,0 +1,96 @@
+// Minimal JSON support for the observability subsystem.
+//
+// Writer: a streaming builder that produces compact, deterministic output —
+// keys are emitted in the order the caller provides them, doubles with "%.17g"
+// (shortest round-trippable is not needed; identical inputs give identical
+// bytes). Reader: a small recursive-descent parser for the subset the repo
+// itself emits (objects, arrays, strings, numbers, bools, null), used by
+// bench_diff to load BENCH_*.json files. Neither aims to be a general JSON
+// library; both are enough to make the repo's own artifacts round-trip.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gridbox::obs {
+
+/// Escapes `s` as the body of a JSON string (no surrounding quotes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Streaming JSON builder. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name").value("run"); w.key("seed").value(7);
+///   w.key("phases").begin_array(); ... w.end_array();
+///   w.end_object();
+///   std::string text = w.take();
+/// Commas are inserted automatically; the caller is responsible for the
+/// overall shape being well formed (begin/end pairs balanced).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& name);
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+  /// Splices pre-rendered JSON text in as one value (no escaping).
+  JsonWriter& raw(const std::string& json);
+
+  [[nodiscard]] const std::string& text() const { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+ private:
+  void before_value();
+  std::string out_;
+  std::vector<bool> needs_comma_;  ///< one flag per open scope
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value (tree form).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Ordered map so re-serialization is deterministic.
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& name) const;
+  /// find() + number coercion with a fallback.
+  [[nodiscard]] double number_or(const std::string& name,
+                                 double fallback) const;
+  /// find() + string coercion with a fallback.
+  [[nodiscard]] std::string string_or(const std::string& name,
+                                      const std::string& fallback) const;
+};
+
+/// Parses `text`; throws PreconditionError (via expects) on malformed input.
+[[nodiscard]] JsonValue json_parse(const std::string& text);
+
+}  // namespace gridbox::obs

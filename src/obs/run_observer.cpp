@@ -1,0 +1,208 @@
+#include "src/obs/run_observer.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::obs {
+
+namespace {
+
+const char* how_name(protocols::gossip::PhaseEnd how) {
+  using protocols::gossip::PhaseEnd;
+  switch (how) {
+    case PhaseEnd::kTimeout:
+      return "timeout";
+    case PhaseEnd::kSaturated:
+      return "saturated";
+    case PhaseEnd::kAdopted:
+      return "adopted";
+  }
+  return "?";
+}
+
+}  // namespace
+
+RunObserver::RunObserver(Options options) : options_(options) {
+  expects(options_.simulator != nullptr, "run observer: simulator required");
+  member_phase_.assign(options_.group_size, 0);
+  if (MetricsRegistry* m = options_.metrics; m != nullptr) {
+    msgs_sent_ = &m->counter("msgs_sent");
+    msgs_dropped_ = &m->counter("msgs_dropped");
+    msgs_duplicated_ = &m->counter("msgs_duplicated");
+    msgs_delivered_ = &m->counter("msgs_delivered");
+    msgs_dead_dest_ = &m->counter("msgs_dead_dest");
+    msgs_malformed_ = &m->counter("msgs_malformed");
+    bytes_on_wire_ = &m->counter("bytes_on_wire");
+    rounds_total_ = &m->counter("gossip_rounds");
+    phase_conclusions_ = &m->counter("phase_conclusions");
+    finishes_ = &m->counter("finishes");
+    crashes_ = &m->counter("crashes");
+    // Fanout is the per-round gossipee count: M in the paper, usually tiny.
+    fanout_hist_ = &m->histogram("gossip_fanout_hist",
+                                 {0, 1, 2, 3, 4, 6, 8, 16});
+  }
+}
+
+SimTime RunObserver::now() const { return options_.simulator->now(); }
+
+Counter& RunObserver::phase_msgs_counter(std::size_t phase) {
+  if (phase >= msgs_by_phase_.size()) {
+    msgs_by_phase_.resize(phase + 1, nullptr);
+  }
+  if (msgs_by_phase_[phase] == nullptr) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "msgs_sent_by_phase.%02zu", phase);
+    msgs_by_phase_[phase] = &options_.metrics->counter(name);
+  }
+  return *msgs_by_phase_[phase];
+}
+
+void RunObserver::on_send(const net::Message& message, SimTime t) {
+  const std::size_t phase =
+      message.source.value() < member_phase_.size()
+          ? member_phase_[message.source.value()]
+          : 0;
+  if (options_.metrics != nullptr) {
+    msgs_sent_->inc();
+    bytes_on_wire_->inc(message.payload.size());
+    phase_msgs_counter(phase).inc();
+  }
+  timeline_.at_phase(phase).msgs_sent += 1;
+  if (options_.sink != nullptr) {
+    options_.sink->message_event("send", t, message.source,
+                                 message.destination,
+                                 message.payload.size());
+  }
+}
+
+void RunObserver::on_drop(const net::Message& message, SimTime t) {
+  if (options_.metrics != nullptr) msgs_dropped_->inc();
+  if (options_.sink != nullptr) {
+    options_.sink->message_event("drop", t, message.source,
+                                 message.destination,
+                                 message.payload.size());
+  }
+}
+
+void RunObserver::on_duplicate(const net::Message& message, SimTime t) {
+  if (options_.metrics != nullptr) msgs_duplicated_->inc();
+  if (options_.sink != nullptr) {
+    options_.sink->message_event("dup", t, message.source,
+                                 message.destination,
+                                 message.payload.size());
+  }
+}
+
+void RunObserver::on_deliver(const net::Message& message, SimTime t) {
+  if (options_.metrics != nullptr) msgs_delivered_->inc();
+  if (options_.sink != nullptr) {
+    options_.sink->message_event("recv", t, message.source,
+                                 message.destination,
+                                 message.payload.size());
+  }
+}
+
+void RunObserver::on_dead_destination(const net::Message& message, SimTime t) {
+  if (options_.metrics != nullptr) msgs_dead_dest_->inc();
+  if (options_.sink != nullptr) {
+    options_.sink->message_event("dead", t, message.source,
+                                 message.destination,
+                                 message.payload.size());
+  }
+}
+
+void RunObserver::on_malformed(const net::Message& message, SimTime t) {
+  if (options_.metrics != nullptr) msgs_malformed_->inc();
+  if (options_.sink != nullptr) {
+    options_.sink->message_event("malformed", t, message.source,
+                                 message.destination,
+                                 message.payload.size());
+  }
+}
+
+void RunObserver::on_phase_entered(MemberId member, std::size_t phase) {
+  if (options_.next != nullptr) options_.next->on_phase_entered(member, phase);
+  if (member.value() < member_phase_.size()) {
+    member_phase_[member.value()] = phase;
+  }
+  PhaseSpan& span = timeline_.at_phase(phase);
+  span.entered += 1;
+  if (!span.any_entered || now() < span.first_entered) {
+    span.first_entered = now();
+    span.any_entered = true;
+  }
+  if (options_.sink != nullptr) {
+    options_.sink->member_event("enter", now(), member,
+                                static_cast<std::int64_t>(phase));
+  }
+}
+
+void RunObserver::on_round_gossiped(MemberId member, std::size_t phase,
+                                    std::uint32_t fanout) {
+  if (options_.next != nullptr) {
+    options_.next->on_round_gossiped(member, phase, fanout);
+  }
+  if (options_.metrics != nullptr) {
+    rounds_total_->inc();
+    fanout_hist_->observe(fanout);
+  }
+  timeline_.at_phase(phase).rounds += 1;
+  // Rounds are the bulk of the stream; traced with the fanout so a timeline
+  // reader can see gossip pressure per phase.
+  if (options_.sink != nullptr) {
+    options_.sink->member_event("round", now(), member,
+                                static_cast<std::int64_t>(phase),
+                                static_cast<std::int64_t>(fanout), "fanout");
+  }
+}
+
+void RunObserver::on_value_learned(MemberId member, std::size_t phase,
+                                   std::uint32_t index) {
+  if (options_.next != nullptr) {
+    options_.next->on_value_learned(member, phase, index);
+  }
+  if (options_.sink != nullptr) {
+    options_.sink->member_event("learn", now(), member,
+                                static_cast<std::int64_t>(phase),
+                                static_cast<std::int64_t>(index), "index");
+  }
+}
+
+void RunObserver::on_phase_concluded(MemberId member, std::size_t phase,
+                                     protocols::gossip::PhaseEnd how,
+                                     std::uint32_t votes) {
+  if (options_.next != nullptr) {
+    options_.next->on_phase_concluded(member, phase, how, votes);
+  }
+  if (options_.metrics != nullptr) phase_conclusions_->inc();
+  PhaseSpan& span = timeline_.at_phase(phase);
+  span.concluded += 1;
+  span.votes_concluded_sum += votes;
+  if (now() > span.last_concluded) span.last_concluded = now();
+  if (options_.sink != nullptr) {
+    options_.sink->member_event("conclude", now(), member,
+                                static_cast<std::int64_t>(phase),
+                                static_cast<std::int64_t>(votes), "votes",
+                                how_name(how));
+  }
+}
+
+void RunObserver::on_finished(MemberId member, std::uint32_t votes) {
+  if (options_.next != nullptr) options_.next->on_finished(member, votes);
+  if (options_.metrics != nullptr) finishes_->inc();
+  if (options_.sink != nullptr) {
+    options_.sink->member_event("finish", now(), member, TraceSink::kOmitted,
+                                static_cast<std::int64_t>(votes), "votes");
+  }
+}
+
+void RunObserver::on_crash(MemberId member) {
+  if (options_.metrics != nullptr) crashes_->inc();
+  if (options_.sink != nullptr) {
+    options_.sink->member_event("crash", now(), member);
+  }
+}
+
+}  // namespace gridbox::obs

@@ -1,0 +1,93 @@
+// RunObserver: one run's observability hub.
+//
+// Implements both instrumentation interfaces the substrates expose —
+// net::NetworkObserver (transport decisions) and gossip::GossipTrace (phase
+// machine) — and fans each event into up to three outputs:
+//   - a MetricsRegistry (counters / gauges / histograms),
+//   - a TraceSink (JSONL event stream),
+//   - a PhaseTimeline (per-phase spans and message totals).
+// All three are optional; a RunObserver with nothing attached is never
+// installed (run_experiment only creates one when something wants events).
+//
+// Gossip events chain onward to `next`, so the observer can sit behind the
+// InvariantChecker and in front of a caller-supplied trace. Per-phase
+// message attribution uses the sender's current phase as reported by
+// on_phase_entered (phase 0 = not in a phase yet / phase-less protocol).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/observer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/timeline.h"
+#include "src/obs/trace_sink.h"
+#include "src/protocols/gossip/trace.h"
+#include "src/sim/simulator.h"
+
+namespace gridbox::obs {
+
+class RunObserver final : public net::NetworkObserver,
+                          public protocols::gossip::GossipTrace {
+ public:
+  struct Options {
+    MetricsRegistry* metrics = nullptr;           ///< nullable
+    TraceSink* sink = nullptr;                    ///< nullable
+    const sim::Simulator* simulator = nullptr;    ///< clock for trace stamps
+    std::size_t group_size = 0;
+    protocols::gossip::GossipTrace* next = nullptr;  ///< chain tail
+  };
+
+  explicit RunObserver(Options options);
+
+  // net::NetworkObserver
+  void on_send(const net::Message& message, SimTime now) override;
+  void on_drop(const net::Message& message, SimTime now) override;
+  void on_duplicate(const net::Message& message, SimTime now) override;
+  void on_deliver(const net::Message& message, SimTime now) override;
+  void on_dead_destination(const net::Message& message, SimTime now) override;
+  void on_malformed(const net::Message& message, SimTime now) override;
+
+  // gossip::GossipTrace
+  void on_phase_entered(MemberId member, std::size_t phase) override;
+  void on_round_gossiped(MemberId member, std::size_t phase,
+                         std::uint32_t fanout) override;
+  void on_value_learned(MemberId member, std::size_t phase,
+                        std::uint32_t index) override;
+  void on_phase_concluded(MemberId member, std::size_t phase,
+                          protocols::gossip::PhaseEnd how,
+                          std::uint32_t votes) override;
+  void on_finished(MemberId member, std::uint32_t votes) override;
+
+  /// Membership event (wired by the experiment's crash clock and chaos
+  /// schedule; there is no substrate interface for it).
+  void on_crash(MemberId member);
+
+  [[nodiscard]] const PhaseTimeline& timeline() const { return timeline_; }
+
+ private:
+  [[nodiscard]] SimTime now() const;
+  /// Cached per-phase counter for msgs_sent_by_phase (created lazily).
+  Counter& phase_msgs_counter(std::size_t phase);
+
+  Options options_;
+  PhaseTimeline timeline_;
+  std::vector<std::size_t> member_phase_;  ///< current phase per member
+
+  // Hot-path handles, pre-registered so events never do string lookups.
+  Counter* msgs_sent_ = nullptr;
+  Counter* msgs_dropped_ = nullptr;
+  Counter* msgs_duplicated_ = nullptr;
+  Counter* msgs_delivered_ = nullptr;
+  Counter* msgs_dead_dest_ = nullptr;
+  Counter* msgs_malformed_ = nullptr;
+  Counter* bytes_on_wire_ = nullptr;
+  Counter* rounds_total_ = nullptr;
+  Counter* phase_conclusions_ = nullptr;
+  Counter* finishes_ = nullptr;
+  Counter* crashes_ = nullptr;
+  Histogram* fanout_hist_ = nullptr;
+  std::vector<Counter*> msgs_by_phase_;  ///< index = phase
+};
+
+}  // namespace gridbox::obs

@@ -1,0 +1,80 @@
+#include "src/obs/trace_sink.h"
+
+#include <fstream>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::obs {
+
+namespace {
+
+/// TraceSink that owns its file stream.
+class FileTraceSink final : public TraceSink {
+ public:
+  explicit FileTraceSink(const std::string& path)
+      : file_(path, std::ios::binary) {
+    expects(file_.good(), "trace sink: cannot open " + path);
+    set_stream(file_);
+  }
+
+ private:
+  std::ofstream file_;
+};
+
+}  // namespace
+
+std::unique_ptr<TraceSink> TraceSink::to_file(const std::string& path) {
+  return std::make_unique<FileTraceSink>(path);
+}
+
+void TraceSink::write_line(const std::string& line) {
+  expects(out_ != nullptr, "trace sink has no stream");
+  *out_ << line << '\n';
+  ++lines_;
+}
+
+void TraceSink::message_event(const char* event, SimTime t, MemberId source,
+                              MemberId destination, std::size_t bytes) {
+  std::string line = "{\"t\":";
+  line += std::to_string(t.ticks());
+  line += ",\"ev\":\"";
+  line += event;
+  line += "\",\"src\":";
+  line += std::to_string(source.value());
+  line += ",\"dst\":";
+  line += std::to_string(destination.value());
+  line += ",\"bytes\":";
+  line += std::to_string(bytes);
+  line += '}';
+  write_line(line);
+}
+
+void TraceSink::member_event(const char* event, SimTime t, MemberId member,
+                             std::int64_t phase, std::int64_t value,
+                             const char* value_key, const char* detail) {
+  std::string line = "{\"t\":";
+  line += std::to_string(t.ticks());
+  line += ",\"ev\":\"";
+  line += event;
+  line += "\",\"m\":";
+  line += std::to_string(member.value());
+  if (phase != kOmitted) {
+    line += ",\"phase\":";
+    line += std::to_string(phase);
+  }
+  if (value != kOmitted) {
+    line += ",\"";
+    line += value_key;
+    line += "\":";
+    line += std::to_string(value);
+  }
+  if (detail != nullptr) {
+    line += ",\"how\":\"";
+    line += detail;
+    line += '"';
+  }
+  line += '}';
+  write_line(line);
+}
+
+}  // namespace gridbox::obs

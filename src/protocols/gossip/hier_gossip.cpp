@@ -6,6 +6,7 @@
 #include "src/agg/codec.h"
 #include "src/common/ensure.h"
 #include "src/common/log.h"
+#include "src/obs/profile.h"
 
 namespace gridbox::protocols::gossip {
 
@@ -132,13 +133,19 @@ bool HierGossipNode::on_round() {
   }
   if (finished()) return false;
 
+  GRIDBOX_PROFILE_SCOPE("gossip.round");
   count_round();
   ++rounds_in_phase_;
 
+  std::uint32_t fanout = 0;
   if (!peers_.empty()) {
     const auto picks = rng().sample_indices(
         peers_.size(), std::min<std::size_t>(config_.fanout_m, peers_.size()));
+    fanout = static_cast<std::uint32_t>(picks.size());
     for (const std::size_t p : picks) gossip_once(peers_[p]);
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->on_round_gossiped(self(), phase_, fanout);
   }
   return true;
 }

@@ -30,6 +30,17 @@ class GossipTrace {
     (void)phase;
   }
 
+  /// `member` executed one gossip round in `phase`, contacting `fanout`
+  /// gossipees (0 when it had no eligible peers). Fired after the round's
+  /// sends, so a chained metrics sink sees the per-round fanout the paper's
+  /// M parameter controls.
+  virtual void on_round_gossiped(MemberId member, std::size_t phase,
+                                 std::uint32_t fanout) {
+    (void)member;
+    (void)phase;
+    (void)fanout;
+  }
+
   /// `member` learned a value: a vote (phase 1, `index` = origin id) or a
   /// child aggregate (phase >= 2, `index` = slot).
   virtual void on_value_learned(MemberId member, std::size_t phase,

@@ -82,6 +82,22 @@ void InvariantChecker::on_phase_entered(MemberId member, std::size_t phase) {
   s.last_entered = phase;
 }
 
+void InvariantChecker::on_round_gossiped(MemberId member, std::size_t phase,
+                                         std::uint32_t fanout) {
+  if (config_.next != nullptr) {
+    config_.next->on_round_gossiped(member, phase, fanout);
+  }
+  check_deadline(member, phase, "round gossiped");
+  // A member can never contact more gossipees than there are other members;
+  // M itself is not known here (it is a protocol knob, not a hierarchy one).
+  if (config_.group_size != 0 && fanout >= config_.group_size) {
+    violate(member, phase,
+            "round contacted " + std::to_string(fanout) +
+                " gossipees in a group of " +
+                std::to_string(config_.group_size));
+  }
+}
+
 void InvariantChecker::on_value_learned(MemberId member, std::size_t phase,
                                         std::uint32_t index) {
   if (config_.next != nullptr) {

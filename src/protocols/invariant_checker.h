@@ -62,6 +62,8 @@ class InvariantChecker final : public gossip::GossipTrace {
   explicit InvariantChecker(Config config);
 
   void on_phase_entered(MemberId member, std::size_t phase) override;
+  void on_round_gossiped(MemberId member, std::size_t phase,
+                         std::uint32_t fanout) override;
   void on_value_learned(MemberId member, std::size_t phase,
                         std::uint32_t index) override;
   void on_phase_concluded(MemberId member, std::size_t phase,

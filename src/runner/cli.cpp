@@ -13,6 +13,9 @@
 
 #include "src/common/thread_pool.h"
 #include "src/net/chaos.h"
+#include "src/obs/build_info.h"
+#include "src/obs/manifest.h"
+#include "src/obs/trace_sink.h"
 #include "src/runner/differential.h"
 #include "src/runner/experiment.h"
 #include "src/runner/stats.h"
@@ -161,6 +164,16 @@ workload & measurement
                          results are identical for every N
   --csv PATH             also write per-run rows as CSV
 
+observability
+  --metrics              collect per-run metrics and print the merged
+                         snapshot (counters/gauges/histograms) as JSON
+  --trace-out PATH       write a JSONL event trace per run; with --runs R>1
+                         run r writes PATH-run<r> (before the extension)
+  --run-manifest PATH    write a run.json manifest: config fingerprint,
+                         seeds, per-run phase timelines and metrics
+  --profile              time hot paths (sim.run / net.send / gossip.round)
+                         and print the aggregate after the summary
+
   --help                 this text
 )";
 }
@@ -289,6 +302,18 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--csv") {
       if (!next_value(flag, &value)) break;
       p.options.csv_path = value;
+    } else if (flag == "--metrics") {
+      p.options.metrics = true;
+      config.collect_metrics = true;
+    } else if (flag == "--trace-out") {
+      if (!next_value(flag, &value)) break;
+      p.options.trace_out = value;
+    } else if (flag == "--run-manifest") {
+      if (!next_value(flag, &value)) break;
+      p.options.manifest_path = value;
+      config.collect_metrics = true;  // manifests carry timelines + metrics
+    } else if (flag == "--profile") {
+      config.profile = true;
     } else {
       (void)p.fail("unknown flag: " + flag);
       break;
@@ -336,6 +361,20 @@ int run_differential_cli(const CliOptions& options) {
 
 }  // namespace
 
+std::string trace_path_for_run(const std::string& base, std::size_t run,
+                               std::size_t total_runs) {
+  if (total_runs <= 1) return base;
+  const std::size_t dot = base.find_last_of('.');
+  const std::size_t slash = base.find_last_of('/');
+  const std::string suffix = "-run" + std::to_string(run);
+  // No extension (or the last '.' is in a directory name): plain append.
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && slash > dot)) {
+    return base + suffix;
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 int run_cli(const CliOptions& options) {
   if (options.show_help) {
     std::fputs(usage_text().c_str(), stdout);
@@ -359,6 +398,13 @@ int run_cli(const CliOptions& options) {
   const auto run_one = [&](std::size_t run) {
     ExperimentConfig config = options.config;
     config.seed = options.config.seed + run;
+    // Each run owns its trace file, so parallel runs never interleave lines.
+    std::unique_ptr<obs::TraceSink> sink;
+    if (!options.trace_out.empty()) {
+      sink = obs::TraceSink::to_file(
+          trace_path_for_run(options.trace_out, run, options.runs));
+      config.trace_sink = sink.get();
+    }
     results[run] = run_experiment(config);
   };
   try {
@@ -427,6 +473,54 @@ int run_cli(const CliOptions& options) {
     std::printf("audit: %llu double-counting violations%s\n",
                 static_cast<unsigned long long>(audit_violations),
                 audit_violations == 0 ? " (clean)" : " — BUG");
+  }
+
+  // Observability outputs, merged over runs in run (slot) order so the
+  // emitted JSON is bitwise-identical for every --jobs value.
+  obs::MetricsSnapshot merged_metrics;
+  obs::ProfileSnapshot merged_profile;
+  for (const RunResult& r : results) {
+    merged_metrics.merge(r.metrics);
+    merged_profile.merge(r.profile);
+  }
+  if (options.metrics) {
+    std::printf("\n[metrics] %s\n", merged_metrics.to_json().c_str());
+  }
+  if (!merged_profile.empty()) {
+    std::printf("\n[profile] %s\n", merged_profile.to_json().c_str());
+  }
+  if (!options.trace_out.empty()) {
+    std::printf("[trace] %s (%zu file%s)\n", options.trace_out.c_str(),
+                options.runs, options.runs == 1 ? "" : "s");
+  }
+  if (!options.manifest_path.empty()) {
+    obs::RunManifest manifest;
+    manifest.tool = "gridbox_sim";
+    manifest.git_rev = obs::git_revision();
+    manifest.config_text = config_canonical_text(options.config);
+    manifest.chaos_spec = options.config.chaos_spec;
+    manifest.base_seed = options.config.seed;
+    manifest.jobs = jobs;
+    manifest.wall_s = wall_seconds;
+    manifest.profile = merged_profile;
+    for (std::size_t run = 0; run < options.runs; ++run) {
+      obs::RunManifest::RunEntry entry;
+      entry.seed = options.config.seed + run;
+      entry.mean_completeness = results[run].measurement.mean_completeness;
+      entry.network_messages = results[run].measurement.network_messages;
+      entry.sim_events = results[run].sim_events;
+      entry.sim_end_us = results[run].sim_end_us;
+      entry.timeline = results[run].timeline;
+      entry.metrics = results[run].metrics;
+      manifest.runs.push_back(std::move(entry));
+    }
+    if (manifest.write(options.manifest_path)) {
+      std::printf("[manifest] %s\n", options.manifest_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.manifest_path.c_str());
+      return 1;
+    }
   }
   return audit_violations == 0 ? 0 : 2;
 }

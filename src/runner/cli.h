@@ -20,7 +20,23 @@ struct CliOptions {
   /// Differential oracle mode: run all four protocols over the same
   /// scenario and cross-check their audited estimates (--differential).
   bool differential = false;
+
+  /// --metrics: collect per-run metric snapshots and print the merged
+  /// snapshot (run order) as JSON after the summary.
+  bool metrics = false;
+  /// --trace-out PATH: JSONL trace per run. With --runs R > 1, run r writes
+  /// PATH with "-run<r>" inserted before the extension.
+  std::string trace_out;
+  /// --run-manifest PATH: write a run.json manifest covering all runs
+  /// (implies metric collection so per-run timelines exist).
+  std::string manifest_path;
 };
+
+/// The trace file a given run writes: `base` itself for a single run, else
+/// "-run<run>" inserted before the extension (trace.jsonl -> trace-run3.jsonl).
+[[nodiscard]] std::string trace_path_for_run(const std::string& base,
+                                             std::size_t run,
+                                             std::size_t total_runs);
 
 struct CliParseResult {
   std::optional<CliOptions> options;  ///< set on success

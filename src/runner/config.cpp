@@ -1,5 +1,9 @@
 #include "src/runner/config.h"
 
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
 #include "src/common/thread_pool.h"
 
 namespace gridbox::runner {
@@ -17,6 +21,129 @@ std::string to_string(ProtocolKind kind) {
     case ProtocolKind::kCommittee: return "committee";
   }
   return "unknown";
+}
+
+namespace {
+
+/// Canonical-text field writer. Doubles use %.17g so any two doubles that
+/// compare unequal serialize differently; times serialize as integer ticks.
+class CanonicalWriter {
+ public:
+  void field(const char* key, const std::string& value) {
+    if (!text_.empty()) text_ += ' ';
+    text_ += key;
+    text_ += '=';
+    text_ += value;
+  }
+  void field(const char* key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const char* key, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    field(key, std::string(buf));
+  }
+  void field(const char* key, std::uint64_t value) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    field(key, std::string(buf));
+  }
+  void field(const char* key, std::uint32_t value) {
+    field(key, static_cast<std::uint64_t>(value));
+  }
+  void field(const char* key, bool value) {
+    field(key, value ? "1" : "0");
+  }
+  void field(const char* key, SimTime value) {
+    field(key, static_cast<std::uint64_t>(value.ticks()));
+  }
+
+  [[nodiscard]] std::string take() { return std::move(text_); }
+
+ private:
+  std::string text_;
+};
+
+const char* to_name(HashKind hash) {
+  return hash == HashKind::kTopoAware ? "topo" : "fair";
+}
+
+const char* to_name(WorkloadKind workload) {
+  switch (workload) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kNormal: return "normal";
+    case WorkloadKind::kField: return "field";
+  }
+  return "?";
+}
+
+const char* to_name(protocols::gossip::ExchangeMode mode) {
+  using protocols::gossip::ExchangeMode;
+  return mode == ExchangeMode::kSingleValue ? "single" : "full";
+}
+
+const char* to_name(protocols::gossip::ValuePolicy policy) {
+  using protocols::gossip::ValuePolicy;
+  switch (policy) {
+    case ValuePolicy::kRandomSingle: return "random";
+    case ValuePolicy::kRarestFirst: return "rarest";
+    case ValuePolicy::kRoundRobin: return "rr";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string config_canonical_text(const ExperimentConfig& config) {
+  CanonicalWriter w;
+  w.field("proto", to_string(config.protocol));
+  w.field("n", config.group_size);
+  w.field("ucast_loss", config.ucast_loss);
+  w.field("partition_loss", config.partition_loss);
+  w.field("latency_lo_us", config.latency_lo);
+  w.field("latency_hi_us", config.latency_hi);
+  w.field("pf", config.crash_probability);
+  w.field("view_coverage", config.view_coverage);
+  w.field("hash", to_name(config.hash));
+  w.field("hierarchy_k", config.hierarchy_k);
+  w.field("positions", config.assign_positions);
+  w.field("agg", agg::to_string(config.aggregate));
+  w.field("workload", to_name(config.workload));
+  w.field("vote_lo", config.vote_lo);
+  w.field("vote_hi", config.vote_hi);
+  w.field("vote_mu", config.vote_mu);
+  w.field("vote_sigma", config.vote_sigma);
+  // Gossip knobs (the trace pointer is instrumentation, not a knob).
+  w.field("g.k", config.gossip.k);
+  w.field("g.m", config.gossip.fanout_m);
+  w.field("g.c", config.gossip.round_multiplier_c);
+  w.field("g.rounds_override", config.gossip.rounds_per_phase_override);
+  w.field("g.round_us", config.gossip.round_duration);
+  w.field("g.early_bump", config.gossip.early_bump);
+  w.field("g.p1_view_bump", config.gossip.phase1_early_bump_with_view);
+  w.field("g.linger", config.gossip.final_phase_linger);
+  w.field("g.exchange", to_name(config.gossip.exchange_mode));
+  w.field("g.policy", to_name(config.gossip.value_policy));
+  w.field("g.skew_us", config.gossip.start_skew_max);
+  // Baseline knobs.
+  w.field("fd.m", config.fully_distributed.fanout_m);
+  w.field("fd.drain", config.fully_distributed.drain_rounds);
+  w.field("fd.round_us", config.fully_distributed.round_duration);
+  w.field("c.leader", static_cast<std::uint64_t>(config.centralized.leader.value()));
+  w.field("c.retries", config.centralized.vote_retries);
+  w.field("c.stagger", config.centralized.staggered_sends);
+  w.field("c.cap", config.centralized.leader_receive_cap);
+  w.field("c.collect", config.centralized.collect_rounds);
+  w.field("c.dfanout", config.centralized.dissemination_fanout);
+  w.field("c.round_us", config.centralized.round_duration);
+  w.field("k.size", config.committee.committee_size);
+  w.field("k.phase_rounds", config.committee.phase_rounds);
+  w.field("k.m", config.committee.fanout_m);
+  w.field("k.round_us", config.committee.round_duration);
+  // Semantics-affecting instrumentation: audits add provenance payload bytes.
+  w.field("audit", config.audit);
+  w.field("chaos", config.chaos_spec.empty() ? "-" : config.chaos_spec);
+  return w.take();
 }
 
 SimTime ExperimentConfig::round_duration() const {

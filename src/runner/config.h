@@ -15,6 +15,10 @@
 #include "src/protocols/baseline/fully_distributed.h"
 #include "src/protocols/gossip/gossip_config.h"
 
+namespace gridbox::obs {
+class TraceSink;
+}  // namespace gridbox::obs
+
 namespace gridbox::runner {
 
 enum class ProtocolKind : std::uint8_t {
@@ -82,6 +86,22 @@ struct ExperimentConfig {
   // Instrumentation.
   bool audit = false;  ///< attach provenance tokens & verify no double count
 
+  /// Collect a metrics snapshot for the run (RunResult::metrics) plus the
+  /// phase timeline (RunResult::timeline). Off by default: benches measure
+  /// the uninstrumented hot path unless asked otherwise. Metric values are a
+  /// pure function of (config, seed) — bitwise-identical at any `jobs`.
+  bool collect_metrics = false;
+
+  /// Structured JSONL trace sink for this run (non-owning; may be null).
+  /// One sink serves one run: sweeps leave this null and per-run tracing is
+  /// wired by the caller that owns the sink (see cli --trace-out).
+  obs::TraceSink* trace_sink = nullptr;
+
+  /// Aggregate hot-path scoped timers for this run (RunResult::profile).
+  /// Wall-clock telemetry: counts are deterministic, elapsed times are not.
+  /// Defaults to the GRIDBOX_PROFILE environment variable.
+  bool profile = false;
+
   /// Chaos spec text (see docs/chaos.md); empty = no chaos. Parsed once per
   /// run; network-affecting directives replace the static ucast/partition
   /// loss pipeline for the run, crashes schedule on the simulator clock.
@@ -107,5 +127,12 @@ struct ExperimentConfig {
   /// Round duration of the configured protocol (drives the crash clock).
   [[nodiscard]] SimTime round_duration() const;
 };
+
+/// Canonical one-line `key=value` serialization of every knob that affects
+/// simulated results (execution knobs like jobs and instrumentation toggles
+/// are excluded — they never change what a run computes). Two configs with
+/// the same text produce identical runs at the same seed; the run manifest
+/// stores this text and its FNV-1a hash as the config fingerprint.
+[[nodiscard]] std::string config_canonical_text(const ExperimentConfig& config);
 
 }  // namespace gridbox::runner

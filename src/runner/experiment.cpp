@@ -14,6 +14,8 @@
 #include "src/membership/group.h"
 #include "src/net/chaos.h"
 #include "src/net/network.h"
+#include "src/obs/run_observer.h"
+#include "src/obs/trace_sink.h"
 #include "src/protocols/baseline/leader_election.h"
 #include "src/protocols/gossip/hier_gossip.h"
 #include "src/protocols/invariant_checker.h"
@@ -157,6 +159,33 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // Chaos: scripted adversity layered over (or replacing) the static fault
   // pipeline. The schedule draws from its own derived streams, so adding a
   // chaos spec never perturbs vote/view/node randomness.
+  // Observability: one registry + observer per run when anything wants
+  // events. Metric values are a pure function of (config, seed); the
+  // registry lives on this stack frame, so parallel sweep runs never share
+  // state and snapshots merge deterministically in slot order afterwards.
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::RunObserver> observer;
+  if (config.collect_metrics || config.trace_sink != nullptr) {
+    if (config.collect_metrics) {
+      metrics = std::make_unique<obs::MetricsRegistry>();
+    }
+    obs::RunObserver::Options oopt;
+    oopt.metrics = metrics.get();
+    oopt.sink = config.trace_sink;
+    oopt.simulator = &simulator;
+    oopt.group_size = config.group_size;
+    oopt.next = config.gossip.trace;
+    observer = std::make_unique<obs::RunObserver>(oopt);
+    network.set_observer(observer.get());
+    group.set_crash_listener(
+        [&observer](MemberId m) { observer->on_crash(m); });
+  }
+
+  // Hot-path profiling: thread-local collector installed for the run only.
+  obs::ProfileCollector profiler;
+  const bool profiling = config.profile || obs::profile_requested_by_env();
+  obs::ProfileInstallGuard profile_guard(profiling ? &profiler : nullptr);
+
   net::ChaosSpec chaos = net::ChaosSpec::parse(config.chaos_spec);
   if (chaos.affects_network()) {
     network.install_chaos(std::make_unique<net::ChaosSchedule>(
@@ -187,7 +216,14 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // Always-on invariant checker (hier-gossip: it is the only protocol with
   // trace hooks). Chains in front of any caller-supplied trace; violations
   // throw InvariantError out of simulator.run() at the offending event.
+  // Trace chain: node -> invariant checker -> run observer -> user trace.
+  // The observer (when present) already forwards to config.gossip.trace.
+  protocols::gossip::GossipTrace* trace_tail =
+      observer != nullptr
+          ? static_cast<protocols::gossip::GossipTrace*>(observer.get())
+          : config.gossip.trace;
   ExperimentConfig node_config = config;
+  node_config.gossip.trace = trace_tail;
   std::unique_ptr<protocols::InvariantChecker> checker;
   if (config.check_invariants &&
       config.protocol == ProtocolKind::kHierGossip) {
@@ -207,7 +243,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
         config.gossip.start_skew_max +
         SimTime::micros(static_cast<SimTime::underlying>(total_rounds) *
                         config.gossip.round_duration.ticks());
-    icfg.next = config.gossip.trace;
+    icfg.next = trace_tail;
     checker = std::make_unique<protocols::InvariantChecker>(icfg);
     node_config.gossip.trace = checker.get();
   }
@@ -242,7 +278,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
         });
   }
 
-  (void)simulator.run();
+  const std::uint64_t executed = simulator.run();
 
   if (checker != nullptr) {
     // Termination: every member still alive at the end must have delivered
@@ -259,6 +295,21 @@ RunResult run_experiment(const ExperimentConfig& config) {
                                               config.aggregate,
                                               network.stats(), audit.get());
   result.network = network.stats();
+  result.sim_events = executed;
+  result.sim_end_us = simulator.now().ticks();
+  if (metrics != nullptr) {
+    // Whole-run facts that have no natural event: queue pressure, executed
+    // events, and end-of-run completeness in basis points (integral, so the
+    // merged sweep maximum stays bitwise-deterministic).
+    metrics->gauge("event_queue_depth").set(simulator.peak_pending_events());
+    metrics->gauge("sim_events").set(executed);
+    metrics->gauge("completeness_bp")
+        .set(static_cast<std::uint64_t>(
+            result.measurement.mean_completeness * 10'000.0 + 0.5));
+    result.metrics = metrics->snapshot();
+  }
+  if (observer != nullptr) result.timeline = observer->timeline();
+  if (profiling) result.profile = profiler.snapshot();
   if (group.has_positions() && network.stats().messages_sent > 0) {
     result.mean_link_distance =
         network.stats().link_distance_sum /

@@ -2,7 +2,12 @@
 // protocol nodes -> measurement.
 #pragma once
 
+#include <cstdint>
+
 #include "src/net/stats.h"
+#include "src/obs/metrics.h"
+#include "src/obs/profile.h"
+#include "src/obs/timeline.h"
 #include "src/protocols/protocol_stats.h"
 #include "src/runner/config.h"
 
@@ -15,6 +20,16 @@ struct RunResult {
   double mean_link_distance = 0.0;
   /// Effective analysis-model b for these knobs (hier-gossip only, else 0).
   double effective_b = 0.0;
+
+  /// Simulator events executed (always filled; drives events/s in benches).
+  std::uint64_t sim_events = 0;
+  /// Last simulated timestamp (always filled).
+  std::int64_t sim_end_us = 0;
+
+  // Observability outputs, empty unless config.collect_metrics / profile.
+  obs::MetricsSnapshot metrics;
+  obs::PhaseTimeline timeline;
+  obs::ProfileSnapshot profile;
 };
 
 /// Executes one run. Deterministic in config (including config.seed).

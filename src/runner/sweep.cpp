@@ -74,6 +74,8 @@ SweepResult run_sweep(
   result.x_label = std::move(x_label);
   result.points.reserve(xs.size());
   result.jobs_used = base.resolved_jobs();
+  result.base_seed = base.seed;
+  result.chaos_spec = base.chaos_spec;
 
   std::vector<RunResult> runs(xs.size() * runs_per_point);
   execute_runs(base, xs, apply, runs_per_point, result.jobs_used, runs);
@@ -100,6 +102,9 @@ SweepResult run_sweep(
       errors.push_back(r.measurement.mean_abs_error);
       b_sum += r.effective_b;
       point.audit_violations += r.measurement.audit_violations;
+      result.total_sim_events += r.sim_events;
+      result.metrics.merge(r.metrics);
+      result.profile.merge(r.profile);
     }
 
     point.incompleteness = summarize(incompleteness);

@@ -33,6 +33,24 @@ struct SweepResult {
   std::vector<SweepPoint> points;
   double wall_seconds = 0.0;  ///< host wall-clock for the whole sweep
   std::size_t jobs_used = 1;  ///< worker threads the sweep actually ran on
+
+  // Reproducibility identification, copied from the base config so every
+  // emitted row can carry it (bench CSV columns seed/jobs/chaos).
+  std::uint64_t base_seed = 0;
+  std::string chaos_spec;
+
+  /// Sum of sim events across all runs (drives events/s in benches).
+  std::uint64_t total_sim_events = 0;
+
+  /// Metric snapshots of all runs, merged in slot order during the serial
+  /// reduction. Empty unless base.collect_metrics: counters and histogram
+  /// buckets sum, gauges keep the maximum — all associative, so the merged
+  /// snapshot is bitwise-identical at any jobs value.
+  obs::MetricsSnapshot metrics;
+
+  /// Hot-path profiles merged across runs (counts deterministic, elapsed
+  /// times wall-clock). Empty unless profiling was on.
+  obs::ProfileSnapshot profile;
 };
 
 /// Runs the sweep. `apply` mutates a copy of `base` for the given x.

@@ -13,6 +13,14 @@ class Table {
   /// Adds one row; must match the header width.
   void add_row(std::vector<std::string> row);
 
+  /// Appends a column holding `value` in every existing row — identification
+  /// columns (seed/jobs/chaos) that apply to the whole table. Rows added
+  /// afterwards must include the new column themselves.
+  void add_constant_column(const std::string& name, const std::string& value) {
+    header_.push_back(name);
+    for (auto& row : rows_) row.push_back(value);
+  }
+
   /// Formats a double compactly: scientific for very small/large magnitudes,
   /// fixed otherwise.
   [[nodiscard]] static std::string num(double v);
@@ -30,6 +38,14 @@ class Table {
 
   [[nodiscard]] std::size_t rows() const { return rows_.size(); }
   [[nodiscard]] std::size_t columns() const { return header_.size(); }
+
+  // Cell access, for emitters that re-shape the table (e.g. bench JSON).
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const {
+    return rows_[i];
+  }
 
  private:
   std::vector<std::string> header_;

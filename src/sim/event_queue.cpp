@@ -10,6 +10,7 @@ namespace gridbox::sim {
 void EventQueue::push(SimTime time, Action action) {
   heap_.push_back(Event{time, next_sequence_++, std::move(action)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > peak_size_) peak_size_ = heap_.size();
 }
 
 Event EventQueue::pop() {
@@ -28,6 +29,7 @@ SimTime EventQueue::next_time() const {
 void EventQueue::clear() {
   heap_.clear();
   next_sequence_ = 0;
+  peak_size_ = 0;
 }
 
 }  // namespace gridbox::sim

@@ -45,6 +45,11 @@ class EventQueue {
   /// Total events ever pushed (also the next sequence number).
   [[nodiscard]] std::uint64_t total_pushed() const { return next_sequence_; }
 
+  /// High-watermark of size() over the queue's lifetime (backlog telemetry:
+  /// the event_queue_depth gauge). Deterministic — a pure function of the
+  /// push/pop sequence.
+  [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
+
   void clear();
 
  private:
@@ -57,6 +62,7 @@ class EventQueue {
 
   std::vector<Event> heap_;  ///< max-heap under Later, i.e. earliest on top
   std::uint64_t next_sequence_ = 0;
+  std::size_t peak_size_ = 0;
 };
 
 }  // namespace gridbox::sim

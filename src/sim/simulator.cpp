@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/ensure.h"
+#include "src/obs/profile.h"  // leaf utility: standard library only
 
 namespace gridbox::sim {
 
@@ -40,6 +41,7 @@ void Simulator::schedule_periodic(SimTime start, SimTime interval,
 }
 
 std::uint64_t Simulator::run() {
+  GRIDBOX_PROFILE_SCOPE("sim.run");
   std::uint64_t count = 0;
   while (step()) {
     ++count;

@@ -48,6 +48,11 @@ class Simulator {
   [[nodiscard]] bool idle() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Deepest the event queue ever got (event_queue_depth telemetry).
+  [[nodiscard]] std::size_t peak_pending_events() const {
+    return queue_.peak_size();
+  }
+
   /// Hard cap on lifetime events executed (across run(), run_until(), and
   /// step() calls); exceeding it throws InvariantError. Guards against
   /// protocol bugs that reschedule forever.

@@ -1,0 +1,272 @@
+// Metrics registry + run-level metric determinism and reconciliation.
+//
+// Three layers:
+//   1. Unit: counters/gauges/histograms and snapshot merge algebra.
+//   2. Determinism: sweep-merged snapshots are bitwise-identical at
+//      --jobs 1 and --jobs 8 (the PR-1 discipline extended to metrics).
+//   3. Reconciliation: exported metric totals agree exactly with the
+//      transport's own NetworkStats on all four protocols, under chaos —
+//      the differential-oracle worlds cross-checked against a second,
+//      independent accounting path.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/runner/config.h"
+#include "src/runner/experiment.h"
+#include "src/runner/sweep.h"
+
+namespace gridbox {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using runner::ExperimentConfig;
+using runner::ProtocolKind;
+using runner::RunResult;
+
+TEST(Metrics, CounterAndGaugeBasics) {
+  MetricsRegistry registry;
+  registry.counter("a").inc();
+  registry.counter("a").inc(4);
+  registry.gauge("g").set(7);
+  registry.gauge("g").set_max(3);  // lower: ignored
+  registry.gauge("g").set_max(9);
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counter_or_zero("a"), 5u);
+  EXPECT_EQ(snap.counter_or_zero("missing"), 0u);
+  EXPECT_EQ(snap.gauges.at("g"), 9u);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  Histogram h({10, 20});
+  h.observe(0);
+  h.observe(10);  // at the bound: first bucket
+  h.observe(11);  // above: second bucket
+  h.observe(20);
+  h.observe(21);  // overflow bucket
+  ASSERT_EQ(h.counts().size(), 3u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[1], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+MetricsSnapshot snapshot_with(std::uint64_t a, std::uint64_t gauge,
+                              std::vector<std::uint64_t> hist_counts) {
+  MetricsRegistry registry;
+  registry.counter("c").inc(a);
+  registry.gauge("g").set(gauge);
+  Histogram& h = registry.histogram("h", {1, 2});
+  for (std::size_t bucket = 0; bucket < hist_counts.size(); ++bucket) {
+    for (std::uint64_t i = 0; i < hist_counts[bucket]; ++i) {
+      h.observe(bucket == 0 ? 1 : bucket == 1 ? 2 : 3);
+    }
+  }
+  return registry.snapshot();
+}
+
+// Counters sum, gauges take the max, histograms add bucket-wise — and the
+// fold is associative, so the sweep reducer's slot order is irrelevant.
+TEST(Metrics, SnapshotMergeSemanticsAndAssociativity) {
+  const MetricsSnapshot a = snapshot_with(1, 5, {1, 0, 0});
+  const MetricsSnapshot b = snapshot_with(2, 9, {0, 2, 0});
+  const MetricsSnapshot c = snapshot_with(4, 7, {0, 0, 3});
+
+  MetricsSnapshot ab = a;
+  ab.merge(b);
+  EXPECT_EQ(ab.counter_or_zero("c"), 3u);
+  EXPECT_EQ(ab.gauges.at("g"), 9u);
+  EXPECT_EQ(ab.histograms.at("h").counts, (std::vector<std::uint64_t>{1, 2, 0}));
+
+  MetricsSnapshot ab_c = ab;
+  ab_c.merge(c);
+  MetricsSnapshot bc = b;
+  bc.merge(c);
+  MetricsSnapshot a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.to_json(), a_bc.to_json());
+
+  // Commutativity too: the reducer does not rely on it, but it is part of
+  // the documented contract.
+  MetricsSnapshot ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.to_json(), ba.to_json());
+}
+
+TEST(Metrics, MergeIntoEmptyAdoptsEverything) {
+  const MetricsSnapshot a = snapshot_with(3, 2, {1, 1, 1});
+  MetricsSnapshot empty;
+  empty.merge(a);
+  EXPECT_EQ(empty.to_json(), a.to_json());
+}
+
+TEST(Metrics, SnapshotJsonIsNameOrderedAndStable) {
+  MetricsRegistry registry;
+  registry.counter("zeta").inc();
+  registry.counter("alpha").inc(2);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+  EXPECT_EQ(json, registry.snapshot().to_json());
+}
+
+ExperimentConfig metrics_config() {
+  ExperimentConfig config;
+  config.group_size = 48;
+  config.ucast_loss = 0.2;
+  config.crash_probability = 0.001;
+  config.collect_metrics = true;
+  config.seed = 77;
+  return config;
+}
+
+// The headline determinism guarantee: identical merged metric snapshots —
+// and identical sweep points — whether the sweep ran on 1 thread or 8.
+TEST(Metrics, SweepSnapshotsBitwiseIdenticalAcrossJobs) {
+  const auto run_at = [](std::size_t jobs) {
+    ExperimentConfig base = metrics_config();
+    base.jobs = jobs;
+    return runner::run_sweep(
+        base, "loss", {0.0, 0.15, 0.3},
+        [](ExperimentConfig& c, double x) { c.ucast_loss = x; }, 4);
+  };
+  const runner::SweepResult serial = run_at(1);
+  const runner::SweepResult parallel = run_at(8);
+
+  ASSERT_FALSE(serial.metrics.empty());
+  EXPECT_EQ(serial.metrics.to_json(), parallel.metrics.to_json());
+  EXPECT_EQ(serial.total_sim_events, parallel.total_sim_events);
+
+  ASSERT_EQ(serial.points.size(), parallel.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    EXPECT_EQ(serial.points[i].incompleteness.mean,
+              parallel.points[i].incompleteness.mean);
+    EXPECT_EQ(serial.points[i].messages.mean, parallel.points[i].messages.mean);
+  }
+}
+
+void expect_reconciles(const ExperimentConfig& config) {
+  const RunResult result = runner::run_experiment(config);
+  const MetricsSnapshot& m = result.metrics;
+  ASSERT_FALSE(m.empty());
+  const net::NetworkStats& net = result.network;
+
+  // The observer mirrors NetworkStats one-to-one; any divergence means an
+  // instrumentation hook is missing or double-fires.
+  EXPECT_EQ(m.counter_or_zero("msgs_sent"), net.messages_sent);
+  EXPECT_EQ(m.counter_or_zero("msgs_dropped"), net.messages_dropped);
+  EXPECT_EQ(m.counter_or_zero("msgs_duplicated"), net.messages_duplicated);
+  EXPECT_EQ(m.counter_or_zero("msgs_delivered"), net.messages_delivered);
+  EXPECT_EQ(m.counter_or_zero("msgs_dead_dest"), net.messages_dead_dest);
+  EXPECT_EQ(m.counter_or_zero("msgs_malformed"), net.messages_malformed);
+  EXPECT_EQ(m.counter_or_zero("bytes_on_wire"), net.bytes_sent);
+
+  // Protocol-layer cross-check: network messages as measured by
+  // protocol_stats equals the transport total equals the metric.
+  EXPECT_EQ(m.counter_or_zero("msgs_sent"),
+            result.measurement.network_messages);
+
+  // Per-phase attribution is a partition of all sends.
+  std::uint64_t by_phase = 0;
+  for (const auto& [name, value] : m.counters) {
+    if (name.rfind("msgs_sent_by_phase.", 0) == 0) by_phase += value;
+  }
+  EXPECT_EQ(by_phase, net.messages_sent);
+}
+
+// Chaos worlds exercise every drop/dup path; audit keeps the protocol
+// accounting honest at the same time.
+ExperimentConfig chaos_world(ProtocolKind protocol) {
+  ExperimentConfig config;
+  config.protocol = protocol;
+  config.group_size = 40;
+  config.ucast_loss = 0.1;
+  config.crash_probability = 0.0;
+  config.collect_metrics = true;
+  config.audit = true;
+  config.chaos_spec =
+      "loss 0.2\n"
+      "dup p=0.15 extra=1 spread=400us\n"
+      "jitter p=0.2 0us..1ms\n"
+      "crash M5 at=30ms\n";
+  config.seed = 1234;
+  return config;
+}
+
+TEST(MetricsReconcile, HierGossipUnderChaos) {
+  expect_reconciles(chaos_world(ProtocolKind::kHierGossip));
+}
+
+TEST(MetricsReconcile, FullyDistributedUnderChaos) {
+  expect_reconciles(chaos_world(ProtocolKind::kFullyDistributed));
+}
+
+TEST(MetricsReconcile, CentralizedUnderChaos) {
+  expect_reconciles(chaos_world(ProtocolKind::kCentralized));
+}
+
+TEST(MetricsReconcile, CommitteeUnderChaos) {
+  expect_reconciles(chaos_world(ProtocolKind::kCommittee));
+}
+
+TEST(MetricsReconcile, LossyCrashyHierGossipWithoutChaos) {
+  ExperimentConfig config = metrics_config();
+  config.audit = true;
+  expect_reconciles(config);
+}
+
+// Gossip-layer metrics only exist for hier-gossip: rounds recorded, fanout
+// histogram totals match the round count, and the queue-depth gauge saw a
+// nonempty queue.
+TEST(MetricsReconcile, GossipRoundMetricsAreCoherent) {
+  const RunResult result = runner::run_experiment(metrics_config());
+  const MetricsSnapshot& m = result.metrics;
+  const std::uint64_t rounds = m.counter_or_zero("gossip_rounds");
+  EXPECT_GT(rounds, 0u);
+  const auto& hist = m.histograms.at("gossip_fanout_hist");
+  std::uint64_t observed = 0;
+  for (const std::uint64_t c : hist.counts) observed += c;
+  EXPECT_EQ(observed, rounds);
+  EXPECT_GT(m.gauges.at("event_queue_depth"), 0u);
+  EXPECT_EQ(m.gauges.at("sim_events"), result.sim_events);
+  EXPECT_GT(m.counter_or_zero("finishes"), 0u);
+  EXPECT_GT(m.counter_or_zero("phase_conclusions"), 0u);
+}
+
+// Timelines ride along with metrics and must agree with the counters.
+TEST(MetricsReconcile, TimelineAgreesWithCounters) {
+  const RunResult result = runner::run_experiment(metrics_config());
+  std::uint64_t timeline_msgs = 0;
+  std::uint64_t timeline_rounds = 0;
+  std::uint64_t timeline_conclusions = 0;
+  for (const auto& span : result.timeline.phases) {
+    timeline_msgs += span.msgs_sent;
+    timeline_rounds += span.rounds;
+    timeline_conclusions += span.concluded;
+  }
+  EXPECT_EQ(timeline_msgs, result.metrics.counter_or_zero("msgs_sent"));
+  EXPECT_EQ(timeline_rounds, result.metrics.counter_or_zero("gossip_rounds"));
+  EXPECT_EQ(timeline_conclusions,
+            result.metrics.counter_or_zero("phase_conclusions"));
+}
+
+// Metrics collection must not change what the run computes: same seed, same
+// measurement, with and without instrumentation.
+TEST(MetricsReconcile, CollectionDoesNotPerturbResults) {
+  ExperimentConfig with = metrics_config();
+  ExperimentConfig without = with;
+  without.collect_metrics = false;
+  const RunResult a = runner::run_experiment(with);
+  const RunResult b = runner::run_experiment(without);
+  EXPECT_EQ(a.measurement.mean_completeness, b.measurement.mean_completeness);
+  EXPECT_EQ(a.measurement.network_messages, b.measurement.network_messages);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_TRUE(b.metrics.empty());
+}
+
+}  // namespace
+}  // namespace gridbox

@@ -1,0 +1,299 @@
+// Observability plumbing: JSON writer/parser, trace sink, golden JSONL
+// trace, run manifest, and the BENCH file format + diff.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/ensure.h"
+#include "src/obs/bench_io.h"
+#include "src/obs/json.h"
+#include "src/obs/manifest.h"
+#include "src/obs/trace_sink.h"
+#include "src/runner/cli.h"
+#include "src/runner/config.h"
+#include "src/runner/experiment.h"
+
+namespace gridbox {
+namespace {
+
+using obs::BenchEntry;
+using obs::BenchReport;
+using obs::JsonValue;
+using obs::JsonWriter;
+using obs::TraceSink;
+using runner::ExperimentConfig;
+
+TEST(Json, WriterProducesCompactDeterministicText) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("run");
+  w.key("n").value(std::uint64_t{42});
+  w.key("ok").value(true);
+  w.key("xs").begin_array().value(1).value(2).end_array();
+  w.end_object();
+  EXPECT_EQ(w.take(), R"({"name":"run","n":42,"ok":true,"xs":[1,2]})");
+}
+
+TEST(Json, EscapesControlCharactersAndQuotes) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(w.take(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Json, ParseRoundTripsRepoArtifacts) {
+  const std::string text =
+      R"({"schema":"x/1","n":3,"pi":3.5,"flag":false,"nothing":null,)"
+      R"("list":[1,"two",{"k":"v"}]})";
+  const JsonValue root = obs::json_parse(text);
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.string_or("schema", ""), "x/1");
+  EXPECT_EQ(root.number_or("n", 0), 3.0);
+  EXPECT_EQ(root.number_or("pi", 0), 3.5);
+  const JsonValue* list = root.find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array.size(), 3u);
+  EXPECT_EQ(list->array[1].string, "two");
+  EXPECT_EQ(list->array[2].string_or("k", ""), "v");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)obs::json_parse("{\"a\":}"), PreconditionError);
+  EXPECT_THROW((void)obs::json_parse("[1,2"), PreconditionError);
+  EXPECT_THROW((void)obs::json_parse(""), PreconditionError);
+}
+
+TEST(TraceSinkTest, LineFormatsAreIntegerOnlyAndStable) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.message_event("send", SimTime::micros(12), MemberId{3}, MemberId{7},
+                     21);
+  sink.member_event("conclude", SimTime::micros(40), MemberId{5}, 2, 4,
+                    "votes", "timeout");
+  sink.member_event("crash", SimTime::micros(50), MemberId{9});
+  EXPECT_EQ(out.str(),
+            "{\"t\":12,\"ev\":\"send\",\"src\":3,\"dst\":7,\"bytes\":21}\n"
+            "{\"t\":40,\"ev\":\"conclude\",\"m\":5,\"phase\":2,\"votes\":4,"
+            "\"how\":\"timeout\"}\n"
+            "{\"t\":50,\"ev\":\"crash\",\"m\":9}\n");
+  EXPECT_EQ(sink.lines_written(), 3u);
+}
+
+TEST(TraceSinkTest, EveryLineParsesAsJson) {
+  std::ostringstream out;
+  TraceSink sink(out);
+  sink.message_event("drop", SimTime::micros(1), MemberId{0}, MemberId{1}, 9);
+  sink.member_event("round", SimTime::micros(2), MemberId{1}, 1, 2, "fanout");
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_NO_THROW((void)obs::json_parse(line)) << line;
+  }
+}
+
+TEST(TracePaths, PerRunSuffixInsertsBeforeExtension) {
+  EXPECT_EQ(runner::trace_path_for_run("trace.jsonl", 0, 1), "trace.jsonl");
+  EXPECT_EQ(runner::trace_path_for_run("trace.jsonl", 2, 4),
+            "trace-run2.jsonl");
+  EXPECT_EQ(runner::trace_path_for_run("out/t", 1, 3), "out/t-run1");
+  EXPECT_EQ(runner::trace_path_for_run("a.b/trace", 1, 2), "a.b/trace-run1");
+}
+
+// The golden JSONL trace: a canonical world's full event stream (transport
+// + phase machine), byte-identical on every replay. Regenerate deliberately
+// with GRIDBOX_REGEN_GOLDEN=1.
+ExperimentConfig golden_config() {
+  ExperimentConfig config;
+  config.group_size = 32;
+  config.gossip.k = 4;
+  config.ucast_loss = 0.2;
+  config.crash_probability = 0.0;
+  config.seed = 7;
+  return config;
+}
+
+std::string record_jsonl_trace() {
+  std::ostringstream out;
+  TraceSink sink(out);
+  ExperimentConfig config = golden_config();
+  config.trace_sink = &sink;
+  (void)runner::run_experiment(config);
+  return out.str();
+}
+
+void check_against_golden(const std::string& name, const std::string& got) {
+  const std::string path =
+      std::string(GRIDBOX_TEST_DATA_DIR) + "/golden/" + name;
+  if (std::getenv("GRIDBOX_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing fixture " << path
+                         << " (regenerate with GRIDBOX_REGEN_GOLDEN=1)";
+  std::ostringstream want;
+  want << in.rdbuf();
+  if (got != want.str()) {
+    const std::string& w = want.str();
+    std::size_t i = 0;
+    while (i < got.size() && i < w.size() && got[i] == w[i]) ++i;
+    std::size_t line = 1;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (w[j] == '\n') ++line;
+    }
+    FAIL() << name << ": trace drifted from golden fixture at line " << line
+           << " (byte " << i << " of " << w.size()
+           << "). If the change is intentional, regenerate with "
+              "GRIDBOX_REGEN_GOLDEN=1.";
+  }
+}
+
+TEST(GoldenJsonlTrace, CanonicalWorldReplaysByteIdentical) {
+  const std::string got = record_jsonl_trace();
+  ASSERT_FALSE(got.empty());
+  check_against_golden("obs_trace_n32_k4_seed7.jsonl", got);
+}
+
+TEST(GoldenJsonlTrace, InProcessReplayIsDeterministic) {
+  EXPECT_EQ(record_jsonl_trace(), record_jsonl_trace());
+}
+
+TEST(Manifest, Fnv1aMatchesKnownVectors) {
+  EXPECT_EQ(obs::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(obs::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+}
+
+TEST(Manifest, JsonCarriesConfigFingerprintAndRuns) {
+  obs::RunManifest manifest;
+  manifest.tool = "test";
+  manifest.git_rev = "deadbeef";
+  manifest.config_text = "proto=hier-gossip n=8";
+  manifest.base_seed = 42;
+  manifest.jobs = 4;
+  obs::RunManifest::RunEntry entry;
+  entry.seed = 42;
+  entry.mean_completeness = 0.5;
+  entry.network_messages = 10;
+  manifest.runs.push_back(entry);
+
+  const JsonValue root = obs::json_parse(manifest.to_json());
+  EXPECT_EQ(root.string_or("schema", ""), obs::RunManifest::kSchema);
+  EXPECT_EQ(root.string_or("config", ""), manifest.config_text);
+  // The hash field is the FNV-1a of the config text, as fixed-width hex.
+  char want_hash[24];
+  std::snprintf(want_hash, sizeof(want_hash), "%016llx",
+                static_cast<unsigned long long>(
+                    obs::fnv1a64(manifest.config_text)));
+  EXPECT_EQ(root.string_or("config_hash", ""), want_hash);
+  const JsonValue* runs = root.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  EXPECT_EQ(runs->array[0].number_or("seed", 0), 42.0);
+}
+
+TEST(CanonicalConfig, DistinguishesKnobsAndIgnoresInstrumentation) {
+  ExperimentConfig a;
+  ExperimentConfig b = a;
+  EXPECT_EQ(runner::config_canonical_text(a), runner::config_canonical_text(b));
+
+  b.collect_metrics = true;
+  b.profile = true;
+  b.jobs = 16;
+  b.seed = 999;  // seed is per-run identification, not a config knob
+  EXPECT_EQ(runner::config_canonical_text(a), runner::config_canonical_text(b));
+
+  b.gossip.fanout_m = 3;
+  EXPECT_NE(runner::config_canonical_text(a), runner::config_canonical_text(b));
+}
+
+BenchReport sample_report() {
+  BenchReport report;
+  report.suite = "micro_core";
+  report.git_rev = "abc123";
+  report.repeats = 3;
+  report.jobs = 2;
+  BenchEntry e;
+  e.name = "hier_n200";
+  e.wall_s = 0.5;
+  e.events_per_s = 1000.0;
+  e.msgs_per_s = 500.0;
+  e.sim_events = 500;
+  e.network_messages = 250;
+  e.peak_rss_mb = 32.0;
+  report.entries.push_back(e);
+  return report;
+}
+
+TEST(BenchIo, ReportRoundTripsThroughJson) {
+  const BenchReport report = sample_report();
+  const BenchReport parsed = BenchReport::parse(report.to_json());
+  EXPECT_EQ(parsed.suite, report.suite);
+  EXPECT_EQ(parsed.git_rev, report.git_rev);
+  EXPECT_EQ(parsed.repeats, report.repeats);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_EQ(parsed.entries[0].name, "hier_n200");
+  EXPECT_EQ(parsed.entries[0].wall_s, 0.5);
+  EXPECT_EQ(parsed.entries[0].sim_events, 500u);
+  // Round trip is byte-exact: parse(to_json()).to_json() == to_json().
+  EXPECT_EQ(parsed.to_json(), report.to_json());
+}
+
+TEST(BenchIo, ParseRejectsSchemaMismatch) {
+  EXPECT_THROW((void)BenchReport::parse(R"({"schema":"other/9"})"),
+               PreconditionError);
+  EXPECT_THROW((void)BenchReport::parse("not json"),
+               PreconditionError);
+}
+
+TEST(BenchIo, DiffFlagsOnlyRegressionsPastThreshold) {
+  const BenchReport old_report = sample_report();
+  BenchReport new_report = sample_report();
+  new_report.entries[0].wall_s = 0.55;  // +10%: inside a 20% threshold
+  EXPECT_TRUE(obs::bench_diff(old_report, new_report, 0.2).ok());
+
+  new_report.entries[0].wall_s = 0.65;  // +30%: regression
+  const obs::BenchDiffReport diff =
+      obs::bench_diff(old_report, new_report, 0.2);
+  EXPECT_FALSE(diff.ok());
+  EXPECT_EQ(diff.regressions, 1u);
+  EXPECT_NEAR(diff.worst_ratio, 1.3, 1e-9);
+  EXPECT_NE(diff.render().find("REGRESSED"), std::string::npos);
+}
+
+TEST(BenchIo, DiffTracksDisappearedAndNewCases) {
+  const BenchReport old_report = sample_report();
+  BenchReport new_report = sample_report();
+  new_report.entries[0].name = "renamed_case";
+  const obs::BenchDiffReport diff =
+      obs::bench_diff(old_report, new_report, 0.2);
+  EXPECT_TRUE(diff.ok());  // nothing compared, nothing regressed
+  ASSERT_EQ(diff.only_in_old.size(), 1u);
+  ASSERT_EQ(diff.only_in_new.size(), 1u);
+  EXPECT_EQ(diff.only_in_old[0], "hier_n200");
+  EXPECT_EQ(diff.only_in_new[0], "renamed_case");
+}
+
+TEST(BenchIo, SpeedupsNeverFlagRegression) {
+  const BenchReport old_report = sample_report();
+  BenchReport new_report = sample_report();
+  new_report.entries[0].wall_s = 0.1;  // 5x faster
+  EXPECT_TRUE(obs::bench_diff(old_report, new_report, 0.0).ok());
+}
+
+TEST(BenchIo, PeakRssIsNonZeroOnSupportedPlatforms) {
+#if defined(__unix__) || defined(__APPLE__)
+  EXPECT_GT(obs::peak_rss_bytes(), 0u);
+#else
+  GTEST_SKIP() << "no getrusage on this platform";
+#endif
+}
+
+}  // namespace
+}  // namespace gridbox

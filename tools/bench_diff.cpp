@@ -1,0 +1,70 @@
+// bench_diff: compare two BENCH_*.json files from gridbox_bench.
+//
+// Exits 0 when no case regressed past the threshold, 1 on regression, and
+// 2 on unreadable/mismatched inputs. CI runs this against a checked-in
+// baseline (warn-only there: perf on shared runners is advisory, the exit
+// code is for developer machines and release gates).
+//
+// usage: bench_diff OLD.json NEW.json [--threshold FRAC]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "src/obs/bench_io.h"
+
+int main(int argc, char** argv) {
+  double threshold = 0.2;
+  const char* old_path = nullptr;
+  const char* new_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --threshold: missing value\n");
+        return 2;
+      }
+      threshold = std::atof(argv[++i]);
+      if (threshold < 0.0) {
+        std::fprintf(stderr, "error: --threshold: must be non-negative\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::puts("usage: bench_diff OLD.json NEW.json [--threshold FRAC]");
+      return 0;
+    } else if (old_path == nullptr) {
+      old_path = argv[i];
+    } else if (new_path == nullptr) {
+      new_path = argv[i];
+    } else {
+      std::fprintf(stderr, "error: unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (old_path == nullptr || new_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_diff OLD.json NEW.json [--threshold FRAC]\n");
+    return 2;
+  }
+
+  try {
+    const auto old_report = gridbox::obs::BenchReport::load(old_path);
+    const auto new_report = gridbox::obs::BenchReport::load(new_path);
+    if (old_report.suite != new_report.suite) {
+      std::fprintf(stderr, "error: suite mismatch: %s vs %s\n",
+                   old_report.suite.c_str(), new_report.suite.c_str());
+      return 2;
+    }
+    const auto diff =
+        gridbox::obs::bench_diff(old_report, new_report, threshold);
+    std::printf("suite %s: %s (%s -> %s)\n", new_report.suite.c_str(),
+                diff.ok() ? "ok" : "REGRESSED", old_report.git_rev.c_str(),
+                new_report.git_rev.c_str());
+    std::fputs(diff.render().c_str(), stdout);
+    return diff.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,299 @@
+// gridbox_bench: the perf-regression harness.
+//
+// Runs fixed benchmark suites over the simulator and writes one
+// schema-versioned BENCH_<suite>.json per suite (see src/obs/bench_io.h):
+//
+//   micro_core   -> BENCH_core.json    end-to-end runs at paper defaults,
+//                                      with and without instrumentation
+//   fig06_scale  -> BENCH_scale.json   the Figure 6 scalability slice
+//   chaos_stress -> BENCH_chaos.json   chaos-scripted adversity worlds
+//
+// Wall times are medians over --repeats; sim_events / network_messages are
+// deterministic per case, so a diff of two BENCH files (tools/bench_diff)
+// separates "the code got slower" from "the workload changed".
+//
+// usage: gridbox_bench [--suite micro|scale|chaos|all] [--quick]
+//                      [--repeats R] [--out DIR] [--jobs N]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/obs/bench_io.h"
+#include "src/obs/build_info.h"
+#include "src/runner/config.h"
+#include "src/runner/experiment.h"
+#include "src/runner/sweep.h"
+
+namespace {
+
+using gridbox::obs::BenchEntry;
+using gridbox::obs::BenchReport;
+using gridbox::runner::ExperimentConfig;
+using gridbox::runner::ProtocolKind;
+using gridbox::runner::RunResult;
+
+struct BenchOptions {
+  bool micro = true;
+  bool scale = true;
+  bool chaos = true;
+  bool quick = false;
+  std::uint64_t repeats = 0;  ///< 0 = suite default (5, quick 2)
+  std::string out_dir = ".";
+  std::size_t jobs = 0;  ///< sweep-case worker threads; 0 = auto
+};
+
+/// Paper §7 defaults: N = 200, ucastl = 0.25, pf = 0.001, K = 4, M = 2.
+ExperimentConfig paper_config() {
+  ExperimentConfig config;
+  config.group_size = 200;
+  config.ucast_loss = 0.25;
+  config.crash_probability = 0.001;
+  config.seed = 20010701;
+  return config;
+}
+
+double elapsed_s(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Times `body` (which must return (sim_events, network_messages) of the
+/// repeat) `repeats` times and appends the median-wall entry.
+template <typename Body>
+void run_case(BenchReport& report, const std::string& name,
+              std::uint64_t repeats, const Body& body) {
+  std::vector<double> walls;
+  std::uint64_t sim_events = 0;
+  std::uint64_t network_messages = 0;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto [events, messages] = body();
+    walls.push_back(elapsed_s(start));
+    // Deterministic per case: every repeat computes the same totals.
+    sim_events = events;
+    network_messages = messages;
+  }
+  std::sort(walls.begin(), walls.end());
+  BenchEntry entry;
+  entry.name = name;
+  entry.wall_s = walls[walls.size() / 2];
+  entry.sim_events = sim_events;
+  entry.network_messages = network_messages;
+  if (entry.wall_s > 0.0) {
+    entry.events_per_s = static_cast<double>(sim_events) / entry.wall_s;
+    entry.msgs_per_s = static_cast<double>(network_messages) / entry.wall_s;
+  }
+  entry.peak_rss_mb =
+      static_cast<double>(gridbox::obs::peak_rss_bytes()) / (1024.0 * 1024.0);
+  std::printf("  %-28s wall %8.4f s   %10.0f events/s   %9.0f msgs/s\n",
+              name.c_str(), entry.wall_s, entry.events_per_s,
+              entry.msgs_per_s);
+  report.entries.push_back(std::move(entry));
+}
+
+/// One end-to-end run as a bench body.
+auto single_run_body(const ExperimentConfig& config) {
+  return [config]() {
+    const RunResult result = gridbox::runner::run_experiment(config);
+    return std::pair<std::uint64_t, std::uint64_t>(
+        result.sim_events, result.measurement.network_messages);
+  };
+}
+
+BenchReport new_report(const char* suite, const BenchOptions& options,
+                       std::uint64_t repeats) {
+  BenchReport report;
+  report.suite = suite;
+  report.git_rev = gridbox::obs::git_revision();
+  report.repeats = repeats;
+  report.jobs = options.jobs == 0 ? 1 : options.jobs;
+  return report;
+}
+
+BenchReport run_micro(const BenchOptions& options, std::uint64_t repeats) {
+  BenchReport report = new_report("micro_core", options, repeats);
+  std::printf("suite micro_core (%llu repeat(s)):\n",
+              static_cast<unsigned long long>(repeats));
+
+  ExperimentConfig base = paper_config();
+  run_case(report, "hier_n200", repeats, single_run_body(base));
+
+  ExperimentConfig with_metrics = base;
+  with_metrics.collect_metrics = true;
+  run_case(report, "hier_n200_metrics", repeats, single_run_body(with_metrics));
+
+  ExperimentConfig audited = base;
+  audited.audit = true;
+  run_case(report, "hier_n200_audit", repeats, single_run_body(audited));
+
+  if (!options.quick) {
+    ExperimentConfig big = base;
+    big.group_size = 800;
+    run_case(report, "hier_n800", repeats, single_run_body(big));
+
+    ExperimentConfig flat = base;
+    flat.protocol = ProtocolKind::kFullyDistributed;
+    run_case(report, "all_to_all_n200", repeats, single_run_body(flat));
+
+    ExperimentConfig central = base;
+    central.protocol = ProtocolKind::kCentralized;
+    run_case(report, "centralized_n200", repeats, single_run_body(central));
+  }
+  return report;
+}
+
+BenchReport run_scale(const BenchOptions& options, std::uint64_t repeats) {
+  BenchReport report = new_report("fig06_scale", options, repeats);
+  std::printf("suite fig06_scale (%llu repeat(s)):\n",
+              static_cast<unsigned long long>(repeats));
+
+  const std::vector<double> ns = options.quick
+                                     ? std::vector<double>{200, 400}
+                                     : std::vector<double>{200, 400, 800, 1600};
+  const std::size_t runs_per_point = options.quick ? 2 : 4;
+  ExperimentConfig base = paper_config();
+  base.jobs = options.jobs;
+  run_case(report, "fig06_slice", repeats, [&] {
+    const gridbox::runner::SweepResult sweep = gridbox::runner::run_sweep(
+        base, "n", ns,
+        [](ExperimentConfig& config, double n) {
+          config.group_size = static_cast<std::size_t>(n);
+        },
+        runs_per_point);
+    std::uint64_t messages = 0;
+    for (const auto& point : sweep.points) {
+      messages += static_cast<std::uint64_t>(point.messages.mean *
+                                             static_cast<double>(
+                                                 runs_per_point));
+    }
+    return std::pair<std::uint64_t, std::uint64_t>(sweep.total_sim_events,
+                                                   messages);
+  });
+  return report;
+}
+
+BenchReport run_chaos(const BenchOptions& options, std::uint64_t repeats) {
+  BenchReport report = new_report("chaos_stress", options, repeats);
+  std::printf("suite chaos_stress (%llu repeat(s)):\n",
+              static_cast<unsigned long long>(repeats));
+
+  ExperimentConfig base = paper_config();
+  base.chaos_spec =
+      "loss 0.25\n"
+      "burst 10ms..120ms good=0.05 bad=0.8 go-bad=0.1 go-good=0.2\n";
+  run_case(report, "chaos_loss_burst", repeats, single_run_body(base));
+
+  ExperimentConfig crashy = paper_config();
+  crashy.chaos_spec =
+      "crash M3 at=20ms\ncrash M17 at=35ms\ncrash M42 at=50ms\n"
+      "crash M99 at=65ms\ncrash M150 at=80ms\n";
+  run_case(report, "chaos_crash_batch", repeats, single_run_body(crashy));
+
+  if (!options.quick) {
+    ExperimentConfig storm = paper_config();
+    storm.group_size = 400;
+    storm.chaos_spec =
+        "loss 0.35\n"
+        "dup p=0.2 extra=1 spread=500us\n"
+        "jitter p=0.3 0us..2ms\n";
+    run_case(report, "chaos_dup_storm_n400", repeats, single_run_body(storm));
+  }
+  return report;
+}
+
+int usage(int code) {
+  std::fputs(
+      "gridbox_bench — perf-regression suites emitting BENCH_*.json\n"
+      "\n"
+      "usage: gridbox_bench [flags]\n"
+      "  --suite NAME   micro | scale | chaos | all (default all)\n"
+      "  --quick        smaller case list and fewer repeats (CI smoke)\n"
+      "  --repeats R    wall-time repeats per case (default 5; --quick 2)\n"
+      "  --out DIR      output directory for BENCH_*.json (default .)\n"
+      "  --jobs N       worker threads for sweep cases (default auto)\n"
+      "  --help         this text\n",
+      code == 0 ? stdout : stderr);
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--help" || flag == "-h") return usage(0);
+    if (flag == "--quick") {
+      options.quick = true;
+    } else if (flag == "--suite") {
+      const char* value = next();
+      if (value == nullptr) {
+        std::fprintf(stderr, "error: --suite: missing value\n");
+        return usage(1);
+      }
+      options.micro = options.scale = options.chaos = false;
+      if (std::strcmp(value, "micro") == 0) {
+        options.micro = true;
+      } else if (std::strcmp(value, "scale") == 0) {
+        options.scale = true;
+      } else if (std::strcmp(value, "chaos") == 0) {
+        options.chaos = true;
+      } else if (std::strcmp(value, "all") == 0) {
+        options.micro = options.scale = options.chaos = true;
+      } else {
+        std::fprintf(stderr, "error: --suite: unknown: %s\n", value);
+        return usage(1);
+      }
+    } else if (flag == "--repeats") {
+      const char* value = next();
+      if (value == nullptr || std::atoll(value) <= 0) {
+        std::fprintf(stderr, "error: --repeats: need a positive integer\n");
+        return usage(1);
+      }
+      options.repeats = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (flag == "--out") {
+      const char* value = next();
+      if (value == nullptr) {
+        std::fprintf(stderr, "error: --out: missing value\n");
+        return usage(1);
+      }
+      options.out_dir = value;
+    } else if (flag == "--jobs") {
+      const char* value = next();
+      if (value == nullptr || std::atoll(value) <= 0) {
+        std::fprintf(stderr, "error: --jobs: need a positive integer\n");
+        return usage(1);
+      }
+      options.jobs = static_cast<std::size_t>(std::atoll(value));
+    } else {
+      std::fprintf(stderr, "error: unknown flag: %s\n", flag.c_str());
+      return usage(1);
+    }
+  }
+
+  const std::uint64_t repeats =
+      options.repeats != 0 ? options.repeats : (options.quick ? 2 : 5);
+
+  const auto emit = [&](const BenchReport& report, const char* filename) {
+    const std::string path = options.out_dir + "/" + filename;
+    if (!report.write(path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("[bench] %s\n", path.c_str());
+    return true;
+  };
+
+  bool ok = true;
+  if (options.micro) ok = emit(run_micro(options, repeats), "BENCH_core.json") && ok;
+  if (options.scale) ok = emit(run_scale(options, repeats), "BENCH_scale.json") && ok;
+  if (options.chaos) ok = emit(run_chaos(options, repeats), "BENCH_chaos.json") && ok;
+  return ok ? 0 : 1;
+}
