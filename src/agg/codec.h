@@ -4,51 +4,72 @@
 // statically predictable to honour the constant size bound). ByteWriter /
 // ByteReader are deliberately dumb: each protocol composes its own message
 // layout from them, and the Partial codec below is shared by all.
+//
+// Both ends operate on net::Frame, the fixed 256-byte inline wire buffer:
+// encoding writes fields into the frame in place and decoding reads straight
+// out of the delivered frame, so the steady-state message path performs zero
+// heap allocations (asserted by the counting-allocator tests).
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "src/agg/aggregate.h"
 #include "src/common/ensure.h"
+#include "src/net/frame.h"
 
 namespace gridbox::agg {
 
+/// Builds one frame. Writes are bounds-checked at encode time: a protocol
+/// message that would exceed the constant size bound throws
+/// PreconditionError naming the field that overflowed — the failure surfaces
+/// where the oversized layout was composed, not later at the transport.
 class ByteWriter {
  public:
-  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u8(std::uint8_t v) { append(&v, sizeof v, "u8"); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
   void f64(double v);
 
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(bytes_); }
-  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+  /// Returns the built frame and resets the writer to empty for reuse.
+  [[nodiscard]] net::Frame take() {
+    net::Frame out = frame_;
+    frame_ = net::Frame{};
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return frame_.size(); }
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  void append(const void* src, std::size_t n, const char* field);
+
+  net::Frame frame_;
 };
 
 /// Throws PreconditionError on truncated input (a malformed message must
-/// never crash a node — callers catch and drop).
+/// never crash a node — callers catch and drop). The frame (or buffer) must
+/// outlive the reader.
 class ByteReader {
  public:
-  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
-      : bytes_(&bytes) {}
+  explicit ByteReader(const net::Frame& frame)
+      : data_(frame.data()), size_(frame.size()) {}
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
 
   [[nodiscard]] std::uint8_t u8();
   [[nodiscard]] std::uint32_t u32();
   [[nodiscard]] std::uint64_t u64();
   [[nodiscard]] double f64();
 
-  [[nodiscard]] bool exhausted() const { return pos_ == bytes_->size(); }
-  [[nodiscard]] std::size_t remaining() const { return bytes_->size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
 
  private:
   void need(std::size_t n) const {
-    expects(pos_ + n <= bytes_->size(), "truncated message");
+    expects(pos_ + n <= size_, "truncated message");
   }
 
-  const std::vector<std::uint8_t>* bytes_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

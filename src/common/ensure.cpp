@@ -1,0 +1,20 @@
+#include "src/common/ensure.h"
+
+// The throw paths live out of line so the inline checks compile down to a
+// compare + predicted-not-taken branch; the cold path builds the decorated
+// message only when a contract actually fails.
+
+namespace gridbox {
+
+void detail_throw_precondition(const char* what, std::source_location loc) {
+  throw PreconditionError(std::string(loc.file_name()) + ":" +
+                          std::to_string(loc.line()) +
+                          ": precondition failed: " + what);
+}
+
+void detail_throw_invariant(const char* what, std::source_location loc) {
+  throw InvariantError(std::string(loc.file_name()) + ":" +
+                       std::to_string(loc.line()) + ": invariant failed: " + what);
+}
+
+}  // namespace gridbox

@@ -25,6 +25,21 @@ class InvariantError : public std::logic_error {
 };
 
 /// Check a caller-facing precondition.
+///
+/// The string-literal overload is the hot-path form: when the condition
+/// holds it does no work at all (the std::string overload would otherwise
+/// materialise its message — a heap allocation — on every *passing* check,
+/// which the zero-allocation message path cannot afford).
+[[noreturn]] void detail_throw_precondition(const char* what,
+                                            std::source_location loc);
+[[noreturn]] void detail_throw_invariant(const char* what,
+                                         std::source_location loc);
+
+inline void expects(bool condition, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) [[unlikely]] detail_throw_precondition(what, loc);
+}
+
 inline void expects(bool condition, const std::string& what,
                     std::source_location loc = std::source_location::current()) {
   if (!condition) {
@@ -35,6 +50,11 @@ inline void expects(bool condition, const std::string& what,
 }
 
 /// Check an internal invariant.
+inline void ensures(bool condition, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) [[unlikely]] detail_throw_invariant(what, loc);
+}
+
 inline void ensures(bool condition, const std::string& what,
                     std::source_location loc = std::source_location::current()) {
   if (!condition) {

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 namespace gridbox {
 
@@ -104,27 +103,34 @@ double Rng::normal(double mu, double sigma) {
 }
 
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
-  if (k >= n) {
-    std::vector<std::size_t> all(n);
-    for (std::size_t i = 0; i < n; ++i) all[i] = i;
-    shuffle(all);
-    return all;
-  }
-  // Floyd's algorithm: k iterations, uniform over all k-subsets.
-  std::unordered_set<std::size_t> chosen;
   std::vector<std::size_t> result;
-  result.reserve(k);
+  sample_indices_into(n, k, result);
+  return result;
+}
+
+void Rng::sample_indices_into(std::size_t n, std::size_t k,
+                              std::vector<std::size_t>& out) {
+  out.clear();
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    shuffle(out);
+    return;
+  }
+  // Floyd's algorithm: k iterations, uniform over all k-subsets. Membership
+  // is a linear scan of the output built so far — k is a gossip fanout
+  // (single digits), where scanning beats a hash set and allocates nothing.
+  // The draw sequence is identical to the historical set-based version, so
+  // seeded runs reproduce bit for bit.
+  out.reserve(k);
   for (std::size_t j = n - k; j < n; ++j) {
     const std::size_t t = static_cast<std::size_t>(uniform_int(0, j));
-    if (chosen.insert(t).second) {
-      result.push_back(t);
-    } else {
-      chosen.insert(j);
-      result.push_back(j);
-    }
+    const bool taken = std::find(out.begin(), out.end(), t) != out.end();
+    // j itself is new every iteration (all prior picks are < j), so the
+    // collision fallback never collides.
+    out.push_back(taken ? j : t);
   }
-  shuffle(result);
-  return result;
+  shuffle(out);
 }
 
 }  // namespace gridbox

@@ -94,6 +94,12 @@ class Rng {
   [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n,
                                                         std::size_t k);
 
+  /// Same distribution and draw sequence as sample_indices, but fills a
+  /// caller-owned vector: hot paths reuse one scratch vector and sample
+  /// without allocating once it has grown to capacity.
+  void sample_indices_into(std::size_t n, std::size_t k,
+                           std::vector<std::size_t>& out);
+
   /// Raw 64 random bits.
   [[nodiscard]] std::uint64_t raw() { return gen_.next(); }
 

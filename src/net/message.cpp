@@ -1,5 +1,16 @@
 #include "src/net/message.h"
 
-// Message and Payload are header-only value types; this translation unit
+#include <type_traits>
+
+// Message and Frame are header-only value types; this translation unit
 // exists to give the types a home object file (and to catch ODR issues
 // early if the header ever grows non-inline definitions).
+
+namespace gridbox::net {
+
+// The zero-allocation message path rests on these properties: a Message can
+// be memcpy'd into and out of the event queue's slab with no heap traffic.
+static_assert(std::is_trivially_copyable_v<Frame>);
+static_assert(std::is_trivially_copyable_v<Message>);
+
+}  // namespace gridbox::net

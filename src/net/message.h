@@ -1,50 +1,24 @@
 // Network messages with a hard constant size bound.
 //
 // The paper's scalability argument assumes "all messages sent over the
-// network are constant size bounded" (§2). The bound is enforced here, at the
-// transport boundary: a protocol that tried to ship a growing digest would
-// throw, not silently cheat the model.
+// network are constant size bounded" (§2). The bound is enforced by the
+// net::Frame representation itself (see frame.h): a protocol that tried to
+// ship a growing digest cannot even construct the payload.
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "src/common/ensure.h"
 #include "src/common/types.h"
+#include "src/net/frame.h"
 
 namespace gridbox::net {
 
-/// Maximum payload size in bytes. A constant chosen to hold a small, fixed
-/// handful of votes or composable partials plus addressing headers — the
-/// paper's requirement is a *constant* bound independent of N ("the byte-size
-/// of the function f's output is not much larger than the byte-size of an
-/// individual vote", §1), which a 256-byte frame satisfies for every message
-/// any protocol here sends.
-inline constexpr std::size_t kMaxPayloadBytes = 256;
-
-/// Raw payload bytes. Construction validates the size bound.
-class Payload {
- public:
-  Payload() = default;
-  explicit Payload(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {
-    expects(bytes_.size() <= kMaxPayloadBytes,
-            "payload exceeds the constant message size bound");
-  }
-
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
-
- private:
-  std::vector<std::uint8_t> bytes_;
-};
-
 /// A point-to-point message. The network provides only unicast; anything
 /// resembling multicast is built from unicasts by the protocols (matching the
-/// paper's unicast loss model).
+/// paper's unicast loss model). Trivially copyable apart from the inline
+/// frame bytes: duplicating or queueing a message never touches the heap.
 struct Message {
   MemberId source;
   MemberId destination;
-  Payload payload;
+  Frame frame;
 };
 
 }  // namespace gridbox::net

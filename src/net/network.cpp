@@ -44,7 +44,7 @@ void SimNetwork::install_chaos(std::unique_ptr<ChaosSchedule> chaos) {
 void SimNetwork::send(Message message) {
   GRIDBOX_PROFILE_SCOPE("net.send");
   ++stats_.messages_sent;
-  stats_.bytes_sent += message.payload.size();
+  stats_.bytes_sent += message.frame.size();
   if (distance_) {
     stats_.link_distance_sum +=
         distance_(message.source, message.destination);
@@ -75,20 +75,22 @@ void SimNetwork::send(Message message) {
       latency_->delay(message.source, message.destination, rng_) + extra;
   // The original is scheduled first: a duplicate landing at the same tick
   // loses the event-queue sequence tiebreak, so it can never preempt the
-  // copy it was made from.
-  simulator_.schedule_after(delay,
-                            [this, message]() { deliver(message); });
+  // copy it was made from. Each schedule copies the message into the event;
+  // duplicates reuse the frame already built — no re-encode, no deep copy.
+  simulator_.schedule_frame_after(delay, message, *this);
   for (const SimTime offset : duplicates) {
     ++stats_.messages_duplicated;
+    // A duplicate traverses the wire too: count its bytes exactly once, in
+    // lockstep with the observability-layer bytes_on_wire counter.
+    stats_.bytes_sent += message.frame.size();
     if (observer_ != nullptr) {
       observer_->on_duplicate(message, simulator_.now());
     }
-    simulator_.schedule_after(
-        delay + offset, [this, message]() { deliver(message); });
+    simulator_.schedule_frame_after(delay + offset, message, *this);
   }
 }
 
-void SimNetwork::deliver(const Message& message) {
+void SimNetwork::deliver_frame(const Message& message) {
   const auto it = endpoints_.find(message.destination);
   const bool alive = !is_alive_ || is_alive_(message.destination);
   if (it == endpoints_.end() || !alive) {

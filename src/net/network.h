@@ -29,7 +29,11 @@ class Endpoint {
   virtual void on_message(const Message& message) = 0;
 };
 
-class SimNetwork {
+/// In-flight messages are typed deliver-frame events: the frame rides inside
+/// the event queue, so a send -> deliver hop is two fixed-size copies and no
+/// heap allocation (chaos duplicates reuse the already-built frame the same
+/// way — one more event copy each, never a deep copy).
+class SimNetwork final : public sim::FrameSink {
  public:
   /// The network does not own the simulator; it must outlive the network.
   SimNetwork(sim::Simulator& simulator, std::unique_ptr<FaultModel> faults,
@@ -80,7 +84,9 @@ class SimNetwork {
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
 
  private:
-  void deliver(const Message& message);
+  /// sim::FrameSink: called by the simulator when an in-flight message's
+  /// delivery event comes due.
+  void deliver_frame(const Message& message) override;
 
   sim::Simulator& simulator_;
   std::unique_ptr<FaultModel> faults_;

@@ -12,7 +12,11 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;  ///< reached a live endpoint
   std::uint64_t messages_malformed = 0;  ///< rejected by the receiver's decoder
   std::uint64_t messages_duplicated = 0;  ///< extra deliveries from chaos dup
-  std::uint64_t bytes_sent = 0;           ///< payload bytes across all sends
+
+  /// Frame bytes put on the wire: counted once per wire traversal, so each
+  /// chaos-injected duplicate adds the frame size again. Matches the
+  /// observability bytes_on_wire counter exactly.
+  std::uint64_t bytes_sent = 0;
 
   /// Sum of Euclidean link distances over all sends; meaningful only when a
   /// distance function is registered (topology ablation). Together with

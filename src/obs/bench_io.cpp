@@ -89,14 +89,17 @@ BenchReport BenchReport::load(const std::string& path) {
 
 std::string BenchDiffReport::render() const {
   std::ostringstream out;
-  char line[160];
-  std::snprintf(line, sizeof(line), "%-32s %12s %12s %8s\n", "case",
-                "old wall_s", "new wall_s", "ratio");
+  char line[200];
+  std::snprintf(line, sizeof(line), "%-32s %12s %12s %8s %9s %9s\n", "case",
+                "old wall_s", "new wall_s", "ratio", "ev/s", "msg/s");
   out << line;
   for (const BenchDiffRow& row : rows) {
-    std::snprintf(line, sizeof(line), "%-32s %12.6f %12.6f %7.3fx%s\n",
+    std::snprintf(line, sizeof(line),
+                  "%-32s %12.6f %12.6f %7.3fx %+8.1f%% %+8.1f%%%s\n",
                   row.name.c_str(), row.old_wall_s, row.new_wall_s,
-                  row.wall_ratio, row.regressed ? "  REGRESSED" : "");
+                  row.wall_ratio, (row.events_ratio - 1.0) * 100.0,
+                  (row.msgs_ratio - 1.0) * 100.0,
+                  row.regressed ? "  REGRESSED" : "");
     out << line;
   }
   for (const std::string& name : only_in_old) {
@@ -133,6 +136,16 @@ BenchDiffReport bench_diff(const BenchReport& old_report,
     row.wall_ratio = row.old_wall_s > 0.0 ? row.new_wall_s / row.old_wall_s
                      : row.new_wall_s > 0.0 ? 1.0 + threshold + 1.0
                                             : 1.0;
+    row.old_events_per_s = it->second->events_per_s;
+    row.new_events_per_s = e.events_per_s;
+    row.events_ratio = row.old_events_per_s > 0.0
+                           ? row.new_events_per_s / row.old_events_per_s
+                           : 0.0;
+    row.old_msgs_per_s = it->second->msgs_per_s;
+    row.new_msgs_per_s = e.msgs_per_s;
+    row.msgs_ratio = row.old_msgs_per_s > 0.0
+                         ? row.new_msgs_per_s / row.old_msgs_per_s
+                         : 0.0;
     row.regressed = row.wall_ratio > 1.0 + threshold;
     if (row.regressed) ++report.regressions;
     report.worst_ratio = std::max(report.worst_ratio, row.wall_ratio);

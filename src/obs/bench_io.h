@@ -48,12 +48,20 @@ struct BenchReport {
 };
 
 /// One compared case: ratio = new/old, so > 1 is a regression for wall_s.
+/// Throughput ratios run the other way (> 1 is an improvement); they are
+/// reported for context but only the wall ratio gates.
 struct BenchDiffRow {
   std::string name;
   double old_wall_s = 0.0;
   double new_wall_s = 0.0;
   double wall_ratio = 1.0;
-  bool regressed = false;  ///< wall_ratio > 1 + threshold
+  double old_events_per_s = 0.0;
+  double new_events_per_s = 0.0;
+  double events_ratio = 1.0;  ///< new/old events/s (0 when old was 0)
+  double old_msgs_per_s = 0.0;
+  double new_msgs_per_s = 0.0;
+  double msgs_ratio = 1.0;  ///< new/old msgs/s (0 when old was 0)
+  bool regressed = false;   ///< wall_ratio > 1 + threshold
 };
 
 struct BenchDiffReport {

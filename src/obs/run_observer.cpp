@@ -66,14 +66,14 @@ void RunObserver::on_send(const net::Message& message, SimTime t) {
           : 0;
   if (options_.metrics != nullptr) {
     msgs_sent_->inc();
-    bytes_on_wire_->inc(message.payload.size());
+    bytes_on_wire_->inc(message.frame.size());
     phase_msgs_counter(phase).inc();
   }
   timeline_.at_phase(phase).msgs_sent += 1;
   if (options_.sink != nullptr) {
     options_.sink->message_event("send", t, message.source,
                                  message.destination,
-                                 message.payload.size());
+                                 message.frame.size());
   }
 }
 
@@ -82,16 +82,21 @@ void RunObserver::on_drop(const net::Message& message, SimTime t) {
   if (options_.sink != nullptr) {
     options_.sink->message_event("drop", t, message.source,
                                  message.destination,
-                                 message.payload.size());
+                                 message.frame.size());
   }
 }
 
 void RunObserver::on_duplicate(const net::Message& message, SimTime t) {
-  if (options_.metrics != nullptr) msgs_duplicated_->inc();
+  if (options_.metrics != nullptr) {
+    msgs_duplicated_->inc();
+    // A duplicate is one more wire traversal: bytes_on_wire counts it once,
+    // matching NetworkStats::bytes_sent byte for byte.
+    bytes_on_wire_->inc(message.frame.size());
+  }
   if (options_.sink != nullptr) {
     options_.sink->message_event("dup", t, message.source,
                                  message.destination,
-                                 message.payload.size());
+                                 message.frame.size());
   }
 }
 
@@ -100,7 +105,7 @@ void RunObserver::on_deliver(const net::Message& message, SimTime t) {
   if (options_.sink != nullptr) {
     options_.sink->message_event("recv", t, message.source,
                                  message.destination,
-                                 message.payload.size());
+                                 message.frame.size());
   }
 }
 
@@ -109,7 +114,7 @@ void RunObserver::on_dead_destination(const net::Message& message, SimTime t) {
   if (options_.sink != nullptr) {
     options_.sink->message_event("dead", t, message.source,
                                  message.destination,
-                                 message.payload.size());
+                                 message.frame.size());
   }
 }
 
@@ -118,7 +123,7 @@ void RunObserver::on_malformed(const net::Message& message, SimTime t) {
   if (options_.sink != nullptr) {
     options_.sink->message_event("malformed", t, message.source,
                                  message.destination,
-                                 message.payload.size());
+                                 message.frame.size());
   }
 }
 

@@ -12,8 +12,12 @@ namespace {
 constexpr std::uint8_t kVote = 1;
 constexpr std::uint8_t kResult = 2;
 
-std::vector<std::uint8_t> encode_vote(MemberId origin, double value,
-                                      std::uint64_t token) {
+// Exact wire sizes, enforced on receive: truncated or padded frames are
+// rejected as malformed instead of being partially decoded.
+constexpr std::size_t kVoteWireBytes = 1 + 4 + 8 + 8;
+constexpr std::size_t kResultWireBytes = 1 + agg::kPartialWireBytes + 8;
+
+net::Frame encode_vote(MemberId origin, double value, std::uint64_t token) {
   agg::ByteWriter w;
   w.u8(kVote);
   w.u32(origin.value());
@@ -22,8 +26,7 @@ std::vector<std::uint8_t> encode_vote(MemberId origin, double value,
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_result(const agg::Partial& partial,
-                                        std::uint64_t token) {
+net::Frame encode_result(const agg::Partial& partial, std::uint64_t token) {
   agg::ByteWriter w;
   w.u8(kResult);
   agg::write_partial(w, partial);
@@ -60,8 +63,7 @@ void CentralizedNode::start(SimTime at) {
   if (is_leader()) {
     collected_.emplace(self(), std::make_pair(own_vote(), own_token_));
   }
-  simulator().schedule_periodic(at, config_.round_duration,
-                                [this]() { return on_round(); });
+  start_rounds(at, config_.round_duration);
 }
 
 bool CentralizedNode::on_round() {
@@ -135,8 +137,15 @@ bool CentralizedNode::on_round() {
 
 void CentralizedNode::on_message(const net::Message& message) {
   if (finished() || !alive()) return;
-  agg::ByteReader r(message.payload.bytes());
+  agg::ByteReader r(message.frame);
   const std::uint8_t type = r.u8();
+  if (type == kVote) {
+    expects(message.frame.size() == kVoteWireBytes,
+            "vote frame length mismatch");
+  } else if (type == kResult) {
+    expects(message.frame.size() == kResultWireBytes,
+            "result frame length mismatch");
+  }
   if (type == kVote && is_leader()) {
     if (result_ready_) return;  // votes after the cut are simply late
     if (++received_this_round_ > config_.leader_receive_cap) {

@@ -57,7 +57,7 @@ class CentralizedNode final : public protocols::ProtocolNode {
   }
 
  private:
-  bool on_round();
+  bool on_round() override;
   [[nodiscard]] std::uint32_t effective_collect_rounds() const;
 
   CentralizedConfig config_;

@@ -14,8 +14,12 @@ constexpr std::uint8_t kVote = 1;
 constexpr std::uint8_t kChildPartial = 2;
 constexpr std::uint8_t kResult = 3;
 
-std::vector<std::uint8_t> encode_vote(MemberId origin, double value,
-                                      std::uint64_t token) {
+// Exact wire sizes, enforced on receive.
+constexpr std::size_t kVoteWireBytes = 1 + 4 + 8 + 8;
+constexpr std::size_t kChildWireBytes = 1 + 1 + 1 + agg::kPartialWireBytes + 8;
+constexpr std::size_t kResultWireBytes = 1 + agg::kPartialWireBytes + 8;
+
+net::Frame encode_vote(MemberId origin, double value, std::uint64_t token) {
   agg::ByteWriter w;
   w.u8(kVote);
   w.u32(origin.value());
@@ -24,9 +28,8 @@ std::vector<std::uint8_t> encode_vote(MemberId origin, double value,
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_child(std::uint8_t phase, std::uint32_t slot,
-                                       const agg::Partial& partial,
-                                       std::uint64_t token) {
+net::Frame encode_child(std::uint8_t phase, std::uint32_t slot,
+                        const agg::Partial& partial, std::uint64_t token) {
   agg::ByteWriter w;
   w.u8(kChildPartial);
   w.u8(phase);
@@ -36,8 +39,7 @@ std::vector<std::uint8_t> encode_child(std::uint8_t phase, std::uint32_t slot,
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_result(const agg::Partial& partial,
-                                        std::uint64_t token) {
+net::Frame encode_result(const agg::Partial& partial, std::uint64_t token) {
   agg::ByteWriter w;
   w.u8(kResult);
   agg::write_partial(w, partial);
@@ -102,8 +104,7 @@ void CommitteeNode::start(SimTime at) {
     votes_.emplace(self(), std::make_pair(own_vote(), own_token_));
   }
   enter_step(0);
-  simulator().schedule_periodic(at, config_.round_duration,
-                                [this]() { return on_round(); });
+  start_rounds(at, config_.round_duration);
 }
 
 void CommitteeNode::enter_step(std::size_t step) {
@@ -249,9 +250,11 @@ void CommitteeNode::conclude() {
 
 void CommitteeNode::on_message(const net::Message& message) {
   if (finished() || !alive()) return;
-  agg::ByteReader r(message.payload.bytes());
+  agg::ByteReader r(message.frame);
   const std::uint8_t type = r.u8();
   if (type == kVote) {
+    expects(message.frame.size() == kVoteWireBytes,
+            "vote frame length mismatch");
     if (!am_committee_[0]) return;  // not my job
     if (level_partial_[0].has_value()) return;  // box already closed
     const MemberId origin{r.u32()};
@@ -259,6 +262,8 @@ void CommitteeNode::on_message(const net::Message& message) {
     const std::uint64_t token = r.u64();
     votes_.emplace(origin, std::make_pair(value, token));
   } else if (type == kChildPartial) {
+    expects(message.frame.size() == kChildWireBytes,
+            "child partial frame length mismatch");
     const std::size_t phase = r.u8();
     const std::uint32_t slot = r.u8();
     const agg::Partial partial = agg::read_partial(r);
@@ -274,6 +279,8 @@ void CommitteeNode::on_message(const net::Message& message) {
       cell = kv;
     }
   } else if (type == kResult) {
+    expects(message.frame.size() == kResultWireBytes,
+            "result frame length mismatch");
     const agg::Partial partial = agg::read_partial(r);
     const std::uint64_t token = r.u64();
     acquire_result(partial, token);

@@ -56,7 +56,7 @@ class CommitteeNode : public protocols::ProtocolNode {
     std::uint64_t audit_token = agg::kNoAuditToken;
   };
 
-  bool on_round();
+  bool on_round() override;
   void enter_step(std::size_t step);
   void compute_level_partial(std::size_t level);
   void acquire_result(const agg::Partial& partial, std::uint64_t token);

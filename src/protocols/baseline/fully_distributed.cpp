@@ -10,9 +10,10 @@ namespace gridbox::protocols::baseline {
 namespace {
 
 constexpr std::uint8_t kVote = 1;
+// Exact wire size of a kVote message: type + origin + value + token.
+constexpr std::size_t kVoteWireBytes = 1 + 4 + 8 + 8;
 
-std::vector<std::uint8_t> encode_vote(MemberId origin, double value,
-                                      std::uint64_t token) {
+net::Frame encode_vote(MemberId origin, double value, std::uint64_t token) {
   agg::ByteWriter w;
   w.u8(kVote);
   w.u32(origin.value());
@@ -39,8 +40,7 @@ void FullyDistributedNode::start(SimTime at) {
     if (m != self()) send_queue_.push_back(m);
   }
   rng().shuffle(send_queue_);
-  simulator().schedule_periodic(at, config_.round_duration,
-                                [this]() { return on_round(); });
+  start_rounds(at, config_.round_duration);
 }
 
 bool FullyDistributedNode::on_round() {
@@ -62,8 +62,10 @@ bool FullyDistributedNode::on_round() {
 
 void FullyDistributedNode::on_message(const net::Message& message) {
   if (finished() || !alive()) return;
-  agg::ByteReader r(message.payload.bytes());
+  agg::ByteReader r(message.frame);
   if (r.u8() != kVote) return;
+  expects(message.frame.size() == kVoteWireBytes,
+          "vote frame length mismatch");
   const MemberId origin{r.u32()};
   const double value = r.f64();
   const std::uint64_t token = r.u64();

@@ -37,7 +37,7 @@ class FullyDistributedNode final : public protocols::ProtocolNode {
     std::uint64_t audit_token = agg::kNoAuditToken;
   };
 
-  bool on_round();
+  bool on_round() override;
   void conclude();
 
   FullyDistributedConfig config_;

@@ -46,8 +46,11 @@ const GossipFailureDetector::Entry* GossipFailureDetector::entry_of(
 void GossipFailureDetector::start(SimTime at) {
   expects(!running_, "start called twice");
   running_ = true;
-  simulator_->schedule_periodic(at, config_.round_duration,
-                                [this]() { return on_round(); });
+  simulator_->schedule_periodic(at, config_.round_duration, *this);
+}
+
+bool GossipFailureDetector::on_timer(std::uint32_t /*timer_id*/) {
+  return on_round();
 }
 
 bool GossipFailureDetector::on_round() {
@@ -76,27 +79,28 @@ bool GossipFailureDetector::on_round() {
 
   // Gossip a bounded random slice of the table.
   if (members_.size() > 1) {
-    const auto targets = rng_.sample_indices(
-        members_.size(), std::min<std::size_t>(config_.fanout + 1,
-                                               members_.size()));
+    rng_.sample_indices_into(
+        members_.size(),
+        std::min<std::size_t>(config_.fanout + 1, members_.size()),
+        scratch_targets_);
     std::size_t sent = 0;
-    for (const std::size_t t : targets) {
+    for (const std::size_t t : scratch_targets_) {
       if (members_[t] == self_) continue;  // +1 oversample skips self
       if (sent++ >= config_.fanout) break;
 
-      const auto slice = rng_.sample_indices(
-          members_.size(), std::min<std::size_t>(config_.entries_per_message,
-                                                 members_.size()));
+      rng_.sample_indices_into(
+          members_.size(),
+          std::min<std::size_t>(config_.entries_per_message, members_.size()),
+          scratch_slice_);
       agg::ByteWriter w;
       w.u8(kWireType);
-      w.u8(static_cast<std::uint8_t>(slice.size()));
-      for (const std::size_t i : slice) {
+      w.u8(static_cast<std::uint8_t>(scratch_slice_.size()));
+      for (const std::size_t i : scratch_slice_) {
         w.u32(members_[i].value());
         w.u64(table_[i].heartbeat);
       }
       ++messages_sent_;
-      network_->send(
-          net::Message{self_, members_[t], net::Payload{w.take()}});
+      network_->send(net::Message{self_, members_[t], w.take()});
     }
   }
   return true;
@@ -104,11 +108,14 @@ bool GossipFailureDetector::on_round() {
 
 void GossipFailureDetector::on_message(const net::Message& message) {
   if (is_alive_ && !is_alive_(self_)) return;
-  const auto& bytes = message.payload.bytes();
-  if (bytes.empty() || bytes[0] != kWireType) return;
-  agg::ByteReader r(bytes);
+  const net::Frame& frame = message.frame;
+  if (frame.empty() || frame[0] != kWireType) return;
+  agg::ByteReader r(frame);
   (void)r.u8();
   const std::size_t count = r.u8();
+  // Strict framing: header (type + count) plus count fixed 12-byte entries,
+  // nothing more and nothing less.
+  expects(frame.size() == 2 + count * 12, "fd gossip frame length mismatch");
   for (std::size_t i = 0; i < count; ++i) {
     const MemberId member{r.u32()};
     const std::uint64_t heartbeat = r.u64();

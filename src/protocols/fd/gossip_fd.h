@@ -45,7 +45,8 @@ struct FdConfig {
   SimTime round_duration = SimTime::millis(10);
 };
 
-class GossipFailureDetector final : public net::Endpoint {
+class GossipFailureDetector final : public net::Endpoint,
+                                    public sim::TimerTarget {
  public:
   static constexpr std::uint8_t kWireType = 0x20;
 
@@ -88,6 +89,7 @@ class GossipFailureDetector final : public net::Endpoint {
   };
 
   bool on_round();
+  [[nodiscard]] bool on_timer(std::uint32_t timer_id) override;
   void absorb(MemberId member, std::uint64_t heartbeat);
   [[nodiscard]] Entry* entry_of(MemberId member);
   [[nodiscard]] const Entry* entry_of(MemberId member) const;
@@ -105,6 +107,10 @@ class GossipFailureDetector final : public net::Endpoint {
   std::uint64_t messages_sent_ = 0;
   std::vector<Entry> table_;       // indexed by view order
   std::vector<MemberId> members_;  // view members (sorted)
+  // Per-round sampling scratch, reused so steady-state rounds do not
+  // allocate.
+  std::vector<std::size_t> scratch_targets_;
+  std::vector<std::size_t> scratch_slice_;
 };
 
 }  // namespace gridbox::protocols::fd

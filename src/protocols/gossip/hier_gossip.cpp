@@ -1,6 +1,7 @@
 #include "src/protocols/gossip/hier_gossip.h"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "src/agg/codec.h"
@@ -17,20 +18,19 @@ namespace {
 constexpr std::uint8_t kVoteGossip = 1;   // phase 1: member votes
 constexpr std::uint8_t kChildGossip = 2;  // phase >= 2: child aggregates
 
-struct VoteEntry {
-  MemberId origin;
-  double value = 0.0;
-  std::uint64_t token = agg::kNoAuditToken;
-};
+// Fixed wire layout, used both to encode and to validate lengths strictly on
+// receive: type u8 + phase u8 + group prefix u64 + count u8, then `count`
+// fixed-size entries. Anything whose length does not match exactly is
+// malformed — truncated AND overlong frames are rejected.
+constexpr std::size_t kBatchHeaderBytes = 1 + 1 + 8 + 1;
+constexpr std::size_t kVoteEntryBytes = 4 + 8 + 8;  // origin, value, token
+constexpr std::size_t kChildEntryBytes =
+    1 + agg::kPartialWireBytes + 8;  // slot, partial, token
 
-struct ChildEntry {
-  std::uint32_t slot = 0;
-  agg::Partial partial;
-  std::uint64_t token = agg::kNoAuditToken;
-};
+}  // namespace
 
-std::vector<std::uint8_t> encode_votes(std::uint64_t group_prefix,
-                                       const std::vector<VoteEntry>& entries) {
+net::Frame HierGossipNode::encode_votes(
+    std::uint64_t group_prefix, const std::vector<VoteEntry>& entries) {
   agg::ByteWriter w;
   w.u8(kVoteGossip);
   w.u8(1);  // phase
@@ -44,7 +44,7 @@ std::vector<std::uint8_t> encode_votes(std::uint64_t group_prefix,
   return w.take();
 }
 
-std::vector<std::uint8_t> encode_children(
+net::Frame HierGossipNode::encode_children(
     std::uint8_t phase, std::uint64_t group_prefix,
     const std::vector<ChildEntry>& entries) {
   agg::ByteWriter w;
@@ -59,8 +59,6 @@ std::vector<std::uint8_t> encode_children(
   }
   return w.take();
 }
-
-}  // namespace
 
 HierGossipNode::HierGossipNode(MemberId self, double vote,
                                membership::View view, protocols::NodeEnv env,
@@ -80,8 +78,7 @@ void HierGossipNode::start(SimTime at) {
                                  config_.start_skew_max.ticks())))};
   }
   enter_phase(1);
-  simulator().schedule_periodic(begin, config_.round_duration,
-                                [this]() { return on_round(); });
+  start_rounds(begin, config_.round_duration);
 }
 
 void HierGossipNode::enter_phase(std::size_t phase) {
@@ -139,10 +136,13 @@ bool HierGossipNode::on_round() {
 
   std::uint32_t fanout = 0;
   if (!peers_.empty()) {
-    const auto picks = rng().sample_indices(
-        peers_.size(), std::min<std::size_t>(config_.fanout_m, peers_.size()));
-    fanout = static_cast<std::uint32_t>(picks.size());
-    for (const std::size_t p : picks) gossip_once(peers_[p]);
+    // Note: gossip_once subsamples entries into scratch_picks_, so the
+    // round's gossipee picks need their own scratch vector.
+    rng().sample_indices_into(
+        peers_.size(), std::min<std::size_t>(config_.fanout_m, peers_.size()),
+        scratch_round_picks_);
+    fanout = static_cast<std::uint32_t>(scratch_round_picks_.size());
+    for (const std::size_t p : scratch_round_picks_) gossip_once(peers_[p]);
   }
   if (config_.trace != nullptr) {
     config_.trace->on_round_gossiped(self(), phase_, fanout);
@@ -153,7 +153,8 @@ bool HierGossipNode::on_round() {
 void HierGossipNode::gossip_once(MemberId target) {
   const std::uint64_t group = hier().phase_group(self(), phase_);
   if (phase_ == 1) {
-    std::vector<VoteEntry> entries;
+    std::vector<VoteEntry>& entries = scratch_votes_;
+    entries.clear();
     if (config_.exchange_mode == ExchangeMode::kSingleValue) {
       const KnownValue* value = pick_value_to_send();
       if (value == nullptr) return;
@@ -167,23 +168,25 @@ void HierGossipNode::gossip_once(MemberId target) {
       }
     } else {
       // Full-state: everything known, or a uniform subset above the cap.
-      std::vector<VoteEntry> all;
-      all.reserve(known_votes_.size());
       for (const auto& [origin, kv] : known_votes_) {
-        all.push_back(VoteEntry{origin, kv.partial.sum(), kv.audit_token});
+        entries.push_back(VoteEntry{origin, kv.partial.sum(), kv.audit_token});
       }
-      if (all.size() <= kMaxEntriesPerMessage) {
-        entries = std::move(all);
-      } else {
-        for (const std::size_t i :
-             rng().sample_indices(all.size(), kMaxEntriesPerMessage)) {
-          entries.push_back(all[i]);
+      if (entries.size() > kMaxEntriesPerMessage) {
+        // Same draw sequence as sampling from a separate `all` vector, so
+        // seeded runs and their wire bytes are unchanged.
+        rng().sample_indices_into(entries.size(), kMaxEntriesPerMessage,
+                                  scratch_picks_);
+        std::array<VoteEntry, kMaxEntriesPerMessage> picked;
+        for (std::size_t i = 0; i < scratch_picks_.size(); ++i) {
+          picked[i] = entries[scratch_picks_[i]];
         }
+        entries.assign(picked.begin(), picked.begin() + scratch_picks_.size());
       }
     }
     if (!entries.empty()) send_to(target, encode_votes(group, entries));
   } else {
-    std::vector<ChildEntry> entries;
+    std::vector<ChildEntry>& entries = scratch_children_;
+    entries.clear();
     if (config_.exchange_mode == ExchangeMode::kSingleValue) {
       const KnownValue* value = pick_value_to_send();
       if (value == nullptr) return;
@@ -197,20 +200,21 @@ void HierGossipNode::gossip_once(MemberId target) {
         }
       }
     } else {
-      std::vector<ChildEntry> all;
       for (std::uint32_t slot = 0; slot < config_.k; ++slot) {
         const auto& known = known_children_[slot];
         if (known.has_value()) {
-          all.push_back(ChildEntry{slot, known->partial, known->audit_token});
+          entries.push_back(
+              ChildEntry{slot, known->partial, known->audit_token});
         }
       }
-      if (all.size() <= kMaxEntriesPerMessage) {
-        entries = std::move(all);
-      } else {
-        for (const std::size_t i :
-             rng().sample_indices(all.size(), kMaxEntriesPerMessage)) {
-          entries.push_back(all[i]);
+      if (entries.size() > kMaxEntriesPerMessage) {
+        rng().sample_indices_into(entries.size(), kMaxEntriesPerMessage,
+                                  scratch_picks_);
+        std::array<ChildEntry, kMaxEntriesPerMessage> picked;
+        for (std::size_t i = 0; i < scratch_picks_.size(); ++i) {
+          picked[i] = entries[scratch_picks_[i]];
         }
+        entries.assign(picked.begin(), picked.begin() + scratch_picks_.size());
       }
     }
     if (!entries.empty()) {
@@ -222,9 +226,9 @@ void HierGossipNode::gossip_once(MemberId target) {
 
 const HierGossipNode::KnownValue* HierGossipNode::pick_value_to_send() {
   // Collect candidate values for the current phase.
-  std::vector<const KnownValue*> candidates;
+  std::vector<const KnownValue*>& candidates = scratch_candidates_;
+  candidates.clear();
   if (phase_ == 1) {
-    candidates.reserve(known_votes_.size());
     for (const auto& [origin, kv] : known_votes_) candidates.push_back(&kv);
   } else {
     for (const auto& known : known_children_) {
@@ -249,7 +253,7 @@ const HierGossipNode::KnownValue* HierGossipNode::pick_value_to_send() {
 
 void HierGossipNode::on_message(const net::Message& message) {
   if (finished() || !alive()) return;
-  agg::ByteReader r(message.payload.bytes());
+  agg::ByteReader r(message.frame);
   const std::uint8_t type = r.u8();
   const std::size_t msg_phase = r.u8();
   const std::uint64_t group_prefix = r.u64();
@@ -258,8 +262,11 @@ void HierGossipNode::on_message(const net::Message& message) {
   // in phase i": messages for other phases — stale ones from laggards — are
   // dropped, not buffered. The exception is *adoption* (below).
   if (type == kVoteGossip) {
-    if (msg_phase != 1) return;
     const std::size_t count = r.u8();
+    expects(message.frame.size() ==
+                kBatchHeaderBytes + count * kVoteEntryBytes,
+            "vote gossip frame length mismatch");
+    if (msg_phase != 1) return;
     for (std::size_t i = 0; i < count && i < kMaxEntriesPerMessage; ++i) {
       const MemberId origin{r.u32()};
       const double value = r.f64();
@@ -269,8 +276,11 @@ void HierGossipNode::on_message(const net::Message& message) {
       absorb_vote(origin, value, token);
     }
   } else if (type == kChildGossip) {
-    if (msg_phase > hier().num_phases() || msg_phase < 2) return;
     const std::size_t count = r.u8();
+    expects(message.frame.size() ==
+                kBatchHeaderBytes + count * kChildEntryBytes,
+            "child gossip frame length mismatch");
+    if (msg_phase > hier().num_phases() || msg_phase < 2) return;
     for (std::size_t i = 0; i < count && i < kMaxEntriesPerMessage; ++i) {
       const std::uint32_t slot = r.u8();
       const agg::Partial partial = agg::read_partial(r);

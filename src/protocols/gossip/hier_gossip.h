@@ -57,8 +57,27 @@ class HierGossipNode final : public protocols::ProtocolNode {
     std::uint64_t times_sent = 0;
   };
 
-  bool on_round();                       // periodic tick; false stops timer
+  /// Wire entry for a phase-1 vote batch (20 bytes on the wire).
+  struct VoteEntry {
+    MemberId origin;
+    double value = 0.0;
+    std::uint64_t token = agg::kNoAuditToken;
+  };
+
+  /// Wire entry for a phase >= 2 child-aggregate batch (45 bytes on the wire).
+  struct ChildEntry {
+    std::uint32_t slot = 0;
+    agg::Partial partial;
+    std::uint64_t token = agg::kNoAuditToken;
+  };
+
+  bool on_round() override;              // periodic tick; false stops timer
   void gossip_once(MemberId target);     // send one value to one gossipee
+  [[nodiscard]] net::Frame encode_votes(std::uint64_t group_prefix,
+                                        const std::vector<VoteEntry>& entries);
+  [[nodiscard]] net::Frame encode_children(
+      std::uint8_t phase, std::uint64_t group_prefix,
+      const std::vector<ChildEntry>& entries);
   void conclude_phase(PhaseEnd how);     // aggregate own knowledge and bump
   void adopt_phase_result(std::size_t msg_phase, const agg::Partial& partial,
                           std::uint64_t token);
@@ -95,6 +114,15 @@ class HierGossipNode final : public protocols::ProtocolNode {
 
   std::vector<SimTime> phase_end_times_;
   std::size_t round_robin_cursor_ = 0;
+
+  // Per-round scratch, reused across rounds so the steady-state gossip path
+  // stops allocating once these reach their high-water capacity. Contents
+  // are dead between calls; every user clears before filling.
+  std::vector<VoteEntry> scratch_votes_;
+  std::vector<ChildEntry> scratch_children_;
+  std::vector<const KnownValue*> scratch_candidates_;
+  std::vector<std::size_t> scratch_round_picks_;  ///< gossipee picks per round
+  std::vector<std::size_t> scratch_picks_;        ///< entry subsampling
 };
 
 }  // namespace gridbox::protocols::gossip

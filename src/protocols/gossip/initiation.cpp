@@ -29,9 +29,11 @@ void FloodStarter::initiate(std::uint64_t instance) {
 }
 
 bool FloodStarter::on_message(const net::Message& message) {
-  const auto& bytes = message.payload.bytes();
-  if (bytes.empty() || bytes[0] != kWireType) return false;
-  agg::ByteReader r(bytes);
+  const net::Frame& frame = message.frame;
+  if (frame.empty() || frame[0] != kWireType) return false;
+  // Strict framing: type byte + u64 instance id, exactly.
+  expects(frame.size() == 9, "flood frame length mismatch");
+  agg::ByteReader r(frame);
   (void)r.u8();
   const std::uint64_t instance = r.u64();
   trigger(instance);
@@ -53,7 +55,7 @@ void FloodStarter::forward_round(std::uint64_t instance,
   agg::ByteWriter w;
   w.u8(kWireType);
   w.u64(instance);
-  const auto bytes = w.take();
+  const net::Frame frame = w.take();
 
   std::vector<MemberId> others;
   for (const MemberId m : view_.members()) {
@@ -64,7 +66,7 @@ void FloodStarter::forward_round(std::uint64_t instance,
         others.size(),
         std::min<std::size_t>(config_.fanout, others.size()));
     for (const std::size_t i : picks) {
-      network_->send(net::Message{self_, others[i], net::Payload{bytes}});
+      network_->send(net::Message{self_, others[i], frame});
     }
   }
   simulator_->schedule_after(

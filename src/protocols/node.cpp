@@ -18,10 +18,15 @@ ProtocolNode::ProtocolNode(MemberId self, double vote, membership::View view,
   expects(env_.hierarchy != nullptr, "node env: hierarchy required");
 }
 
-void ProtocolNode::send_to(MemberId to, std::vector<std::uint8_t> bytes) {
+void ProtocolNode::send_to(MemberId to, const net::Frame& frame) {
   ++messages_sent_;
-  env_.network->send(
-      net::Message{self_, to, net::Payload{std::move(bytes)}});
+  env_.network->send(net::Message{self_, to, frame});
+}
+
+bool ProtocolNode::on_timer(std::uint32_t /*timer_id*/) { return on_round(); }
+
+void ProtocolNode::start_rounds(SimTime start, SimTime interval) {
+  env_.simulator->schedule_periodic(start, interval, *this);
 }
 
 std::uint64_t ProtocolNode::register_own_vote() {

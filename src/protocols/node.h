@@ -46,7 +46,7 @@ struct NodeOutcome {
   SimTime finish_time = SimTime::zero();
 };
 
-class ProtocolNode : public net::Endpoint {
+class ProtocolNode : public net::Endpoint, public sim::TimerTarget {
  public:
   /// `vote` is this member's own input; `view` the members it knows about.
   ProtocolNode(MemberId self, double vote, membership::View view, NodeEnv env,
@@ -80,8 +80,22 @@ class ProtocolNode : public net::Endpoint {
     return !env_.is_alive || env_.is_alive(self_);
   }
 
-  /// Sends payload bytes to `to`, with bookkeeping.
-  void send_to(MemberId to, std::vector<std::uint8_t> bytes);
+  /// Sends a wire frame to `to`, with bookkeeping. The frame is copied into
+  /// the message by value — no heap allocation on this path.
+  void send_to(MemberId to, const net::Frame& frame);
+
+  /// sim::TimerTarget: the typed periodic-round timer calls this; the default
+  /// forwards to on_round(). Protocols with a single round loop just override
+  /// on_round(); ones with several timers may override on_timer directly.
+  [[nodiscard]] bool on_timer(std::uint32_t timer_id) override;
+
+  /// One protocol round tick; return true to keep the round timer armed.
+  /// Default: stop (protocols without a round loop never arm the timer).
+  [[nodiscard]] virtual bool on_round() { return false; }
+
+  /// Arms the typed periodic round timer: on_round() fires at `start` and
+  /// then every `interval` while it returns true. Allocation-free per tick.
+  void start_rounds(SimTime start, SimTime interval);
 
   /// Registers this node's own vote with the audit registry (token 0 if
   /// audit is off). Call once during start().

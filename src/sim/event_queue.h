@@ -1,16 +1,56 @@
-// Deterministically ordered discrete-event queue.
+// Deterministically ordered discrete-event queue with typed events.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <variant>
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/net/message.h"
 
 namespace gridbox::sim {
 
-/// Action executed when an event fires.
+/// Generic action executed when an event fires. The escape hatch for setup
+/// and test code; the two hot event kinds below avoid std::function (and its
+/// per-capture heap allocation) entirely.
 using Action = std::function<void()>;
+
+/// Receiver of an in-queue frame delivery. Implemented by net::SimNetwork;
+/// the event stores the sink pointer instead of a closure so delivering a
+/// message never allocates.
+class FrameSink {
+ public:
+  virtual ~FrameSink() = default;
+  virtual void deliver_frame(const net::Message& message) = 0;
+};
+
+/// Receiver of a protocol timer tick. Returning true from on_timer asks the
+/// simulator to re-arm the timer one interval later (periodic rounds);
+/// returning false ends the chain.
+class TimerTarget {
+ public:
+  virtual ~TimerTarget() = default;
+  [[nodiscard]] virtual bool on_timer(std::uint32_t timer_id) = 0;
+};
+
+/// Message delivery: the frame rides inside the event, so the whole hop
+/// (send -> queue -> deliver) is a couple of fixed-size copies.
+struct DeliverFrame {
+  net::Message message;
+  FrameSink* sink = nullptr;
+};
+
+/// Protocol timer tick. interval > 0 makes it periodic: the simulator
+/// re-arms it while the target's on_timer returns true.
+struct TimerFire {
+  TimerTarget* target = nullptr;
+  SimTime interval = SimTime::zero();
+  std::uint32_t timer_id = 0;
+};
+
+/// What fires when an event comes due.
+using EventWork = std::variant<Action, DeliverFrame, TimerFire>;
 
 /// A scheduled event. Events at equal times fire in scheduling order: the
 /// monotone sequence number makes the whole simulation a deterministic
@@ -18,20 +58,26 @@ using Action = std::function<void()>;
 struct Event {
   SimTime time;
   std::uint64_t sequence = 0;
-  Action action;
+  EventWork work;
+
+  /// Executes the event's work once. Timer re-arming is the simulator's
+  /// job (Simulator::step); firing a periodic TimerFire here invokes the
+  /// target a single time and discards the reschedule request.
+  void fire();
 };
 
-/// Min-heap of events ordered by (time, sequence).
+/// Min-queue of events ordered by (time, sequence).
 ///
-/// Implemented as a std::vector managed with std::push_heap/std::pop_heap
-/// rather than std::priority_queue: pop() must move the Event (its action is
-/// a potentially expensive std::function) out of the container, and
-/// priority_queue::top() only exposes a const reference — moving through a
-/// const_cast is undefined behaviour.
+/// Storage is a slab of Event bodies plus a binary heap of 24-byte
+/// (time, sequence, slot) keys: heap sift operations move small keys, not
+/// ~300-byte events, and freed slab slots are recycled through a LIFO free
+/// list. In steady state (all vectors at capacity) push and pop perform
+/// zero heap allocations — the property the zero-allocation message path
+/// is built on, and the counting-allocator tests assert.
 class EventQueue {
  public:
-  /// Enqueues an action at an absolute simulated time.
-  void push(SimTime time, Action action);
+  /// Enqueues work at an absolute simulated time.
+  void push(SimTime time, EventWork work);
 
   /// Removes and returns the earliest event. Requires !empty().
   [[nodiscard]] Event pop();
@@ -50,17 +96,31 @@ class EventQueue {
   /// push/pop sequence.
   [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
 
+  /// Discards all pending events AND resets the queue's statistics:
+  /// total_pushed()/peak_size() return 0 and sequence numbering restarts,
+  /// exactly as if the queue were freshly constructed (capacity is kept).
+  /// A cleared queue is therefore indistinguishable from a new one — the
+  /// semantics replay tooling relies on when it reuses a queue across runs.
   void clear();
 
  private:
+  /// Heap element: orders events without touching their (large) bodies.
+  struct Key {
+    SimTime time;
+    std::uint64_t sequence = 0;
+    std::uint32_t slot = 0;
+  };
+
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const Key& a, const Key& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.sequence > b.sequence;
     }
   };
 
-  std::vector<Event> heap_;  ///< max-heap under Later, i.e. earliest on top
+  std::vector<Key> heap_;        ///< max-heap under Later, earliest on top
+  std::vector<Event> slab_;      ///< event bodies, indexed by Key::slot
+  std::vector<std::uint32_t> free_slots_;  ///< recycled slab indices (LIFO)
   std::uint64_t next_sequence_ = 0;
   std::size_t peak_size_ = 0;
 };

@@ -3,6 +3,13 @@
 // All gridbox protocols are state machines driven by this engine; nothing in
 // the library uses wall-clock time or threads, so every run is a pure,
 // reproducible function of (configuration, seed).
+//
+// Two scheduling families exist side by side. The typed entry points
+// (schedule_frame_after, the TimerTarget overload of schedule_periodic)
+// carry their work inline in the event — zero heap allocations per event in
+// steady state — and are what the transport and the protocol round loops
+// use. The std::function entry points remain for setup, chaos scripting,
+// and tests, where flexibility beats allocation counts.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +36,27 @@ class Simulator {
   /// Schedules an action after a relative delay (>= 0).
   void schedule_after(SimTime delay, Action action);
 
+  /// Schedules delivery of `message` to `sink` after `delay` (>= 0). The
+  /// message travels inside the event — no closure, no allocation.
+  void schedule_frame_after(SimTime delay, const net::Message& message,
+                            FrameSink& sink);
+
   /// Schedules `tick` at `start` and then every `interval` until it returns
   /// false. Each tick reschedules itself, so cancellation is by return value.
   void schedule_periodic(SimTime start, SimTime interval,
                          std::function<bool()> tick);
+
+  /// Typed periodic timer: fires target.on_timer(timer_id) at `start` and
+  /// then every `interval` while it returns true. Equivalent ordering to the
+  /// std::function overload (the tick runs, then the next tick is enqueued)
+  /// but allocation-free per firing. The target must outlive the chain.
+  void schedule_periodic(SimTime start, SimTime interval, TimerTarget& target,
+                         std::uint32_t timer_id = 0);
+
+  /// One-shot typed timer at an absolute time (clamped to now); the return
+  /// value of on_timer is ignored.
+  void schedule_timer_at(SimTime time, TimerTarget& target,
+                         std::uint32_t timer_id = 0);
 
   /// Runs until the queue is empty. Returns events executed.
   std::uint64_t run();
@@ -59,6 +83,8 @@ class Simulator {
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
  private:
+  void execute(Event& event);
+
   SimTime now_ = SimTime::zero();
   EventQueue queue_;
   std::uint64_t executed_ = 0;

@@ -31,7 +31,7 @@ void inject_garbage(World& world, std::size_t count, std::uint64_t seed) {
       world.network().send(net::Message{
           MemberId{static_cast<MemberId::underlying>(rng->index(n))},
           MemberId{static_cast<MemberId::underlying>(rng->index(n))},
-          net::Payload{std::move(bytes)}});
+          net::Frame{bytes}});
     });
   }
 }

@@ -53,11 +53,10 @@ TEST(GossipWire, MalformedPayloadsAreCountedAndIgnored) {
   // Inject garbage at t=5ms: unknown type, truncated vote batch, truncated
   // child batch, and a child batch whose partial violates min<=max.
   world.simulator().schedule_at(SimTime::millis(5), [&world] {
-    const auto send_raw = [&world](std::vector<std::uint8_t> bytes) {
-      world.network().send(net::Message{MemberId{0}, MemberId{1},
-                                        net::Payload{std::move(bytes)}});
+    const auto send_raw = [&world](const net::Frame& frame) {
+      world.network().send(net::Message{MemberId{0}, MemberId{1}, frame});
     };
-    send_raw({0xFF, 0x00, 0x01});  // unknown type: ignored silently
+    send_raw(net::Frame{{0xFF, 0x00, 0x01}});  // unknown type: ignored
     {
       agg::ByteWriter w;
       w.u8(1);   // vote gossip
@@ -161,8 +160,7 @@ TEST(GossipWire, StaleVoteGossipAfterBumpIsHarmless) {
     w.u32(999);   // bogus origin
     w.f64(1e9);   // absurd vote
     w.u64(0);
-    world.network().send(
-        net::Message{MemberId{0}, MemberId{1}, net::Payload{w.take()}});
+    world.network().send(net::Message{MemberId{0}, MemberId{1}, w.take()});
   });
   world.simulator().run();
   for (const auto& node : nodes) {
@@ -171,6 +169,45 @@ TEST(GossipWire, StaleVoteGossipAfterBumpIsHarmless) {
     EXPECT_LT(node->outcome().estimate.max(), 1e6);  // bogus vote excluded
   }
   EXPECT_EQ(world.audit()->violation_count(), 0u);
+}
+
+// Returns `frame` re-cut to `new_size`: shorter = truncated, longer =
+// zero-padded (overlong). Both must be rejected by strict length validation.
+net::Frame resized(const net::Frame& frame, std::size_t new_size) {
+  std::vector<std::uint8_t> bytes(frame.begin(), frame.end());
+  bytes.resize(new_size, 0);
+  return net::Frame{bytes};
+}
+
+TEST(GossipWire, TruncatedAndOverlongGossipFramesAreMalformed) {
+  WorldOptions options;
+  options.group_size = 16;
+  options.k = 4;
+  World world(options);
+  auto nodes = world.make_nodes<HierGossipNode>(base_config());
+  world.start_all(nodes);
+
+  world.simulator().schedule_at(SimTime::millis(5), [&world] {
+    agg::ByteWriter w;
+    w.u8(1);   // vote gossip
+    w.u8(1);   // phase 1
+    w.u64(0);  // group
+    w.u8(1);   // one entry
+    w.u32(2);
+    w.f64(1.0);
+    w.u64(0);
+    const net::Frame valid = w.take();  // 11 + 20 bytes
+    ASSERT_EQ(valid.size(), 31u);
+    const auto send = [&world](const net::Frame& f) {
+      world.network().send(net::Message{MemberId{0}, MemberId{1}, f});
+    };
+    send(resized(valid, valid.size() - 1));  // truncated
+    send(resized(valid, valid.size() + 1));  // overlong (padded)
+    send(resized(valid, valid.size() + 20)); // claims 1 entry, carries 2
+  });
+  world.simulator().run();
+  EXPECT_EQ(world.network().stats().messages_malformed, 3u);
+  for (const auto& node : nodes) EXPECT_TRUE(node->finished());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "src/common/ensure.h"
@@ -24,13 +25,46 @@ class Recorder final : public Endpoint {
 
 Message make_message(std::uint32_t from, std::uint32_t to,
                      std::vector<std::uint8_t> bytes = {1, 2, 3}) {
-  return Message{MemberId{from}, MemberId{to}, Payload{std::move(bytes)}};
+  return Message{MemberId{from}, MemberId{to}, Frame{bytes}};
 }
 
-TEST(Payload, EnforcesSizeBound) {
-  EXPECT_NO_THROW(Payload{std::vector<std::uint8_t>(kMaxPayloadBytes, 0)});
-  EXPECT_THROW(Payload{std::vector<std::uint8_t>(kMaxPayloadBytes + 1, 0)},
+TEST(Frame, EnforcesSizeBoundAtConstruction) {
+  // Exactly the bound is a legal payload; one byte over is rejected at
+  // construction, before the message can ever reach the wire.
+  EXPECT_NO_THROW(Frame{std::vector<std::uint8_t>(kMaxPayloadBytes, 0)});
+  EXPECT_THROW(Frame{std::vector<std::uint8_t>(kMaxPayloadBytes + 1, 0)},
                PreconditionError);
+}
+
+TEST(Frame, HoldsBytesInline) {
+  const Frame f{{10, 20, 30}};
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], 10);
+  EXPECT_EQ(f[2], 30);
+  EXPECT_FALSE(f.empty());
+  EXPECT_TRUE(Frame{}.empty());
+}
+
+TEST(Frame, TryAppendStopsAtCapacity) {
+  Frame f;
+  const std::uint8_t chunk[64] = {};
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(f.try_append(chunk, sizeof chunk));
+  EXPECT_EQ(f.size(), kMaxPayloadBytes);
+  EXPECT_FALSE(f.try_append(chunk, 1));  // full: refused, size unchanged
+  EXPECT_EQ(f.size(), kMaxPayloadBytes);
+}
+
+TEST(Frame, ComparesByContents) {
+  EXPECT_EQ((Frame{{1, 2}}), (Frame{{1, 2}}));
+  EXPECT_FALSE((Frame{{1, 2}}) == (Frame{{1, 3}}));
+  EXPECT_FALSE((Frame{{1, 2}}) == (Frame{{1, 2, 0}}));  // length counts
+}
+
+TEST(Message, IsTriviallyCopyable) {
+  // The zero-allocation event path depends on messages being plain memcpy-able
+  // values: no heap, no ownership, no surprises when events move in the slab.
+  static_assert(std::is_trivially_copyable_v<Frame>);
+  static_assert(std::is_trivially_copyable_v<Message>);
 }
 
 TEST(IndependentLoss, ZeroNeverDrops) {

@@ -267,6 +267,25 @@ TEST(BenchIo, DiffFlagsOnlyRegressionsPastThreshold) {
   EXPECT_NE(diff.render().find("REGRESSED"), std::string::npos);
 }
 
+TEST(BenchIo, DiffReportsThroughputDeltas) {
+  const BenchReport old_report = sample_report();
+  BenchReport new_report = sample_report();
+  new_report.entries[0].events_per_s = 1250.0;  // +25%
+  new_report.entries[0].msgs_per_s = 400.0;     // -20%
+  const obs::BenchDiffReport diff =
+      obs::bench_diff(old_report, new_report, 0.2);
+  ASSERT_EQ(diff.rows.size(), 1u);
+  EXPECT_EQ(diff.rows[0].old_events_per_s, 1000.0);
+  EXPECT_EQ(diff.rows[0].new_events_per_s, 1250.0);
+  EXPECT_NEAR(diff.rows[0].events_ratio, 1.25, 1e-9);
+  EXPECT_NEAR(diff.rows[0].msgs_ratio, 0.8, 1e-9);
+  // Throughput changes inform but never gate: only wall time regresses.
+  EXPECT_TRUE(diff.ok());
+  const std::string table = diff.render();
+  EXPECT_NE(table.find("+25.0%"), std::string::npos);
+  EXPECT_NE(table.find("-20.0%"), std::string::npos);
+}
+
 TEST(BenchIo, DiffTracksDisappearedAndNewCases) {
   const BenchReport old_report = sample_report();
   BenchReport new_report = sample_report();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "src/common/ensure.h"
@@ -16,7 +17,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.push(SimTime{30}, [&] { fired.push_back(3); });
   q.push(SimTime{10}, [&] { fired.push_back(1); });
   q.push(SimTime{20}, [&] { fired.push_back(2); });
-  while (!q.empty()) q.pop().action();
+  while (!q.empty()) q.pop().fire();
   EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
 }
 
@@ -26,7 +27,7 @@ TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
   for (int i = 0; i < 10; ++i) {
     q.push(SimTime{5}, [&fired, i] { fired.push_back(i); });
   }
-  while (!q.empty()) q.pop().action();
+  while (!q.empty()) q.pop().fire();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[i], i);
 }
 
@@ -39,13 +40,13 @@ TEST(EventQueue, EqualTimesStayFifoAcrossInterleavedPushAndPop) {
   for (int i = 0; i < 4; ++i) {
     q.push(SimTime{5}, [&fired, i] { fired.push_back(i); });
   }
-  q.pop().action();  // 0
+  q.pop().fire();  // 0
   for (int i = 4; i < 8; ++i) {
     q.push(SimTime{5}, [&fired, i] { fired.push_back(i); });
   }
-  q.pop().action();  // 1
+  q.pop().fire();  // 1
   q.push(SimTime{5}, [&fired] { fired.push_back(8); });
-  while (!q.empty()) q.pop().action();
+  while (!q.empty()) q.pop().fire();
   EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8}));
 }
 
@@ -62,12 +63,69 @@ TEST(EventQueue, NextTimePeeksEarliest) {
 }
 
 TEST(EventQueue, ClearResets) {
+  // clear() means "as if freshly constructed": pending events, the pushed
+  // total, sequence numbering, AND the peak-size high-watermark all reset.
   EventQueue q;
   q.push(SimTime{1}, [] {});
+  q.push(SimTime{2}, [] {});
+  ASSERT_EQ(q.peak_size(), 2u);
   q.clear();
   EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
   EXPECT_EQ(q.total_pushed(), 0u);
+  EXPECT_EQ(q.peak_size(), 0u);
+  // Sequence numbering restarts: same-time pushes after clear() still fire
+  // in scheduling order, exactly like on a new queue.
+  std::vector<int> fired;
+  for (int i = 0; i < 3; ++i) {
+    q.push(SimTime{5}, [&fired, i] { fired.push_back(i); });
+  }
+  EXPECT_EQ(q.total_pushed(), 3u);
+  while (!q.empty()) q.pop().fire();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
 }
+
+TEST(EventQueue, PeakSizeTracksHighWatermark) {
+  EventQueue q;
+  EXPECT_EQ(q.peak_size(), 0u);
+  q.push(SimTime{1}, [] {});
+  q.push(SimTime{2}, [] {});
+  q.push(SimTime{3}, [] {});
+  (void)q.pop();
+  (void)q.pop();
+  q.push(SimTime{4}, [] {});
+  EXPECT_EQ(q.peak_size(), 3u);  // never reached 4 after the pops
+}
+
+class CountingSink final : public FrameSink {
+ public:
+  void deliver_frame(const net::Message& message) override {
+    delivered.push_back(message);
+  }
+  std::vector<net::Message> delivered;
+};
+
+TEST(EventQueue, DeliverFrameEventCarriesTheMessage) {
+  EventQueue q;
+  CountingSink sink;
+  net::Message m{MemberId{1}, MemberId{2}, net::Frame{{0xAB, 0xCD}}};
+  q.push(SimTime{3}, DeliverFrame{m, &sink});
+  q.pop().fire();
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  EXPECT_EQ(sink.delivered[0].source, MemberId{1});
+  EXPECT_EQ(sink.delivered[0].destination, MemberId{2});
+  EXPECT_EQ(sink.delivered[0].frame, (net::Frame{{0xAB, 0xCD}}));
+}
+
+class CountingTimer final : public TimerTarget {
+ public:
+  bool on_timer(std::uint32_t timer_id) override {
+    ids.push_back(timer_id);
+    return keep_going;
+  }
+  bool keep_going = true;
+  std::vector<std::uint32_t> ids;
+};
 
 TEST(Simulator, ClockAdvancesToEventTimes) {
   Simulator sim;
@@ -181,6 +239,89 @@ TEST(Simulator, EventsExecutedAccumulates) {
   for (int i = 0; i < 7; ++i) sim.schedule_at(SimTime{i}, [] {});
   sim.run();
   EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, TypedPeriodicTimerReArmsWhileTrue) {
+  Simulator sim;
+  class FiveTicks final : public TimerTarget {
+   public:
+    explicit FiveTicks(Simulator& s) : sim_(&s) {}
+    bool on_timer(std::uint32_t) override {
+      times.push_back(sim_->now().ticks());
+      return times.size() < 5;
+    }
+    Simulator* sim_;
+    std::vector<SimTime::underlying> times;
+  } target(sim);
+  sim.schedule_periodic(SimTime{0}, SimTime{10}, target);
+  sim.run();
+  EXPECT_EQ(target.times,
+            (std::vector<SimTime::underlying>{0, 10, 20, 30, 40}));
+  EXPECT_EQ(sim.now(), SimTime{40});
+}
+
+TEST(Simulator, TypedPeriodicTimerPassesTimerId) {
+  Simulator sim;
+  CountingTimer target;
+  target.keep_going = false;
+  sim.schedule_periodic(SimTime{5}, SimTime{10}, target, 7);
+  sim.run();
+  EXPECT_EQ(target.ids, (std::vector<std::uint32_t>{7}));
+}
+
+TEST(Simulator, TypedOneShotTimerIgnoresReturnValue) {
+  Simulator sim;
+  CountingTimer target;
+  target.keep_going = true;  // would re-arm if periodic; must not here
+  sim.schedule_timer_at(SimTime{3}, target, 1);
+  sim.run();
+  EXPECT_EQ(target.ids.size(), 1u);
+  EXPECT_EQ(sim.now(), SimTime{3});
+}
+
+TEST(Simulator, TypedAndClosurePeriodicTimersTickIdentically) {
+  // The typed timer must be a drop-in for the closure Repeater: same tick
+  // times, same executed-event count, so traces do not shift.
+  const auto run_closure = [] {
+    Simulator sim;
+    std::vector<SimTime::underlying> times;
+    sim.schedule_periodic(SimTime{2}, SimTime{7}, [&] {
+      times.push_back(sim.now().ticks());
+      return times.size() < 4;
+    });
+    sim.run();
+    return std::pair{times, sim.events_executed()};
+  };
+  const auto run_typed = [] {
+    Simulator sim;
+    class T final : public TimerTarget {
+     public:
+      explicit T(Simulator& s) : sim_(&s) {}
+      bool on_timer(std::uint32_t) override {
+        times.push_back(sim_->now().ticks());
+        return times.size() < 4;
+      }
+      Simulator* sim_;
+      std::vector<SimTime::underlying> times;
+    } target(sim);
+    sim.schedule_periodic(SimTime{2}, SimTime{7}, target);
+    sim.run();
+    return std::pair{target.times, sim.events_executed()};
+  };
+  EXPECT_EQ(run_closure(), run_typed());
+}
+
+TEST(Simulator, ScheduleFrameAfterDeliversToSink) {
+  Simulator sim;
+  CountingSink sink;
+  const net::Message m{MemberId{4}, MemberId{5}, net::Frame{{9, 9, 9}}};
+  sim.schedule_at(SimTime{10}, [&] {
+    sim.schedule_frame_after(SimTime{6}, m, sink);
+  });
+  sim.run();
+  ASSERT_EQ(sink.delivered.size(), 1u);
+  EXPECT_EQ(sim.now(), SimTime{16});
+  EXPECT_EQ(sink.delivered[0].frame.size(), 3u);
 }
 
 TEST(Simulator, InterleavedSchedulingIsDeterministic) {

@@ -1,0 +1,159 @@
+// Allocation-count proof for the zero-allocation message path.
+//
+// This binary replaces the global operator new with a counting shim and
+// asserts that the steady-state transport path — send -> event queue ->
+// deliver_frame -> on_message — and the typed periodic-timer re-arm path
+// execute without touching the heap once warmed up. Warm-up is allowed to
+// allocate: the event-queue slab, the key heap, and the endpoint map all
+// grow to their high-water mark there. After that, every per-message and
+// per-tick structure is either inline (net::Frame, sim::Event) or reused.
+//
+// Kept as a separate test executable so the operator-new override cannot
+// perturb the main suite.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "src/agg/codec.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/net/fault_model.h"
+#include "src/net/latency_model.h"
+#include "src/net/message.h"
+#include "src/net/network.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+std::uint64_t heap_allocs() {
+  return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// Counting shims. Only the unaligned forms are replaced: the containers on
+// the suspect list (std::vector, std::unordered_map, std::function) all
+// allocate through plain operator new, and nothing in gridbox uses
+// over-aligned types.
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gridbox {
+namespace {
+
+/// Receiver that decodes like a real protocol node (header reads) but keeps
+/// no per-message state, so any allocation observed is the transport's.
+class DecodingSink final : public net::Endpoint {
+ public:
+  void on_message(const net::Message& message) override {
+    agg::ByteReader r(message.frame);
+    checksum_ += r.u8();
+    checksum_ += r.u64();
+    ++received_;
+  }
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+
+ private:
+  std::uint64_t received_ = 0;
+  std::uint64_t checksum_ = 0;
+};
+
+TEST(ZeroAlloc, SteadyStateSendDeliverPathDoesNotTouchTheHeap) {
+  sim::Simulator sim;
+  net::SimNetwork network(sim, std::make_unique<net::NoLoss>(),
+                          std::make_unique<net::ConstantLatency>(SimTime{5}),
+                          Rng{42});
+  DecodingSink left;
+  DecodingSink right;
+  network.attach(MemberId{1}, left);
+  network.attach(MemberId{2}, right);
+
+  agg::ByteWriter w;
+  w.u8(7);
+  w.u64(0xfeedfaceULL);
+  w.f64(3.5);
+  const net::Frame frame = w.take();
+
+  const auto burst = [&](int messages) {
+    for (int i = 0; i < messages; ++i) {
+      network.send(net::Message{MemberId{1}, MemberId{2}, frame});
+      network.send(net::Message{MemberId{2}, MemberId{1}, frame});
+    }
+    sim.run();
+  };
+
+  // Warm-up: grows the event-queue slab/key heap past anything the steady
+  // window will need (128 pending events vs 64 below).
+  burst(64);
+
+  const std::uint64_t before = heap_allocs();
+  for (int round = 0; round < 100; ++round) burst(32);
+  const std::uint64_t after = heap_allocs();
+
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state send/deliver allocated " << (after - before)
+      << " time(s) over 6400 messages";
+  EXPECT_EQ(left.received() + right.received(), 2u * (64 + 100 * 32));
+}
+
+/// Re-arming timer target; stops itself after a fixed number of ticks.
+class TickUntil final : public sim::TimerTarget {
+ public:
+  explicit TickUntil(std::uint64_t limit) : limit_(limit) {}
+
+  bool on_timer(std::uint32_t) override { return ++ticks_ < limit_; }
+
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  std::uint64_t limit_;
+  std::uint64_t ticks_ = 0;
+};
+
+TEST(ZeroAlloc, TypedPeriodicTimerReArmsWithoutAllocating) {
+  sim::Simulator sim;
+  TickUntil timer(5000);
+  sim.schedule_periodic(SimTime{0}, SimTime{10}, timer);
+
+  // One step warms the queue slab; every later re-arm reuses the freed slot.
+  ASSERT_TRUE(sim.step());
+
+  const std::uint64_t before = heap_allocs();
+  sim.run();
+  const std::uint64_t after = heap_allocs();
+
+  EXPECT_EQ(after - before, 0u)
+      << "periodic re-arm allocated " << (after - before)
+      << " time(s) over 4999 ticks";
+  EXPECT_EQ(timer.ticks(), 5000u);
+}
+
+TEST(ZeroAlloc, CountingShimIsLive) {
+  // Sanity: the override is actually installed in this binary — otherwise
+  // the two proofs above would pass vacuously.
+  const std::uint64_t before = heap_allocs();
+  auto* p = new int(7);
+  const std::uint64_t after = heap_allocs();
+  delete p;
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace gridbox

@@ -2,8 +2,9 @@
 //
 // Exits 0 when no case regressed past the threshold, 1 on regression, and
 // 2 on unreadable/mismatched inputs. CI runs this against a checked-in
-// baseline (warn-only there: perf on shared runners is advisory, the exit
-// code is for developer machines and release gates).
+// baseline with --threshold 0.35 and fails the job on regression; the wide
+// threshold absorbs shared-runner noise while still catching real
+// message-path slowdowns.
 //
 // usage: bench_diff OLD.json NEW.json [--threshold FRAC]
 #include <cstdio>
