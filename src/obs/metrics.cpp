@@ -20,6 +20,11 @@ void Histogram::observe(std::uint64_t v) {
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
 }
 
+void Histogram::add_to_bucket(std::size_t bucket, std::uint64_t n) {
+  expects(bucket < counts_.size(), "histogram add_to_bucket: bucket range");
+  counts_[bucket] += n;
+}
+
 std::uint64_t Histogram::total() const {
   return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
 }

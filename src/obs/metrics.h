@@ -57,6 +57,10 @@ class Histogram {
 
   void observe(std::uint64_t v);
 
+  /// Bucket-wise addition (bucket `bounds().size()` = overflow), mirroring
+  /// snapshot merge. For writers that tally buckets locally and flush once.
+  void add_to_bucket(std::size_t bucket, std::uint64_t n);
+
   [[nodiscard]] const std::vector<std::uint64_t>& bounds() const {
     return bounds_;
   }

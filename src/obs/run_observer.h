@@ -27,6 +27,10 @@
 
 namespace gridbox::obs {
 
+class LineageTracker;
+class CurveRecorder;
+class FlightRecorder;
+
 class RunObserver final : public net::NetworkObserver,
                           public protocols::gossip::GossipTrace {
  public:
@@ -36,6 +40,9 @@ class RunObserver final : public net::NetworkObserver,
     const sim::Simulator* simulator = nullptr;    ///< clock for trace stamps
     std::size_t group_size = 0;
     protocols::gossip::GossipTrace* next = nullptr;  ///< chain tail
+    LineageTracker* lineage = nullptr;            ///< nullable
+    CurveRecorder* curves = nullptr;              ///< nullable
+    FlightRecorder* flight = nullptr;             ///< nullable
   };
 
   explicit RunObserver(Options options);
@@ -54,6 +61,10 @@ class RunObserver final : public net::NetworkObserver,
                          std::uint32_t fanout) override;
   void on_value_learned(MemberId member, std::size_t phase,
                         std::uint32_t index) override;
+  void on_knowledge_gained(MemberId member, std::size_t phase,
+                           std::uint32_t index, MemberId from,
+                           std::uint32_t votes,
+                           protocols::gossip::GainKind kind) override;
   void on_phase_concluded(MemberId member, std::size_t phase,
                           protocols::gossip::PhaseEnd how,
                           std::uint32_t votes) override;
@@ -63,31 +74,44 @@ class RunObserver final : public net::NetworkObserver,
   /// schedule; there is no substrate interface for it).
   void on_crash(MemberId member);
 
+  /// Writes the run's tallies into the metrics registry (no-op without
+  /// one). run_experiment calls this once, after the simulator drains and
+  /// before the registry is snapshotted; events observed later are lost.
+  void flush();
+
   [[nodiscard]] const PhaseTimeline& timeline() const { return timeline_; }
 
  private:
+  /// gossip_fanout_hist buckets: one per bound {0,1,2,3,4,6,8,16} plus
+  /// overflow.
+  static constexpr std::size_t kFanoutBuckets = 9;
+
   [[nodiscard]] SimTime now() const;
-  /// Cached per-phase counter for msgs_sent_by_phase (created lazily).
-  Counter& phase_msgs_counter(std::size_t phase);
 
   Options options_;
   PhaseTimeline timeline_;
   std::vector<std::size_t> member_phase_;  ///< current phase per member
 
-  // Hot-path handles, pre-registered so events never do string lookups.
-  Counter* msgs_sent_ = nullptr;
-  Counter* msgs_dropped_ = nullptr;
-  Counter* msgs_duplicated_ = nullptr;
-  Counter* msgs_delivered_ = nullptr;
-  Counter* msgs_dead_dest_ = nullptr;
-  Counter* msgs_malformed_ = nullptr;
-  Counter* bytes_on_wire_ = nullptr;
-  Counter* rounds_total_ = nullptr;
-  Counter* phase_conclusions_ = nullptr;
-  Counter* finishes_ = nullptr;
-  Counter* crashes_ = nullptr;
-  Histogram* fanout_hist_ = nullptr;
-  std::vector<Counter*> msgs_by_phase_;  ///< index = phase
+  // Per-run tallies, accumulated as plain members and written to the
+  // registry once by flush(). The registry's deque-backed counters sit on
+  // scattered cache lines; bouncing through five of them per message was
+  // the dominant term in the obs-overhead gate.
+  struct Tally {
+    std::uint64_t msgs_sent = 0;
+    std::uint64_t msgs_dropped = 0;
+    std::uint64_t msgs_duplicated = 0;
+    std::uint64_t msgs_delivered = 0;
+    std::uint64_t msgs_dead_dest = 0;
+    std::uint64_t msgs_malformed = 0;
+    std::uint64_t bytes_on_wire = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t conclusions = 0;
+    std::uint64_t finishes = 0;
+    std::uint64_t crashes = 0;
+  };
+  Tally tally_;
+  std::uint64_t fanout_counts_[kFanoutBuckets] = {};
+  std::vector<std::uint64_t> msgs_by_phase_;  ///< index = sender phase
 };
 
 }  // namespace gridbox::obs

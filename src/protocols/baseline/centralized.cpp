@@ -63,6 +63,11 @@ void CentralizedNode::start(SimTime at) {
   if (is_leader()) {
     collected_.emplace(self(), std::make_pair(own_vote(), own_token_));
   }
+  if (gossip::GossipTrace* trace = env_trace()) {
+    trace->on_phase_entered(self(), 1);
+    trace->on_knowledge_gained(self(), 1, self().value(), self(), 1,
+                               gossip::GainKind::kLocal);
+  }
   start_rounds(at, config_.round_duration);
 }
 
@@ -86,6 +91,12 @@ bool CentralizedNode::on_round() {
       result_token_ = audit() != nullptr ? audit()->register_merge(tokens)
                                          : agg::kNoAuditToken;
       result_ready_ = true;
+      if (gossip::GossipTrace* trace = env_trace()) {
+        trace->on_phase_concluded(self(), 1, gossip::PhaseEnd::kTimeout,
+                                  result_.count());
+        trace->on_knowledge_gained(self(), 1, 0, self(), result_.count(),
+                                   gossip::GainKind::kResult);
+      }
       dissemination_queue_.clear();
       for (const MemberId m : view().members()) {
         if (m != self()) dissemination_queue_.push_back(m);
@@ -101,6 +112,9 @@ bool CentralizedNode::on_round() {
       }
       if (dissemination_cursor_ >= dissemination_queue_.size()) {
         set_outcome(result_, result_token_);
+        if (gossip::GossipTrace* trace = env_trace()) {
+          trace->on_finished(self(), result_.count());
+        }
         return false;
       }
     }
@@ -155,11 +169,23 @@ void CentralizedNode::on_message(const net::Message& message) {
     const MemberId origin{r.u32()};
     const double value = r.f64();
     const std::uint64_t token = r.u64();
-    collected_.emplace(origin, std::make_pair(value, token));
+    const bool inserted =
+        collected_.emplace(origin, std::make_pair(value, token)).second;
+    if (inserted) {
+      if (gossip::GossipTrace* trace = env_trace()) {
+        trace->on_knowledge_gained(self(), 1, origin.value(), message.source,
+                                   1, gossip::GainKind::kRemote);
+      }
+    }
   } else if (type == kResult && !is_leader()) {
     const agg::Partial partial = agg::read_partial(r);
     const std::uint64_t token = r.u64();
     set_outcome(partial, token);
+    if (gossip::GossipTrace* trace = env_trace()) {
+      trace->on_knowledge_gained(self(), 1, 0, message.source, partial.count(),
+                                 gossip::GainKind::kResult);
+      trace->on_finished(self(), partial.count());
+    }
   }
 }
 

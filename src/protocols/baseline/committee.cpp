@@ -103,6 +103,11 @@ void CommitteeNode::start(SimTime at) {
   if (am_committee_[0]) {
     votes_.emplace(self(), std::make_pair(own_vote(), own_token_));
   }
+  if (gossip::GossipTrace* trace = env_trace()) {
+    trace->on_phase_entered(self(), 1);
+    trace->on_knowledge_gained(self(), 1, self().value(), self(), 1,
+                               gossip::GainKind::kLocal);
+  }
   enter_step(0);
   start_rounds(at, config_.round_duration);
 }
@@ -116,7 +121,9 @@ void CommitteeNode::enter_step(std::size_t step) {
     // Root committee: the aggregation is done; compute the global estimate.
     compute_level_partial(num_phases_);
     const auto& root = level_partial_[num_phases_ - 1];
-    if (root.has_value()) acquire_result(root->partial, root->audit_token);
+    if (root.has_value()) {
+      acquire_result(root->partial, root->audit_token, self());
+    }
   }
 }
 
@@ -141,6 +148,19 @@ void CommitteeNode::compute_level_partial(std::size_t level) {
   kv.audit_token =
       audit() != nullptr ? audit()->register_merge(tokens) : agg::kNoAuditToken;
   level_partial_[level - 1] = kv;
+  if (gossip::GossipTrace* trace = env_trace()) {
+    trace->on_phase_concluded(self(), level, gossip::PhaseEnd::kTimeout,
+                              acc.count());
+    if (level < num_phases_) {
+      // The partial this member will send upward: its export for the parent
+      // level's child slot (the slot cell itself keeps whatever arrived
+      // first, which may be a peer's partial — see below).
+      trace->on_knowledge_gained(
+          self(), level + 1,
+          static_cast<std::uint32_t>(hier().child_slot(self(), level + 1)),
+          self(), acc.count(), gossip::GainKind::kLocal);
+    }
+  }
 
   // If this member also sits on the committee one level up, its own child
   // slot is known immediately — absorb locally instead of self-sending.
@@ -151,11 +171,15 @@ void CommitteeNode::compute_level_partial(std::size_t level) {
 }
 
 void CommitteeNode::acquire_result(const agg::Partial& partial,
-                                   std::uint64_t token) {
+                                   std::uint64_t token, MemberId from) {
   if (have_result_) return;
   have_result_ = true;
   result_.partial = partial;
   result_.audit_token = token;
+  if (gossip::GossipTrace* trace = env_trace()) {
+    trace->on_knowledge_gained(self(), num_phases_, 0, from, partial.count(),
+                               gossip::GainKind::kResult);
+  }
 
   // Compute, once, everyone this member is responsible for informing:
   // committees of child groups at every level where it sits on a committee,
@@ -243,6 +267,9 @@ bool CommitteeNode::on_round() {
 void CommitteeNode::conclude() {
   if (have_result_) {
     set_outcome(result_.partial, result_.audit_token);
+    if (gossip::GossipTrace* trace = env_trace()) {
+      trace->on_finished(self(), result_.partial.count());
+    }
   }
   // Without a result this member ends the protocol with no estimate:
   // completeness 0, the measurable cost of leader loss.
@@ -260,7 +287,14 @@ void CommitteeNode::on_message(const net::Message& message) {
     const MemberId origin{r.u32()};
     const double value = r.f64();
     const std::uint64_t token = r.u64();
-    votes_.emplace(origin, std::make_pair(value, token));
+    const bool inserted =
+        votes_.emplace(origin, std::make_pair(value, token)).second;
+    if (inserted) {
+      if (gossip::GossipTrace* trace = env_trace()) {
+        trace->on_knowledge_gained(self(), 1, origin.value(), message.source,
+                                   1, gossip::GainKind::kRemote);
+      }
+    }
   } else if (type == kChildPartial) {
     expects(message.frame.size() == kChildWireBytes,
             "child partial frame length mismatch");
@@ -277,13 +311,17 @@ void CommitteeNode::on_message(const net::Message& message) {
       kv.partial = partial;
       kv.audit_token = token;
       cell = kv;
+      if (gossip::GossipTrace* trace = env_trace()) {
+        trace->on_knowledge_gained(self(), phase, slot, message.source,
+                                   partial.count(), gossip::GainKind::kRemote);
+      }
     }
   } else if (type == kResult) {
     expects(message.frame.size() == kResultWireBytes,
             "result frame length mismatch");
     const agg::Partial partial = agg::read_partial(r);
     const std::uint64_t token = r.u64();
-    acquire_result(partial, token);
+    acquire_result(partial, token, message.source);
   }
 }
 

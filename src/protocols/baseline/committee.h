@@ -59,7 +59,8 @@ class CommitteeNode : public protocols::ProtocolNode {
   bool on_round() override;
   void enter_step(std::size_t step);
   void compute_level_partial(std::size_t level);
-  void acquire_result(const agg::Partial& partial, std::uint64_t token);
+  void acquire_result(const agg::Partial& partial, std::uint64_t token,
+                      MemberId from);
   void conclude();
 
   /// K' smallest-(H, id) view members of the phase-`phase` group with the

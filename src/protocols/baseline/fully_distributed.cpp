@@ -35,6 +35,11 @@ FullyDistributedNode::FullyDistributedNode(MemberId self, double vote,
 void FullyDistributedNode::start(SimTime at) {
   own_token_ = register_own_vote();
   known_votes_.emplace(self(), KnownVote{own_vote(), own_token_});
+  if (gossip::GossipTrace* trace = env_trace()) {
+    trace->on_phase_entered(self(), 1);
+    trace->on_knowledge_gained(self(), 1, self().value(), self(), 1,
+                               gossip::GainKind::kLocal);
+  }
   send_queue_.clear();
   for (const MemberId m : view().members()) {
     if (m != self()) send_queue_.push_back(m);
@@ -69,7 +74,14 @@ void FullyDistributedNode::on_message(const net::Message& message) {
   const MemberId origin{r.u32()};
   const double value = r.f64();
   const std::uint64_t token = r.u64();
-  known_votes_.emplace(origin, KnownVote{value, token});
+  const bool inserted =
+      known_votes_.emplace(origin, KnownVote{value, token}).second;
+  if (inserted) {
+    if (gossip::GossipTrace* trace = env_trace()) {
+      trace->on_knowledge_gained(self(), 1, origin.value(), message.source, 1,
+                                 gossip::GainKind::kRemote);
+    }
+  }
 }
 
 void FullyDistributedNode::conclude() {
@@ -82,6 +94,11 @@ void FullyDistributedNode::conclude() {
   const std::uint64_t token =
       audit() != nullptr ? audit()->register_merge(tokens) : agg::kNoAuditToken;
   set_outcome(acc, token);
+  if (gossip::GossipTrace* trace = env_trace()) {
+    trace->on_phase_concluded(self(), 1, gossip::PhaseEnd::kTimeout,
+                              acc.count());
+    trace->on_finished(self(), acc.count());
+  }
 }
 
 }  // namespace gridbox::protocols::baseline

@@ -31,6 +31,7 @@ constexpr std::size_t kChildEntryBytes =
 
 net::Frame HierGossipNode::encode_votes(
     std::uint64_t group_prefix, const std::vector<VoteEntry>& entries) {
+  GRIDBOX_PROFILE_SCOPE("codec.encode");
   agg::ByteWriter w;
   w.u8(kVoteGossip);
   w.u8(1);  // phase
@@ -47,6 +48,7 @@ net::Frame HierGossipNode::encode_votes(
 net::Frame HierGossipNode::encode_children(
     std::uint8_t phase, std::uint64_t group_prefix,
     const std::vector<ChildEntry>& entries) {
+  GRIDBOX_PROFILE_SCOPE("codec.encode");
   agg::ByteWriter w;
   w.u8(kChildGossip);
   w.u8(phase);
@@ -111,7 +113,18 @@ void HierGossipNode::enter_phase(std::size_t phase) {
     known_children_[hier().child_slot(self(), phase)] = carry_;
   }
   rebuild_peer_cache();
-  if (config_.trace != nullptr) config_.trace->on_phase_entered(self(), phase);
+  if (config_.trace != nullptr) {
+    config_.trace->on_phase_entered(self(), phase);
+    if (phase == 1) {
+      config_.trace->on_knowledge_gained(self(), 1, self().value(), self(), 1,
+                                         GainKind::kLocal);
+    } else {
+      config_.trace->on_knowledge_gained(
+          self(), phase,
+          static_cast<std::uint32_t>(hier().child_slot(self(), phase)), self(),
+          carry_.partial.count(), GainKind::kLocal);
+    }
+  }
 }
 
 void HierGossipNode::rebuild_peer_cache() {
@@ -253,6 +266,7 @@ const HierGossipNode::KnownValue* HierGossipNode::pick_value_to_send() {
 
 void HierGossipNode::on_message(const net::Message& message) {
   if (finished() || !alive()) return;
+  GRIDBOX_PROFILE_SCOPE("codec.decode");
   agg::ByteReader r(message.frame);
   const std::uint8_t type = r.u8();
   const std::size_t msg_phase = r.u8();
@@ -273,7 +287,7 @@ void HierGossipNode::on_message(const net::Message& message) {
       const std::uint64_t token = r.u64();
       if (phase_ != 1) continue;  // may have bumped mid-batch
       if (group_prefix != hier().phase_group(self(), 1)) return;
-      absorb_vote(origin, value, token);
+      absorb_vote(origin, value, token, message.source);
     }
   } else if (type == kChildGossip) {
     const std::size_t count = r.u8();
@@ -289,7 +303,7 @@ void HierGossipNode::on_message(const net::Message& message) {
       if (slot >= config_.k) return;  // malformed
       if (msg_phase == phase_) {
         if (group_prefix != hier().phase_group(self(), msg_phase)) return;
-        absorb_child(slot, partial, token);
+        absorb_child(slot, partial, token, message.source);
       } else if (config_.early_bump && phase_ >= 1 && msg_phase > phase_ &&
                  group_prefix == hier().phase_group(self(), msg_phase) &&
                  slot == hier().child_slot(self(), msg_phase)) {
@@ -302,7 +316,7 @@ void HierGossipNode::on_message(const net::Message& message) {
         // early-bumping peers — common when grid boxes are sparse — catches
         // up instead of carrying a permanently incomplete subtree value to
         // the root.
-        adopt_phase_result(msg_phase, partial, token);
+        adopt_phase_result(msg_phase, partial, token, message.source);
       }
       // Other entries (stale, or not about our own subtree) are skipped.
     }
@@ -311,14 +325,15 @@ void HierGossipNode::on_message(const net::Message& message) {
 }
 
 void HierGossipNode::absorb_vote(MemberId origin, double value,
-                                 std::uint64_t token) {
+                                 std::uint64_t token, MemberId sender) {
   KnownValue kv;
   kv.partial = agg::Partial::from_vote(value);
   kv.audit_token = token;
   // First received wins; duplicates are idempotent (same origin, same vote).
   const bool inserted = known_votes_.emplace(origin, std::move(kv)).second;
   if (inserted && config_.trace != nullptr) {
-    config_.trace->on_value_learned(self(), 1, origin.value());
+    config_.trace->on_knowledge_gained(self(), 1, origin.value(), sender, 1,
+                                       GainKind::kRemote);
   }
   if (phase_ == 1 && config_.phase1_early_bump_with_view &&
       phase_saturated()) {
@@ -328,14 +343,15 @@ void HierGossipNode::absorb_vote(MemberId origin, double value,
 
 void HierGossipNode::absorb_child(std::uint32_t slot,
                                   const agg::Partial& partial,
-                                  std::uint64_t token) {
+                                  std::uint64_t token, MemberId sender) {
   if (known_children_[slot].has_value()) return;  // first received wins
   KnownValue kv;
   kv.partial = partial;
   kv.audit_token = token;
   known_children_[slot] = std::move(kv);
   if (config_.trace != nullptr) {
-    config_.trace->on_value_learned(self(), phase_, slot);
+    config_.trace->on_knowledge_gained(self(), phase_, slot, sender,
+                                       partial.count(), GainKind::kRemote);
   }
   if (config_.early_bump && phase_saturated()) {
     if (phase_ >= hier().num_phases() && config_.final_phase_linger) {
@@ -385,7 +401,7 @@ void HierGossipNode::conclude_phase(PhaseEnd how) {
 
 void HierGossipNode::adopt_phase_result(std::size_t msg_phase,
                                         const agg::Partial& partial,
-                                        std::uint64_t token) {
+                                        std::uint64_t token, MemberId sender) {
   // What would this member conclude from its own knowledge right now?
   std::uint32_t own_count = 0;
   if (phase_ == 1) {
@@ -401,6 +417,12 @@ void HierGossipNode::adopt_phase_result(std::size_t msg_phase,
   carry_.partial = partial;
   carry_.audit_token = token;
   carry_.times_sent = 0;
+  if (config_.trace != nullptr) {
+    config_.trace->on_knowledge_gained(
+        self(), msg_phase,
+        static_cast<std::uint32_t>(hier().child_slot(self(), msg_phase)),
+        sender, partial.count(), GainKind::kAdopted);
+  }
   // The adopted value concludes phase msg_phase − 1, skipping the phases in
   // between; they end (vacuously) now.
   while (phase_ + 1 < msg_phase) {

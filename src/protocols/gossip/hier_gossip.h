@@ -80,12 +80,13 @@ class HierGossipNode final : public protocols::ProtocolNode {
       const std::vector<ChildEntry>& entries);
   void conclude_phase(PhaseEnd how);     // aggregate own knowledge and bump
   void adopt_phase_result(std::size_t msg_phase, const agg::Partial& partial,
-                          std::uint64_t token);
+                          std::uint64_t token, MemberId sender);
   void finish_phase(PhaseEnd how);       // record carry_ and advance
   void enter_phase(std::size_t phase);
-  void absorb_vote(MemberId origin, double value, std::uint64_t token);
+  void absorb_vote(MemberId origin, double value, std::uint64_t token,
+                   MemberId sender);
   void absorb_child(std::uint32_t slot, const agg::Partial& partial,
-                    std::uint64_t token);
+                    std::uint64_t token, MemberId sender);
   [[nodiscard]] bool phase_saturated() const;  // all values known (early bump)
   [[nodiscard]] const KnownValue* pick_value_to_send();
   void rebuild_peer_cache();

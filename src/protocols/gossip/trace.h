@@ -20,6 +20,15 @@ enum class PhaseEnd : std::uint8_t {
   kAdopted = 2,    ///< an enclosing subtree aggregate was adopted
 };
 
+/// How a member came to know a value (the causal provenance of a
+/// knowledge-gain event — see on_knowledge_gained below).
+enum class GainKind : std::uint8_t {
+  kRemote = 0,   ///< decoded from a message; `from` is the sender
+  kLocal = 1,    ///< produced locally (own vote, or a carried aggregate)
+  kAdopted = 2,  ///< an enclosing subtree aggregate was adopted wholesale
+  kResult = 3,   ///< the final result was obtained (baselines' result push)
+};
+
 class GossipTrace {
  public:
   virtual ~GossipTrace() = default;
@@ -48,6 +57,20 @@ class GossipTrace {
     (void)member;
     (void)phase;
     (void)index;
+  }
+
+  /// Rich causal form of on_value_learned: `member` now knows the value at
+  /// (`phase`, `index`) covering `votes` votes, and learned it `kind`-wise
+  /// from `from` (the sender for kRemote/kAdopted/kResult received over the
+  /// wire; the member itself for kLocal and locally computed results).
+  /// The default forwards remote gains to the legacy on_value_learned hook,
+  /// so existing traces keep seeing exactly the events they saw before.
+  virtual void on_knowledge_gained(MemberId member, std::size_t phase,
+                                   std::uint32_t index, MemberId from,
+                                   std::uint32_t votes, GainKind kind) {
+    (void)from;
+    (void)votes;
+    if (kind == GainKind::kRemote) on_value_learned(member, phase, index);
   }
 
   /// `member` concluded `phase` covering `votes` votes, for reason `how`.

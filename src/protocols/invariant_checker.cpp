@@ -103,6 +103,37 @@ void InvariantChecker::on_value_learned(MemberId member, std::size_t phase,
   if (config_.next != nullptr) {
     config_.next->on_value_learned(member, phase, index);
   }
+  check_learn(member, phase, index);
+}
+
+void InvariantChecker::on_knowledge_gained(MemberId member, std::size_t phase,
+                                           std::uint32_t index, MemberId from,
+                                           std::uint32_t votes,
+                                           gossip::GainKind kind) {
+  if (config_.next != nullptr) {
+    config_.next->on_knowledge_gained(member, phase, index, from, votes, kind);
+  }
+  // Result pushes carry the whole aggregate, not a (phase, slot) cell, so
+  // the slot-range check does not apply to them.
+  if (kind != gossip::GainKind::kResult) check_learn(member, phase, index);
+  if (from.value() >= config_.group_size) {
+    violate(member, phase,
+            "knowledge gained from out-of-range member " +
+                std::to_string(from.value()) + " (group size " +
+                std::to_string(config_.group_size) + ")");
+  }
+  if (votes == 0) {
+    violate(member, phase, "knowledge gained covering zero votes");
+  }
+  if (votes > config_.group_size) {
+    violate(member, phase,
+            "knowledge gained covering " + std::to_string(votes) +
+                " votes in a group of " + std::to_string(config_.group_size));
+  }
+}
+
+void InvariantChecker::check_learn(MemberId member, std::size_t phase,
+                                   std::uint32_t index) {
   check_deadline(member, phase, "value learned");
   if (phase == 0) {
     violate(member, phase, "value learned in phase 0 (phases are 1-based)");

@@ -66,6 +66,10 @@ class InvariantChecker final : public gossip::GossipTrace {
                          std::uint32_t fanout) override;
   void on_value_learned(MemberId member, std::size_t phase,
                         std::uint32_t index) override;
+  void on_knowledge_gained(MemberId member, std::size_t phase,
+                           std::uint32_t index, MemberId from,
+                           std::uint32_t votes,
+                           gossip::GainKind kind) override;
   void on_phase_concluded(MemberId member, std::size_t phase,
                           gossip::PhaseEnd how, std::uint32_t votes) override;
   void on_finished(MemberId member, std::uint32_t votes) override;
@@ -91,6 +95,8 @@ class InvariantChecker final : public gossip::GossipTrace {
   [[nodiscard]] SimTime now() const;
   [[nodiscard]] MemberState& state_of(MemberId member);
   void check_deadline(MemberId member, std::size_t phase, const char* event);
+  /// Shared range checks for on_value_learned / on_knowledge_gained.
+  void check_learn(MemberId member, std::size_t phase, std::uint32_t index);
   /// Records (and, under fail_fast, throws) a violation.
   void violate(MemberId member, std::size_t phase, std::string what);
 

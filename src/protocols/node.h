@@ -22,6 +22,7 @@
 #include "src/hierarchy/hierarchy.h"
 #include "src/membership/view.h"
 #include "src/net/network.h"
+#include "src/protocols/gossip/trace.h"
 #include "src/sim/simulator.h"
 
 namespace gridbox::protocols {
@@ -36,6 +37,9 @@ struct NodeEnv {
   /// Liveness of *this* node: a crashed process stops executing.
   std::function<bool(MemberId)> is_alive;
   agg::AggregateKind kind = agg::AggregateKind::kAverage;
+  /// Observability chain shared by every protocol (nullable). Hierarchical
+  /// gossip keeps its own GossipConfig::trace; baselines emit through this.
+  gossip::GossipTrace* trace = nullptr;  // nullable
 };
 
 /// Final outcome at one member.
@@ -73,6 +77,7 @@ class ProtocolNode : public net::Endpoint, public sim::TimerTarget {
     return *env_.hierarchy;
   }
   [[nodiscard]] agg::AuditRegistry* audit() { return env_.audit; }
+  [[nodiscard]] gossip::GossipTrace* env_trace() { return env_.trace; }
   [[nodiscard]] agg::AggregateKind kind() const { return env_.kind; }
   [[nodiscard]] Rng& rng() { return rng_; }
 

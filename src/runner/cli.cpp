@@ -9,11 +9,16 @@
 #include <future>
 #include <map>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
+#include "src/common/ensure.h"
 #include "src/common/thread_pool.h"
 #include "src/net/chaos.h"
 #include "src/obs/build_info.h"
+#include "src/obs/curves.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/lineage.h"
 #include "src/obs/manifest.h"
 #include "src/obs/trace_sink.h"
 #include "src/runner/differential.h"
@@ -171,8 +176,17 @@ observability
                          run r writes PATH-run<r> (before the extension)
   --run-manifest PATH    write a run.json manifest: config fingerprint,
                          seeds, per-run phase timelines and metrics
-  --profile              time hot paths (sim.run / net.send / gossip.round)
-                         and print the aggregate after the summary
+  --lineage PATH         write the causal vote-lineage forest per run as
+                         JSON (gridbox-lineage/1; query with gridbox_explain)
+  --curves-out PATH      write empirical epidemic curves per run as JSON
+                         (gridbox-curves/1; hier-gossip also carries the
+                         analytic Bailey model for the same N, K, b)
+  --flight-recorder PATH arm a bounded in-memory event ring per run; when a
+                         run dies on an invariant violation, dump config +
+                         chaos spec + event tail to PATH for replay
+  --profile              time hot paths (sim.run / net.send / gossip.round /
+                         codec.encode / codec.decode / queue.pop) and print
+                         the aggregate after the summary
 
   --help                 this text
 )";
@@ -312,6 +326,15 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
       if (!next_value(flag, &value)) break;
       p.options.manifest_path = value;
       config.collect_metrics = true;  // manifests carry timelines + metrics
+    } else if (flag == "--lineage") {
+      if (!next_value(flag, &value)) break;
+      p.options.lineage_out = value;
+    } else if (flag == "--curves-out") {
+      if (!next_value(flag, &value)) break;
+      p.options.curves_out = value;
+    } else if (flag == "--flight-recorder") {
+      if (!next_value(flag, &value)) break;
+      p.options.flight_out = value;
     } else if (flag == "--profile") {
       config.profile = true;
     } else {
@@ -367,9 +390,11 @@ std::string trace_path_for_run(const std::string& base, std::size_t run,
   const std::size_t dot = base.find_last_of('.');
   const std::size_t slash = base.find_last_of('/');
   const std::string suffix = "-run" + std::to_string(run);
-  // No extension (or the last '.' is in a directory name): plain append.
+  // No extension, the last '.' is in a directory name, or the '.' leads a
+  // hidden file (".trace", "out/.trace"): plain append.
   if (dot == std::string::npos ||
-      (slash != std::string::npos && slash > dot)) {
+      (slash != std::string::npos && slash > dot) ||
+      dot == (slash == std::string::npos ? 0 : slash + 1)) {
     return base + suffix;
   }
   return base.substr(0, dot) + suffix + base.substr(dot);
@@ -395,6 +420,13 @@ int run_cli(const CliOptions& options) {
       std::min(options.config.resolved_jobs(), std::max<std::size_t>(options.runs, 1));
   const auto started = std::chrono::steady_clock::now();
   std::vector<RunResult> results(options.runs);
+  const auto write_json = [](const std::string& path,
+                             const std::string& text) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.put('\n');
+    if (!out) throw std::runtime_error("cannot write " + path);
+  };
   const auto run_one = [&](std::size_t run) {
     ExperimentConfig config = options.config;
     config.seed = options.config.seed + run;
@@ -405,7 +437,57 @@ int run_cli(const CliOptions& options) {
           trace_path_for_run(options.trace_out, run, options.runs));
       config.trace_sink = sink.get();
     }
-    results[run] = run_experiment(config);
+    std::unique_ptr<obs::LineageTracker> lineage;
+    if (!options.lineage_out.empty()) {
+      obs::LineageTracker::Options lopt;
+      lopt.group_size = config.group_size;
+      lineage = std::make_unique<obs::LineageTracker>(lopt);
+      config.lineage = lineage.get();
+    }
+    std::unique_ptr<obs::CurveRecorder> curves;
+    if (!options.curves_out.empty()) {
+      obs::CurveRecorder::Options copt;
+      copt.round_us =
+          static_cast<std::uint64_t>(config.round_duration().ticks());
+      curves = std::make_unique<obs::CurveRecorder>(copt);
+      config.curves = curves.get();
+    }
+    std::unique_ptr<obs::FlightRecorder> flight;
+    if (!options.flight_out.empty()) {
+      obs::FlightRecorder::Options fopt;
+      fopt.config_text = config_canonical_text(config);
+      fopt.chaos_spec = config.chaos_spec;
+      fopt.seed = config.seed;
+      flight = std::make_unique<obs::FlightRecorder>(fopt);
+      config.flight = flight.get();
+    }
+    try {
+      results[run] = run_experiment(config);
+    } catch (const InvariantError&) {
+      // The ring holds the events leading up to the violation plus the
+      // config and chaos spec needed to replay it; dump before unwinding.
+      if (flight != nullptr) {
+        const std::string path =
+            trace_path_for_run(options.flight_out, run, options.runs);
+        if (flight->dump_to_file(path)) {
+          std::fprintf(stderr,
+                       "[flight] invariant violated: dump written to %s\n",
+                       path.c_str());
+        }
+      }
+      throw;
+    }
+    if (lineage != nullptr) {
+      for (const std::string& e : lineage->errors()) {
+        std::fprintf(stderr, "[lineage] accounting error: %s\n", e.c_str());
+      }
+      write_json(trace_path_for_run(options.lineage_out, run, options.runs),
+                 lineage->to_json());
+    }
+    if (curves != nullptr) {
+      write_json(trace_path_for_run(options.curves_out, run, options.runs),
+                 curves->to_json());
+    }
   };
   try {
     if (jobs <= 1) {
@@ -491,6 +573,14 @@ int run_cli(const CliOptions& options) {
   }
   if (!options.trace_out.empty()) {
     std::printf("[trace] %s (%zu file%s)\n", options.trace_out.c_str(),
+                options.runs, options.runs == 1 ? "" : "s");
+  }
+  if (!options.lineage_out.empty()) {
+    std::printf("[lineage] %s (%zu file%s)\n", options.lineage_out.c_str(),
+                options.runs, options.runs == 1 ? "" : "s");
+  }
+  if (!options.curves_out.empty()) {
+    std::printf("[curves] %s (%zu file%s)\n", options.curves_out.c_str(),
                 options.runs, options.runs == 1 ? "" : "s");
   }
   if (!options.manifest_path.empty()) {

@@ -30,6 +30,16 @@ struct CliOptions {
   /// --run-manifest PATH: write a run.json manifest covering all runs
   /// (implies metric collection so per-run timelines exist).
   std::string manifest_path;
+  /// --lineage PATH: write the causal vote-lineage forest per run as a
+  /// "gridbox-lineage/1" JSON document (per-run "-run<r>" suffix as above).
+  std::string lineage_out;
+  /// --curves-out PATH: write per-run empirical epidemic curves (plus the
+  /// analytic model for hier-gossip) as a "gridbox-curves/1" JSON document.
+  std::string curves_out;
+  /// --flight-recorder PATH: arm a bounded in-memory event ring per run and
+  /// dump it (config + chaos spec + event tail) to PATH when the run dies on
+  /// an invariant violation. Nothing is written for clean runs.
+  std::string flight_out;
 };
 
 /// The trace file a given run writes: `base` itself for a single run, else

@@ -17,6 +17,9 @@
 
 namespace gridbox::obs {
 class TraceSink;
+class LineageTracker;
+class CurveRecorder;
+class FlightRecorder;
 }  // namespace gridbox::obs
 
 namespace gridbox::runner {
@@ -96,6 +99,21 @@ struct ExperimentConfig {
   /// One sink serves one run: sweeps leave this null and per-run tracing is
   /// wired by the caller that owns the sink (see cli --trace-out).
   obs::TraceSink* trace_sink = nullptr;
+
+  /// Causal vote-lineage tracker for this run (non-owning; may be null).
+  /// run_experiment installs the run clock and feeds it every knowledge-gain
+  /// / conclude / finish / crash event (see cli --lineage).
+  obs::LineageTracker* lineage = nullptr;
+
+  /// Epidemic-curve recorder for this run (non-owning; may be null).
+  /// run_experiment installs the run clock, protocol-aware denominators and
+  /// the analytic model parameters (see cli --curves-out).
+  obs::CurveRecorder* curves = nullptr;
+
+  /// Flight recorder for this run (non-owning; may be null). Receives every
+  /// transport + phase-machine event into a bounded ring; the CLI dumps it
+  /// when a run throws InvariantError (see cli --flight-recorder).
+  obs::FlightRecorder* flight = nullptr;
 
   /// Aggregate hot-path scoped timers for this run (RunResult::profile).
   /// Wall-clock telemetry: counts are deterministic, elapsed times are not.

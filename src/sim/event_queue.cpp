@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/ensure.h"
+#include "src/obs/profile.h"
 
 namespace gridbox::sim {
 
@@ -36,6 +37,7 @@ void EventQueue::push(SimTime time, EventWork work) {
 }
 
 Event EventQueue::pop() {
+  GRIDBOX_PROFILE_SCOPE("queue.pop");
   expects(!heap_.empty(), "pop on empty event queue");
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   const std::uint32_t slot = heap_.back().slot;

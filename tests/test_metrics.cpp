@@ -56,6 +56,27 @@ TEST(Metrics, HistogramBucketBoundaries) {
   EXPECT_EQ(h.total(), 5u);
 }
 
+// The production fanout histogram's bucket edges, value by value: each edge
+// lands in its own bucket (bounds are inclusive upper limits), interior
+// values fall into the first bucket whose edge is >= the value.
+TEST(Metrics, FanoutHistogramBucketEdges) {
+  Histogram h({0, 1, 2, 3, 4, 6, 8, 16});
+  for (const std::uint64_t v : {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 17}) {
+    h.observe(v);
+  }
+  ASSERT_EQ(h.counts().size(), 9u);
+  EXPECT_EQ(h.counts()[0], 1u);  // {0}
+  EXPECT_EQ(h.counts()[1], 1u);  // {1}
+  EXPECT_EQ(h.counts()[2], 1u);  // {2}
+  EXPECT_EQ(h.counts()[3], 1u);  // {3}
+  EXPECT_EQ(h.counts()[4], 1u);  // {4}
+  EXPECT_EQ(h.counts()[5], 2u);  // (4,6] = {5,6}
+  EXPECT_EQ(h.counts()[6], 2u);  // (6,8] = {7,8}
+  EXPECT_EQ(h.counts()[7], 2u);  // (8,16] = {9,16}
+  EXPECT_EQ(h.counts()[8], 1u);  // >16 overflow
+  EXPECT_EQ(h.total(), 12u);
+}
+
 MetricsSnapshot snapshot_with(std::uint64_t a, std::uint64_t gauge,
                               std::vector<std::uint64_t> hist_counts) {
   MetricsRegistry registry;
@@ -147,6 +168,35 @@ TEST(Metrics, SweepSnapshotsBitwiseIdenticalAcrossJobs) {
               parallel.points[i].incompleteness.mean);
     EXPECT_EQ(serial.points[i].messages.mean, parallel.points[i].messages.mean);
   }
+}
+
+// Histogram merge at bucket boundaries: sweeping the gossip fanout over
+// values that sit exactly on the fanout histogram's edges (1, 2, 4) must
+// merge per-run histograms into identical counts at --jobs 1 and --jobs 8 —
+// no observation may migrate across a bucket edge during the merge.
+TEST(Metrics, FanoutHistogramMergeIdenticalAcrossJobs) {
+  const auto run_at = [](std::size_t jobs) {
+    ExperimentConfig base = metrics_config();
+    base.jobs = jobs;
+    return runner::run_sweep(
+        base, "m", {1.0, 2.0, 4.0},
+        [](ExperimentConfig& c, double x) {
+          c.gossip.fanout_m = static_cast<std::uint32_t>(x);
+        },
+        3);
+  };
+  const runner::SweepResult serial = run_at(1);
+  const runner::SweepResult parallel = run_at(8);
+
+  const auto& serial_hist = serial.metrics.histograms.at("gossip_fanout_hist");
+  const auto& parallel_hist =
+      parallel.metrics.histograms.at("gossip_fanout_hist");
+  EXPECT_EQ(serial_hist.counts, parallel_hist.counts);
+  EXPECT_EQ(serial_hist.bounds, parallel_hist.bounds);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : serial_hist.counts) total += c;
+  EXPECT_EQ(total, serial.metrics.counter_or_zero("gossip_rounds"));
+  EXPECT_EQ(serial.metrics.to_json(), parallel.metrics.to_json());
 }
 
 void expect_reconciles(const ExperimentConfig& config) {

@@ -102,6 +102,10 @@ TEST(TracePaths, PerRunSuffixInsertsBeforeExtension) {
             "trace-run2.jsonl");
   EXPECT_EQ(runner::trace_path_for_run("out/t", 1, 3), "out/t-run1");
   EXPECT_EQ(runner::trace_path_for_run("a.b/trace", 1, 2), "a.b/trace-run1");
+  // A leading dot names a hidden file, not an extension.
+  EXPECT_EQ(runner::trace_path_for_run(".trace", 1, 2), ".trace-run1");
+  EXPECT_EQ(runner::trace_path_for_run("out/.trace", 1, 2), "out/.trace-run1");
+  EXPECT_EQ(runner::trace_path_for_run("trace", 0, 2), "trace-run0");
 }
 
 // The golden JSONL trace: a canonical world's full event stream (transport

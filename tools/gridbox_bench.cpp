@@ -17,12 +17,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "src/obs/bench_io.h"
 #include "src/obs/build_info.h"
+#include "src/obs/curves.h"
+#include "src/obs/lineage.h"
 #include "src/runner/config.h"
 #include "src/runner/experiment.h"
 #include "src/runner/sweep.h"
@@ -40,6 +43,8 @@ struct BenchOptions {
   bool scale = true;
   bool chaos = true;
   bool quick = false;
+  bool obs_overhead = false;  ///< gate mode instead of the suites
+  double threshold_pct = 5.0;  ///< --obs-overhead failure threshold
   std::uint64_t repeats = 0;  ///< 0 = suite default (5, quick 2)
   std::string out_dir = ".";
   std::size_t jobs = 0;  ///< sweep-case worker threads; 0 = auto
@@ -205,6 +210,93 @@ BenchReport run_chaos(const BenchOptions& options, std::uint64_t repeats) {
   return report;
 }
 
+/// --obs-overhead: the CI gate that observability stays cheap. Times the
+/// micro workload bare and with metrics + lineage armed (the gated pair)
+/// and fails when the instrumented time is more than `threshold_pct`
+/// percent slower; metrics-only and metrics+lineage+curves are reported
+/// alongside for context. Repeats interleave the variants so thermal drift
+/// and cache warmth hit all of them equally, and each variant is scored by
+/// its *minimum* wall time: scheduler noise only ever adds time, so the min
+/// estimates the true cost and keeps a single-digit-percent gate stable on
+/// a ~10 ms workload.
+int run_obs_overhead(std::uint64_t repeats, double threshold_pct) {
+  const ExperimentConfig base = paper_config();
+  ExperimentConfig instrumented = base;
+  instrumented.collect_metrics = true;
+
+  const auto timed_bare = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    (void)gridbox::runner::run_experiment(base);
+    return elapsed_s(start);
+  };
+  const auto timed_metrics = [&] {
+    const auto start = std::chrono::steady_clock::now();
+    (void)gridbox::runner::run_experiment(instrumented);
+    return elapsed_s(start);
+  };
+  const auto timed_lineage = [&] {
+    gridbox::obs::LineageTracker::Options lopt;
+    lopt.group_size = instrumented.group_size;
+    gridbox::obs::LineageTracker lineage(lopt);
+    ExperimentConfig config = instrumented;
+    config.lineage = &lineage;
+    const auto start = std::chrono::steady_clock::now();
+    (void)gridbox::runner::run_experiment(config);
+    return elapsed_s(start);
+  };
+  const auto timed_full = [&] {
+    gridbox::obs::LineageTracker::Options lopt;
+    lopt.group_size = instrumented.group_size;
+    gridbox::obs::LineageTracker lineage(lopt);
+    gridbox::obs::CurveRecorder::Options copt;
+    copt.round_us =
+        static_cast<std::uint64_t>(instrumented.round_duration().ticks());
+    gridbox::obs::CurveRecorder curves(copt);
+    ExperimentConfig config = instrumented;
+    config.lineage = &lineage;
+    config.curves = &curves;
+    const auto start = std::chrono::steady_clock::now();
+    (void)gridbox::runner::run_experiment(config);
+    return elapsed_s(start);
+  };
+
+  // One untimed warm-up of each variant.
+  (void)timed_bare();
+  (void)timed_metrics();
+  (void)timed_lineage();
+  (void)timed_full();
+
+  std::vector<double> off_walls;
+  std::vector<double> metrics_walls;
+  std::vector<double> on_walls;
+  std::vector<double> full_walls;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    off_walls.push_back(timed_bare());
+    metrics_walls.push_back(timed_metrics());
+    on_walls.push_back(timed_lineage());
+    full_walls.push_back(timed_full());
+  }
+  const double off = *std::min_element(off_walls.begin(), off_walls.end());
+  const double metrics =
+      *std::min_element(metrics_walls.begin(), metrics_walls.end());
+  const double on = *std::min_element(on_walls.begin(), on_walls.end());
+  const double full = *std::min_element(full_walls.begin(), full_walls.end());
+  const double overhead_pct = off > 0.0 ? (on / off - 1.0) * 100.0 : 0.0;
+  const double full_pct = off > 0.0 ? (full / off - 1.0) * 100.0 : 0.0;
+  std::printf(
+      "obs-overhead: bare %.4f s, metrics %.4f s, metrics+lineage %.4f s, "
+      "overhead %+.2f%% (threshold +%.1f%%); +curves %.4f s (%+.2f%%, "
+      "informational)\n",
+      off, metrics, on, overhead_pct, threshold_pct, full, full_pct);
+  if (overhead_pct > threshold_pct) {
+    std::fprintf(stderr,
+                 "error: observability overhead %+.2f%% exceeds +%.1f%%\n",
+                 overhead_pct, threshold_pct);
+    return 1;
+  }
+  return 0;
+}
+
 int usage(int code) {
   std::fputs(
       "gridbox_bench — perf-regression suites emitting BENCH_*.json\n"
@@ -215,6 +307,11 @@ int usage(int code) {
       "  --repeats R    wall-time repeats per case (default 5; --quick 2)\n"
       "  --out DIR      output directory for BENCH_*.json (default .)\n"
       "  --jobs N       worker threads for sweep cases (default auto)\n"
+      "  --obs-overhead gate mode: compare the micro workload bare vs with\n"
+      "                 metrics+lineage armed; exit 1 when the\n"
+      "                 instrumented median is over the threshold\n"
+      "  --threshold P  --obs-overhead failure threshold in percent\n"
+      "                 (default 5)\n"
       "  --help         this text\n",
       code == 0 ? stdout : stderr);
   return code;
@@ -232,6 +329,15 @@ int main(int argc, char** argv) {
     if (flag == "--help" || flag == "-h") return usage(0);
     if (flag == "--quick") {
       options.quick = true;
+    } else if (flag == "--obs-overhead") {
+      options.obs_overhead = true;
+    } else if (flag == "--threshold") {
+      const char* value = next();
+      if (value == nullptr || std::atof(value) <= 0.0) {
+        std::fprintf(stderr, "error: --threshold: need a positive percent\n");
+        return usage(1);
+      }
+      options.threshold_pct = std::atof(value);
     } else if (flag == "--suite") {
       const char* value = next();
       if (value == nullptr) {
@@ -280,6 +386,14 @@ int main(int argc, char** argv) {
 
   const std::uint64_t repeats =
       options.repeats != 0 ? options.repeats : (options.quick ? 2 : 5);
+
+  if (options.obs_overhead) {
+    // The gate needs a tighter min than the suites: the workload is ~10 ms,
+    // so a handful of repeats leaves percent-level noise in the estimate.
+    const std::uint64_t gate_repeats =
+        options.repeats != 0 ? options.repeats : 15;
+    return run_obs_overhead(gate_repeats, options.threshold_pct);
+  }
 
   const auto emit = [&](const BenchReport& report, const char* filename) {
     const std::string path = options.out_dir + "/" + filename;

@@ -1,0 +1,528 @@
+// gridbox_explain — offline queries over lineage / curve documents.
+//
+// Answers the questions a failed or puzzling run raises, from artifacts
+// alone (no re-run needed):
+//   --path M V         the causal chain by which member V's vote reached
+//                      member M's final estimate (who told whom, when)
+//   --why-missing M V  the first phase at which V's vote fell out of M's
+//                      subtree, and who still carried it at that point
+//   --curve PHASE      empirical vs analytic infection fractions per round
+//   --summary          (default) completeness, finish counts, errors
+//
+// Inputs are the JSON documents written by gridbox_sim --lineage and
+// --curves-out ("gridbox-lineage/1", "gridbox-curves/1").
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace {
+
+using gridbox::obs::JsonValue;
+
+struct LineageNode {
+  std::uint32_t member = 0;
+  std::string op;  // remote | local | adopted | result | conclude
+  std::uint32_t phase = 0;
+  std::uint32_t index = 0;
+  std::uint32_t votes = 0;
+  std::uint64_t t = 0;
+  std::int64_t parent = -1;
+  std::vector<std::int64_t> merged;
+};
+
+struct LineageDoc {
+  std::size_t group_size = 0;
+  std::uint32_t fanout = 0;
+  std::size_t num_phases = 0;
+  std::uint64_t completeness_bp = 0;
+  std::vector<LineageNode> nodes;
+  std::vector<std::int64_t> final_node;            // per member, -1 = none
+  std::vector<bool> finished;
+  std::vector<bool> crashed;
+  std::vector<std::vector<std::uint32_t>> addr;    // per member digits
+  std::vector<std::string> errors;
+
+  /// Members in M's gossip group at `phase`: the ones sharing the top
+  /// (num_phases - phase) address digits (phase 1 = the grid box, the last
+  /// phase = everyone).
+  [[nodiscard]] bool same_phase_group(std::uint32_t a, std::uint32_t b,
+                                      std::size_t phase) const {
+    if (a >= addr.size() || b >= addr.size()) return false;
+    if (phase >= num_phases) return true;
+    const std::size_t prefix = num_phases - phase;
+    for (std::size_t d = 0; d < prefix && d < addr[a].size(); ++d) {
+      if (addr[a][d] != addr[b][d]) return false;
+    }
+    return true;
+  }
+};
+
+[[nodiscard]] std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+[[nodiscard]] LineageDoc load_lineage(const std::string& path) {
+  const JsonValue root = gridbox::obs::json_parse(read_file(path));
+  if (root.string_or("schema", "") != "gridbox-lineage/1") {
+    std::fprintf(stderr, "error: %s is not a gridbox-lineage/1 document\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  LineageDoc doc;
+  doc.group_size = static_cast<std::size_t>(root.number_or("group_size", 0));
+  doc.fanout = static_cast<std::uint32_t>(root.number_or("fanout", 0));
+  doc.num_phases = static_cast<std::size_t>(root.number_or("num_phases", 0));
+  doc.completeness_bp =
+      static_cast<std::uint64_t>(root.number_or("completeness_bp", 0));
+  doc.final_node.assign(doc.group_size, -1);
+  doc.finished.assign(doc.group_size, false);
+  doc.crashed.assign(doc.group_size, false);
+  doc.addr.assign(doc.group_size, {});
+  if (const JsonValue* members = root.find("members");
+      members != nullptr && members->is_array()) {
+    for (const JsonValue& m : members->array) {
+      const auto id = static_cast<std::size_t>(m.number_or("m", 0));
+      if (id >= doc.group_size) continue;
+      doc.final_node[id] = static_cast<std::int64_t>(m.number_or("final", -1));
+      doc.finished[id] = m.number_or("finished", 0) != 0;
+      doc.crashed[id] = m.number_or("crashed", 0) != 0;
+      if (const JsonValue* a = m.find("addr");
+          a != nullptr && a->is_array()) {
+        for (const JsonValue& digit : a->array) {
+          doc.addr[id].push_back(static_cast<std::uint32_t>(digit.number));
+        }
+      }
+    }
+  }
+  if (const JsonValue* nodes = root.find("nodes");
+      nodes != nullptr && nodes->is_array()) {
+    doc.nodes.reserve(nodes->array.size());
+    for (const JsonValue& n : nodes->array) {
+      LineageNode node;
+      node.member = static_cast<std::uint32_t>(n.number_or("m", 0));
+      node.op = n.string_or("op", "?");
+      node.phase = static_cast<std::uint32_t>(n.number_or("phase", 0));
+      node.index = static_cast<std::uint32_t>(n.number_or("index", 0));
+      node.votes = static_cast<std::uint32_t>(n.number_or("votes", 0));
+      node.t = static_cast<std::uint64_t>(n.number_or("t", 0));
+      node.parent = static_cast<std::int64_t>(n.number_or("parent", -1));
+      if (const JsonValue* merged = n.find("merged");
+          merged != nullptr && merged->is_array()) {
+        for (const JsonValue& id : merged->array) {
+          node.merged.push_back(static_cast<std::int64_t>(id.number));
+        }
+      }
+      doc.nodes.push_back(std::move(node));
+    }
+  }
+  if (const JsonValue* errors = root.find("errors");
+      errors != nullptr && errors->is_array()) {
+    for (const JsonValue& e : errors->array) doc.errors.push_back(e.string);
+  }
+  return doc;
+}
+
+/// Upstream edges of a node: what its knowledge was built from.
+[[nodiscard]] std::vector<std::int64_t> inputs_of(const LineageNode& node) {
+  if (!node.merged.empty()) return node.merged;
+  if (node.parent >= 0) return {node.parent};
+  return {};
+}
+
+/// The set of origin members whose phase-1 votes feed `id` (memoized).
+const std::set<std::uint32_t>& votes_reaching(
+    const LineageDoc& doc, std::int64_t id,
+    std::vector<std::optional<std::set<std::uint32_t>>>& memo) {
+  auto& slot = memo[static_cast<std::size_t>(id)];
+  if (slot.has_value()) return *slot;
+  slot.emplace();  // settles self-cycles (none expected) to the empty set
+  const LineageNode& node = doc.nodes[static_cast<std::size_t>(id)];
+  std::set<std::uint32_t> votes;
+  if (node.phase == 1 && node.op == "local") {
+    votes.insert(node.index);  // the leaf: index is the origin member
+  }
+  for (const std::int64_t input : inputs_of(node)) {
+    if (input < 0 || static_cast<std::size_t>(input) >= doc.nodes.size()) {
+      continue;
+    }
+    const auto& sub = votes_reaching(doc, input, memo);
+    votes.insert(sub.begin(), sub.end());
+  }
+  slot = std::move(votes);
+  return *slot;
+}
+
+void print_node_line(const LineageDoc& doc, std::int64_t id) {
+  const LineageNode& n = doc.nodes[static_cast<std::size_t>(id)];
+  if (n.op == "local" && n.phase == 1) {
+    std::printf("  t=%-10llu M%u seeds its own vote (phase 1)\n",
+                static_cast<unsigned long long>(n.t), n.member);
+  } else if (n.op == "local") {
+    std::printf(
+        "  t=%-10llu M%u carries its phase-%u aggregate into slot %u of "
+        "phase %u (%u votes)\n",
+        static_cast<unsigned long long>(n.t), n.member, n.phase - 1, n.index,
+        n.phase, n.votes);
+  } else if (n.op == "remote") {
+    if (n.phase == 1) {
+      std::printf("  t=%-10llu M%u learns M%u's vote (gossip from M%u)\n",
+                  static_cast<unsigned long long>(n.t), n.member, n.index,
+                  n.index);
+    } else {
+      std::printf(
+          "  t=%-10llu M%u learns slot %u of phase %u from M%u (%u votes)\n",
+          static_cast<unsigned long long>(n.t), n.member, n.index, n.phase,
+          static_cast<std::uint32_t>(
+              n.parent >= 0
+                  ? doc.nodes[static_cast<std::size_t>(n.parent)].member
+                  : 0),
+          n.votes);
+    }
+  } else if (n.op == "adopted") {
+    std::printf(
+        "  t=%-10llu M%u adopts an enclosing phase-%u aggregate (%u votes)\n",
+        static_cast<unsigned long long>(n.t), n.member, n.phase, n.votes);
+  } else if (n.op == "result") {
+    std::printf("  t=%-10llu M%u acquires the final result (%u votes)\n",
+                static_cast<unsigned long long>(n.t), n.member, n.votes);
+  } else if (n.op == "conclude") {
+    std::printf(
+        "  t=%-10llu M%u concludes phase %u merging %zu cells (%u votes)\n",
+        static_cast<unsigned long long>(n.t), n.member, n.phase,
+        n.merged.size(), n.votes);
+  }
+}
+
+/// DFS from `id` down to V's phase-1 seed; fills `path` leaf-last.
+bool find_path(const LineageDoc& doc, std::int64_t id, std::uint32_t v,
+               std::vector<std::int64_t>& path) {
+  if (id < 0 || static_cast<std::size_t>(id) >= doc.nodes.size()) return false;
+  const LineageNode& node = doc.nodes[static_cast<std::size_t>(id)];
+  path.push_back(id);
+  if (node.phase == 1 && node.op == "local" && node.index == v) return true;
+  for (const std::int64_t input : inputs_of(node)) {
+    if (find_path(doc, input, v, path)) return true;
+  }
+  path.pop_back();
+  return false;
+}
+
+int cmd_path(const LineageDoc& doc, std::uint32_t m, std::uint32_t v) {
+  if (m >= doc.group_size || v >= doc.group_size) {
+    std::fprintf(stderr, "error: member out of range (group size %zu)\n",
+                 doc.group_size);
+    return 1;
+  }
+  const std::int64_t final_node = doc.final_node[m];
+  if (final_node < 0) {
+    std::printf("M%u never finished — it has no final estimate to explain\n",
+                m);
+    return 1;
+  }
+  std::vector<std::int64_t> path;
+  if (!find_path(doc, final_node, v, path)) {
+    std::printf(
+        "M%u's vote is NOT part of M%u's final estimate (try --why-missing "
+        "%u %u)\n",
+        v, m, m, v);
+    return 1;
+  }
+  std::printf("how M%u's vote reached M%u (%zu hops):\n", v, m, path.size());
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    print_node_line(doc, *it);
+  }
+  return 0;
+}
+
+int cmd_why_missing(const LineageDoc& doc, std::uint32_t m, std::uint32_t v) {
+  if (m >= doc.group_size || v >= doc.group_size) {
+    std::fprintf(stderr, "error: member out of range (group size %zu)\n",
+                 doc.group_size);
+    return 1;
+  }
+  std::vector<std::optional<std::set<std::uint32_t>>> memo(doc.nodes.size());
+  const std::int64_t final_node = doc.final_node[m];
+  if (final_node >= 0 &&
+      votes_reaching(doc, final_node, memo).count(v) != 0) {
+    std::printf("M%u's vote IS part of M%u's final estimate (see --path %u "
+                "%u)\n",
+                v, m, m, v);
+    return 0;
+  }
+  if (final_node < 0) {
+    std::printf("M%u never finished%s\n", m,
+                doc.crashed[m] ? " (it crashed)" : "");
+  }
+
+  // Does V's vote exist at all?
+  bool seeded = false;
+  for (std::size_t i = 0; i < doc.nodes.size(); ++i) {
+    const LineageNode& n = doc.nodes[i];
+    if (n.phase == 1 && n.op == "local" && n.member == v && n.index == v) {
+      seeded = true;
+      break;
+    }
+  }
+  if (!seeded) {
+    std::printf("M%u never seeded a vote%s\n", v,
+                doc.crashed[v] ? " — it crashed before starting" : "");
+    return 0;
+  }
+
+  // Carriers: members whose phase-p aggregate (conclusion or adoption)
+  // contains V's vote. M can only inherit the vote at phase p+1 from a
+  // carrier inside its phase-(p+1) gossip group, so the first level where
+  // that intersection is empty is where the vote left M's subtree. The loop
+  // runs over the phases the protocol actually executed (single-phase
+  // baselines carry a hierarchy in the doc but never gossip through it).
+  std::size_t phases = 1;
+  for (const LineageNode& n : doc.nodes) {
+    if ((n.op == "conclude" || n.op == "adopted") && n.phase > phases) {
+      phases = n.phase;
+    }
+  }
+  for (std::size_t p = 1; p <= phases; ++p) {
+    std::set<std::uint32_t> carriers;
+    for (std::size_t i = 0; i < doc.nodes.size(); ++i) {
+      const LineageNode& n = doc.nodes[i];
+      if (n.phase != p || (n.op != "conclude" && n.op != "adopted")) continue;
+      if (votes_reaching(doc, static_cast<std::int64_t>(i), memo).count(v) !=
+          0) {
+        carriers.insert(n.member);
+      }
+    }
+    if (carriers.empty()) {
+      std::printf(
+          "phase %zu: NOBODY concluded an aggregate containing M%u's vote — "
+          "the vote died here (lost to message loss or a crash before the "
+          "phase ended)\n",
+          p, v);
+      return 0;
+    }
+    const std::size_t next = p + 1;
+    bool reaches_m = false;
+    for (const std::uint32_t carrier : carriers) {
+      if (next > phases || doc.same_phase_group(carrier, m, next)) {
+        reaches_m = true;
+        break;
+      }
+    }
+    std::printf("phase %zu: %zu member(s) carry M%u's vote:", p,
+                carriers.size(), v);
+    std::size_t shown = 0;
+    for (const std::uint32_t carrier : carriers) {
+      if (shown++ == 8) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" M%u", carrier);
+    }
+    std::printf("\n");
+    if (!reaches_m && next <= phases) {
+      std::printf(
+          "  -> none of them is in M%u's phase-%zu gossip group: the vote "
+          "could never reach M%u after this point\n",
+          m, next, m);
+      return 0;
+    }
+  }
+  std::printf(
+      "carriers existed in M%u's group at every level; M%u simply failed to "
+      "hear the final aggregate (message loss in the last phase)\n",
+      m, m);
+  return 0;
+}
+
+int cmd_summary(const LineageDoc& doc) {
+  std::size_t finished = 0;
+  std::size_t crashed = 0;
+  for (std::size_t i = 0; i < doc.group_size; ++i) {
+    if (doc.finished[i]) ++finished;
+    if (doc.crashed[i]) ++crashed;
+  }
+  std::printf("group_size       %zu\n", doc.group_size);
+  if (doc.num_phases > 0) {
+    std::printf("hierarchy        K=%u, %zu phases\n", doc.fanout,
+                doc.num_phases);
+  }
+  std::printf("finished         %zu\n", finished);
+  std::printf("crashed          %zu\n", crashed);
+  std::printf("completeness_bp  %llu\n",
+              static_cast<unsigned long long>(doc.completeness_bp));
+  std::printf("lineage nodes    %zu\n", doc.nodes.size());
+  std::printf("errors           %zu\n", doc.errors.size());
+  for (const std::string& e : doc.errors) {
+    std::printf("  %s\n", e.c_str());
+  }
+  return doc.errors.empty() ? 0 : 2;
+}
+
+int cmd_curve(const std::string& curves_path, std::uint64_t phase) {
+  const JsonValue root = gridbox::obs::json_parse(read_file(curves_path));
+  if (root.string_or("schema", "") != "gridbox-curves/1") {
+    std::fprintf(stderr, "error: %s is not a gridbox-curves/1 document\n",
+                 curves_path.c_str());
+    return 1;
+  }
+  const JsonValue* phases = root.find("phases");
+  const JsonValue* row = nullptr;
+  if (phases != nullptr && phases->is_array()) {
+    for (const JsonValue& p : phases->array) {
+      if (static_cast<std::uint64_t>(p.number_or("phase", 0)) == phase) {
+        row = &p;
+        break;
+      }
+    }
+  }
+  if (row == nullptr) {
+    std::fprintf(stderr, "error: no phase %llu in %s\n",
+                 static_cast<unsigned long long>(phase), curves_path.c_str());
+    return 1;
+  }
+  std::printf("phase %llu epidemic (denominator %llu pairs)\n",
+              static_cast<unsigned long long>(phase),
+              static_cast<unsigned long long>(row->number_or("denominator",
+                                                             0)));
+  std::printf("%8s %12s %14s %12s\n", "round", "cum gains", "empirical bp",
+              "model bp");
+  // Index the model rows by round, then walk the union of rounds.
+  std::map<std::uint64_t, std::uint64_t> model;
+  if (const JsonValue* mrows = row->find("model");
+      mrows != nullptr && mrows->is_array()) {
+    for (const JsonValue& mr : mrows->array) {
+      model[static_cast<std::uint64_t>(mr.number_or("r", 0))] =
+          static_cast<std::uint64_t>(mr.number_or("frac_bp", 0));
+    }
+  }
+  if (const JsonValue* samples = row->find("samples");
+      samples != nullptr && samples->is_array()) {
+    for (const JsonValue& s : samples->array) {
+      const auto r = static_cast<std::uint64_t>(s.number_or("r", 0));
+      const auto it = model.find(r);
+      char model_text[24] = "-";
+      if (it != model.end()) {
+        std::snprintf(model_text, sizeof(model_text), "%llu",
+                      static_cast<unsigned long long>(it->second));
+      }
+      std::printf("%8llu %12llu %14llu %12s\n",
+                  static_cast<unsigned long long>(r),
+                  static_cast<unsigned long long>(s.number_or("count", 0)),
+                  static_cast<unsigned long long>(s.number_or("frac_bp", 0)),
+                  model_text);
+    }
+  }
+  if (const JsonValue* asym = row->find("asymptote_bp"); asym != nullptr) {
+    std::printf("analytic asymptote: %llu bp\n",
+                static_cast<unsigned long long>(asym->number));
+  }
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      R"(gridbox_explain — query lineage / curve artifacts of a gridbox_sim run
+
+usage: gridbox_explain --lineage FILE [--curves FILE] [command]
+       gridbox_explain --curves FILE --curve PHASE
+
+commands (default: --summary)
+  --summary            completeness, finish/crash counts, accounting errors
+  --path M V           causal chain by which member V's vote reached member
+                       M's final estimate
+  --why-missing M V    first phase at which V's vote fell out of M's subtree
+                       and who still carried it
+  --curve PHASE        empirical vs analytic infection fractions per round
+)",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string lineage_path;
+  std::string curves_path;
+  enum class Cmd : std::uint8_t { kSummary, kPath, kWhyMissing, kCurve };
+  Cmd cmd = Cmd::kSummary;
+  std::uint32_t arg_m = 0;
+  std::uint32_t arg_v = 0;
+  std::uint64_t arg_phase = 0;
+
+  const auto need = [&](int i, int extra) {
+    if (i + extra >= argc) {
+      usage();
+      std::exit(1);
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lineage") == 0) {
+      need(i, 1);
+      lineage_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--curves") == 0) {
+      need(i, 1);
+      curves_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--summary") == 0) {
+      cmd = Cmd::kSummary;
+    } else if (std::strcmp(argv[i], "--path") == 0) {
+      need(i, 2);
+      cmd = Cmd::kPath;
+      arg_m = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      arg_v = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--why-missing") == 0) {
+      need(i, 2);
+      cmd = Cmd::kWhyMissing;
+      arg_m = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      arg_v = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--curve") == 0) {
+      need(i, 1);
+      cmd = Cmd::kCurve;
+      arg_phase = std::stoull(argv[++i]);
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      usage();
+      return 1;
+    }
+  }
+
+  if (cmd == Cmd::kCurve) {
+    if (curves_path.empty()) {
+      std::fprintf(stderr, "error: --curve needs --curves FILE\n");
+      return 1;
+    }
+    return cmd_curve(curves_path, arg_phase);
+  }
+  if (lineage_path.empty()) {
+    usage();
+    return 1;
+  }
+  const LineageDoc doc = load_lineage(lineage_path);
+  switch (cmd) {
+    case Cmd::kPath:
+      return cmd_path(doc, arg_m, arg_v);
+    case Cmd::kWhyMissing:
+      return cmd_why_missing(doc, arg_m, arg_v);
+    default:
+      return cmd_summary(doc);
+  }
+}
