@@ -1,47 +1,152 @@
 #include "src/agg/audit.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "src/common/ensure.h"
 
 namespace gridbox::agg {
+
+namespace {
+
+/// FNV-1a over the window content (offset + words). Deterministic across
+/// runs and platforms; collisions are resolved by content comparison.
+std::uint64_t window_hash(std::uint32_t first_word, const std::uint64_t* words,
+                          std::uint32_t num_words) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(first_word);
+  for (std::uint32_t i = 0; i < num_words; ++i) mix(words[i]);
+  return h;
+}
+
+}  // namespace
 
 AuditRegistry::AuditRegistry(std::size_t universe) : universe_(universe) {
   expects(universe > 0, "audit universe must be positive");
 }
 
+void AuditRegistry::set_bit_order(std::vector<std::uint32_t> member_to_bit) {
+  expects(token_record_.empty(), "bit order must be set before any token");
+  expects(member_to_bit.size() == universe_,
+          "bit order size must match universe");
+  std::vector<std::uint32_t> inverse(universe_,
+                                     static_cast<std::uint32_t>(universe_));
+  for (std::size_t m = 0; m < universe_; ++m) {
+    const std::uint32_t bit = member_to_bit[m];
+    expects(bit < universe_ && inverse[bit] == universe_,
+            "bit order must be a permutation");
+    inverse[bit] = static_cast<std::uint32_t>(m);
+  }
+  member_to_bit_ = std::move(member_to_bit);
+  bit_to_member_ = std::move(inverse);
+}
+
+std::uint32_t AuditRegistry::intern(std::uint32_t first_word,
+                                    const std::uint64_t* words,
+                                    std::uint32_t num_words) {
+  const std::uint64_t h = window_hash(first_word, words, num_words);
+  std::vector<std::uint32_t>& bucket = dedup_[h];
+  for (const std::uint32_t id : bucket) {
+    const Record& r = records_[id];
+    if (r.first_word != first_word || r.num_words != num_words) continue;
+    if (num_words == 0 ||
+        std::memcmp(&pool_[r.pool_index], words,
+                    static_cast<std::size_t>(num_words) * 8) == 0) {
+      return id;
+    }
+  }
+  Record rec;
+  rec.first_word = first_word;
+  rec.num_words = num_words;
+  rec.pool_index = static_cast<std::uint32_t>(pool_.size());
+  rec.hash = h;
+  std::uint32_t bits = 0;
+  for (std::uint32_t i = 0; i < num_words; ++i) {
+    bits += static_cast<std::uint32_t>(std::popcount(words[i]));
+  }
+  rec.count = bits;
+  pool_.insert(pool_.end(), words, words + num_words);
+  const auto id = static_cast<std::uint32_t>(records_.size());
+  records_.push_back(rec);
+  bucket.push_back(id);
+  return id;
+}
+
 std::uint64_t AuditRegistry::register_vote(MemberId member) {
   expects(member.value() < universe_, "member outside audit universe");
-  MemberBitset set(universe_);
-  set.set(member.value());
-  sets_.push_back(std::move(set));
-  return sets_.size();  // token = index + 1; 0 is reserved
+  const std::size_t bit = to_bit(member.value());
+  const std::uint64_t word = std::uint64_t{1} << (bit % 64);
+  token_record_.push_back(
+      intern(static_cast<std::uint32_t>(bit / 64), &word, 1));
+  return token_record_.size();  // token = index + 1; 0 is reserved
 }
 
 std::uint64_t AuditRegistry::register_merge(
     const std::vector<std::uint64_t>& tokens) {
-  MemberBitset acc(universe_);
+  if (acc_words_.empty()) acc_words_.assign((universe_ + 63) / 64, 0);
+  std::size_t lo = acc_words_.size();  // touched word range, for cleanup
+  std::size_t hi = 0;
   for (const std::uint64_t token : tokens) {
     if (token == kNoAuditToken) continue;
-    if (token > sets_.size()) {
+    if (token > token_record_.size()) {
       ++unknown_tokens_;  // forged or corrupt wire data; skip, don't crash
       continue;
     }
-    const MemberBitset& set = set_of(token);
-    if (acc.intersects(set)) ++violations_;
-    acc.merge(set);
+    const Record& rec = records_[token_record_[token - 1]];
+    bool overlap = false;
+    for (std::uint32_t i = 0; i < rec.num_words; ++i) {
+      const std::size_t w = rec.first_word + i;
+      const std::uint64_t v = pool_[rec.pool_index + i];
+      if ((acc_words_[w] & v) != 0) overlap = true;
+      acc_words_[w] |= v;
+    }
+    if (overlap) ++violations_;
+    if (rec.num_words != 0) {
+      lo = std::min(lo, static_cast<std::size_t>(rec.first_word));
+      hi = std::max(hi, static_cast<std::size_t>(rec.first_word) +
+                            rec.num_words);
+    }
   }
-  sets_.push_back(std::move(acc));
-  return sets_.size();
+  // Trim the touched range to the nonzero window (inputs may be empty sets).
+  while (lo < hi && acc_words_[lo] == 0) ++lo;
+  while (hi > lo && acc_words_[hi - 1] == 0) --hi;
+  const std::uint32_t num_words =
+      lo < hi ? static_cast<std::uint32_t>(hi - lo) : 0;
+  token_record_.push_back(intern(static_cast<std::uint32_t>(lo < hi ? lo : 0),
+                                 num_words != 0 ? &acc_words_[lo] : nullptr,
+                                 num_words));
+  if (lo < hi) std::fill(acc_words_.begin() + lo, acc_words_.begin() + hi, 0);
+  return token_record_.size();
 }
 
-const MemberBitset& AuditRegistry::set_of(std::uint64_t token) const {
-  expects(token != kNoAuditToken && token <= sets_.size(),
+const AuditRegistry::Record& AuditRegistry::record(std::uint64_t token) const {
+  expects(token != kNoAuditToken && token <= token_record_.size(),
           "unknown audit token");
-  return sets_[token - 1];
+  return records_[token_record_[token - 1]];
+}
+
+MemberBitset AuditRegistry::set_of(std::uint64_t token) const {
+  MemberBitset out(universe_);
+  for_each_member(token, [&out](MemberId m) { out.set(m.value()); });
+  return out;
 }
 
 std::size_t AuditRegistry::votes_behind(std::uint64_t token) const {
   if (token == kNoAuditToken) return 0;
-  return set_of(token).count();
+  return record(token).count;
+}
+
+std::size_t AuditRegistry::record_of(std::uint64_t token) const {
+  expects(token != kNoAuditToken && token <= token_record_.size(),
+          "unknown audit token");
+  return token_record_[token - 1];
 }
 
 }  // namespace gridbox::agg

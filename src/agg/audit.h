@@ -11,9 +11,20 @@
 // Tokens are simulation-side metadata, not protocol information: protocols
 // forward them opaquely and never branch on them, so audited and unaudited
 // runs execute identically.
+//
+// Storage is built for 10^5..10^6-member universes. One full-width bitset
+// per token would be O(tokens * N) bits (~gigabytes at N=100k); instead each
+// token references a *record* holding only the nonzero word window of its
+// set, records are content-deduplicated (saturated subtree sets repeat
+// across members of a group), and an optional member→bit permutation
+// (set_bit_order) lays hierarchy boxes out contiguously so subtree windows
+// stay narrow. All queries are phrased in member space; the permutation is
+// invisible except through for_each_member's iteration order.
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/bitset.h"
@@ -26,8 +37,14 @@ inline constexpr std::uint64_t kNoAuditToken = 0;
 
 class AuditRegistry {
  public:
-  /// `universe` is the group size; bit i tracks member i's vote.
+  /// `universe` is the group size; member i's vote is tracked by one bit.
   explicit AuditRegistry(std::size_t universe);
+
+  /// Installs a member→bit permutation (size == universe). Must be called
+  /// before any token is issued. Sorting members by hierarchy box makes
+  /// subtree sets contiguous bit ranges, which is what keeps the windowed
+  /// records narrow; without it storage is still correct, just wider.
+  void set_bit_order(std::vector<std::uint32_t> member_to_bit);
 
   /// Token for the singleton set {member}.
   [[nodiscard]] std::uint64_t register_vote(MemberId member);
@@ -40,11 +57,35 @@ class AuditRegistry {
   [[nodiscard]] std::uint64_t register_merge(
       const std::vector<std::uint64_t>& tokens);
 
-  /// The member set behind a token. Requires a token from this registry.
-  [[nodiscard]] const MemberBitset& set_of(std::uint64_t token) const;
+  /// The member set behind a token, materialized in member space. Requires a
+  /// token from this registry. O(set size) — reporting/test use only.
+  [[nodiscard]] MemberBitset set_of(std::uint64_t token) const;
 
-  /// Number of votes behind the token (0 for kNoAuditToken).
+  /// Calls fn(MemberId) for every member behind `token`, in bit order
+  /// (== ascending member id under the identity bit order).
+  template <typename Fn>
+  void for_each_member(std::uint64_t token, Fn&& fn) const {
+    const Record& rec = record(token);
+    for (std::uint32_t wi = 0; wi < rec.num_words; ++wi) {
+      std::uint64_t w = pool_[rec.pool_index + wi];
+      const std::size_t base =
+          (static_cast<std::size_t>(rec.first_word) + wi) * 64;
+      while (w != 0) {
+        const std::size_t bit =
+            base + static_cast<std::size_t>(std::countr_zero(w));
+        fn(MemberId{static_cast<MemberId::underlying>(to_member(bit))});
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Number of votes behind the token (0 for kNoAuditToken). O(1).
   [[nodiscard]] std::size_t votes_behind(std::uint64_t token) const;
+
+  /// The storage record a token resolves to. Content-deduplicated: two
+  /// tokens over identical member sets share a record id, which makes this a
+  /// memoization key for per-set derived values (see measure_run).
+  [[nodiscard]] std::size_t record_of(std::uint64_t token) const;
 
   /// How many merges combined overlapping member sets. Any nonzero value is
   /// a protocol bug (double counting) — unless unknown_token_count() is also
@@ -58,9 +99,40 @@ class AuditRegistry {
 
   [[nodiscard]] std::size_t universe() const { return universe_; }
 
+  /// Distinct stored records (post-dedup) and pooled words — storage
+  /// telemetry for the scale benches.
+  [[nodiscard]] std::size_t record_count() const { return records_.size(); }
+  [[nodiscard]] std::size_t pool_words() const { return pool_.size(); }
+
  private:
+  struct Record {
+    std::uint32_t first_word = 0;  ///< absolute word offset of the window
+    std::uint32_t num_words = 0;   ///< window width (0 == empty set)
+    std::uint32_t pool_index = 0;  ///< window start in pool_
+    std::uint32_t count = 0;       ///< cached popcount
+    std::uint64_t hash = 0;
+  };
+
+  [[nodiscard]] const Record& record(std::uint64_t token) const;
+  [[nodiscard]] std::size_t to_bit(std::size_t member) const {
+    return member_to_bit_.empty() ? member : member_to_bit_[member];
+  }
+  [[nodiscard]] std::size_t to_member(std::size_t bit) const {
+    return bit_to_member_.empty() ? bit : bit_to_member_[bit];
+  }
+  /// Interns the trimmed window [first_word, first_word+num_words) currently
+  /// sitting in `words` and returns its record index (existing on dedup hit).
+  std::uint32_t intern(std::uint32_t first_word, const std::uint64_t* words,
+                       std::uint32_t num_words);
+
   std::size_t universe_;
-  std::vector<MemberBitset> sets_;  // index = token − 1
+  std::vector<std::uint32_t> member_to_bit_;  // empty == identity
+  std::vector<std::uint32_t> bit_to_member_;
+  std::vector<std::uint32_t> token_record_;  // index = token − 1
+  std::vector<Record> records_;
+  std::vector<std::uint64_t> pool_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> dedup_;
+  std::vector<std::uint64_t> acc_words_;  // full-width merge scratch
   std::uint64_t violations_ = 0;
   std::uint64_t unknown_tokens_ = 0;
 };

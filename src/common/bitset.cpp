@@ -1,5 +1,6 @@
 #include "src/common/bitset.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "src/common/ensure.h"
@@ -11,7 +12,15 @@ MemberBitset::MemberBitset(std::size_t universe_size)
 
 void MemberBitset::set(std::size_t i) {
   expects(i < size_, "bit index out of range");
-  words_[i / kBits] |= (std::uint64_t{1} << (i % kBits));
+  const std::size_t wi = i / kBits;
+  words_[wi] |= (std::uint64_t{1} << (i % kBits));
+  bump_watermark(wi);
+}
+
+void MemberBitset::reset(std::size_t i) {
+  expects(i < size_, "bit index out of range");
+  words_[i / kBits] &= ~(std::uint64_t{1} << (i % kBits));
+  settle_watermark();
 }
 
 bool MemberBitset::test(std::size_t i) const {
@@ -19,14 +28,34 @@ bool MemberBitset::test(std::size_t i) const {
   return (words_[i / kBits] >> (i % kBits)) & 1U;
 }
 
+void MemberBitset::set_all() {
+  if (size_ == 0) return;
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  const std::size_t tail = size_ % kBits;
+  if (tail != 0) words_.back() &= (std::uint64_t{1} << tail) - 1;
+  used_words_ = words_.size();
+}
+
+void MemberBitset::grow_universe(std::size_t universe_size) {
+  if (universe_size <= size_) return;
+  size_ = universe_size;
+  words_.resize((universe_size + kBits - 1) / kBits, 0);
+}
+
+void MemberBitset::settle_watermark() {
+  while (used_words_ > 0 && words_[used_words_ - 1] == 0) --used_words_;
+}
+
 std::size_t MemberBitset::count() const {
   std::size_t total = 0;
-  for (const std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  for (std::size_t wi = 0; wi < used_words_; ++wi) {
+    total += static_cast<std::size_t>(std::popcount(words_[wi]));
+  }
   return total;
 }
 
 bool MemberBitset::intersects(const MemberBitset& other) const {
-  const std::size_t n = std::min(words_.size(), other.words_.size());
+  const std::size_t n = std::min(used_words_, other.used_words_);
   for (std::size_t i = 0; i < n; ++i) {
     if ((words_[i] & other.words_[i]) != 0) return true;
   }
@@ -40,7 +69,8 @@ void MemberBitset::merge(const MemberBitset& other) {
     return;
   }
   expects(size_ == other.size_, "bitset universes differ");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  for (std::size_t i = 0; i < other.used_words_; ++i) words_[i] |= other.words_[i];
+  if (other.used_words_ > used_words_) used_words_ = other.used_words_;
 }
 
 bool operator==(const MemberBitset& a, const MemberBitset& b) {

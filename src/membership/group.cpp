@@ -4,27 +4,31 @@
 
 namespace gridbox::membership {
 
-Group::Group(std::size_t size) : alive_(size, true), alive_count_(size) {
+Group::Group(std::size_t size)
+    : size_(size), alive_(size), alive_count_(size) {
   expects(size > 0, "group must have at least one member");
-  members_.reserve(size);
+  alive_.set_all();
+  std::vector<MemberId> ids;
+  ids.reserve(size);
   for (std::size_t i = 0; i < size; ++i) {
-    members_.push_back(MemberId{static_cast<MemberId::underlying>(i)});
+    ids.push_back(MemberId{static_cast<MemberId::underlying>(i)});
   }
+  members_ = std::make_shared<const std::vector<MemberId>>(std::move(ids));
 }
 
 void Group::crash(MemberId id) {
-  expects(id.value() < alive_.size(), "member id out of range");
-  if (alive_[id.value()]) {
-    alive_[id.value()] = false;
+  expects(id.value() < size_, "member id out of range");
+  if (alive_.test(id.value())) {
+    alive_.reset(id.value());
     --alive_count_;
     if (on_crash_) on_crash_(id);
   }
 }
 
 void Group::recover(MemberId id) {
-  expects(id.value() < alive_.size(), "member id out of range");
-  if (!alive_[id.value()]) {
-    alive_[id.value()] = true;
+  expects(id.value() < size_, "member id out of range");
+  if (!alive_.test(id.value())) {
+    alive_.set(id.value());
     ++alive_count_;
   }
 }
@@ -32,7 +36,7 @@ void Group::recover(MemberId id) {
 std::size_t Group::apply_round_crashes(const CrashModel& model,
                                        std::uint64_t round, Rng& rng) {
   std::size_t crashed = 0;
-  for (const MemberId m : members_) {
+  for (const MemberId m : members()) {
     if (is_alive(m) && model.crashes(m, round, rng)) {
       crash(m);
       ++crashed;
@@ -42,13 +46,13 @@ std::size_t Group::apply_round_crashes(const CrashModel& model,
 }
 
 void Group::scatter_positions(Rng& rng) {
-  positions_.resize(members_.size());
+  positions_.resize(size_);
   for (auto& p : positions_) p = Position{rng.uniform(), rng.uniform()};
 }
 
 void Group::grid_positions(Rng& rng, double jitter) {
   expects(jitter >= 0.0, "jitter must be non-negative");
-  const std::size_t n = members_.size();
+  const std::size_t n = size_;
   const auto side =
       static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
   positions_.resize(n);
@@ -68,7 +72,7 @@ Position Group::position(MemberId id) const {
 }
 
 void Group::set_position(MemberId id, Position p) {
-  if (positions_.empty()) positions_.resize(members_.size());
+  if (positions_.empty()) positions_.resize(size_);
   expects(id.value() < positions_.size(), "member id out of range");
   positions_[id.value()] = p;
 }

@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/common/bitset.h"
 #include "src/common/ensure.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
@@ -24,15 +26,19 @@ class Group {
   /// Creates a group of `size` members with ids 0..size-1, all alive.
   explicit Group(std::size_t size);
 
-  [[nodiscard]] std::size_t size() const { return alive_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Members alive right now.
   [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
 
   [[nodiscard]] bool is_alive(MemberId id) const {
-    expects(id.value() < alive_.size(), "member id out of range");
-    return alive_[id.value()];
+    expects(id.value() < size_, "member id out of range");
+    return alive_.test(id.value());
   }
+
+  /// Liveness as a bitset (bit i == member i alive) for word-at-a-time
+  /// scans in the measurement layer.
+  [[nodiscard]] const MemberBitset& alive_set() const { return alive_; }
 
   /// Marks a member crashed. Idempotent.
   void crash(MemberId id);
@@ -54,10 +60,18 @@ class Group {
 
   /// All member ids (alive or not), ascending.
   [[nodiscard]] const std::vector<MemberId>& members() const {
+    return *members_;
+  }
+
+  /// The member vector as a shareable handle (the full view and the state
+  /// arena alias it instead of copying).
+  [[nodiscard]] const std::shared_ptr<const std::vector<MemberId>>&
+  shared_members() const {
     return members_;
   }
 
   /// Complete view over the whole group (paper's baseline assumption).
+  /// Shares the group's member vector — copying the returned View is O(1).
   [[nodiscard]] View full_view() const { return View{members_}; }
 
   /// Assigns uniform random positions in the unit square (sensor fields).
@@ -72,9 +86,10 @@ class Group {
   void set_position(MemberId id, Position p);
 
  private:
-  std::vector<MemberId> members_;
+  std::size_t size_ = 0;
+  std::shared_ptr<const std::vector<MemberId>> members_;
   std::function<void(MemberId)> on_crash_;
-  std::vector<bool> alive_;
+  MemberBitset alive_;
   std::size_t alive_count_ = 0;
   std::vector<Position> positions_;
 };

@@ -2,24 +2,39 @@
 
 namespace gridbox::membership {
 
-View::View(std::vector<MemberId> members) : members_(std::move(members)) {
-  std::sort(members_.begin(), members_.end());
-  members_.erase(std::unique(members_.begin(), members_.end()),
-                 members_.end());
+const std::vector<MemberId> View::kEmpty;
+
+View::View(std::vector<MemberId> members) {
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  members_ = std::make_shared<const std::vector<MemberId>>(std::move(members));
+}
+
+std::vector<MemberId>& View::mutate() {
+  if (!members_ || members_.use_count() > 1) {
+    members_ = std::make_shared<const std::vector<MemberId>>(
+        members_ ? *members_ : std::vector<MemberId>{});
+  }
+  // Sole owner now; the const in the shared_ptr element type is a sharing
+  // contract, not deep immutability.
+  return const_cast<std::vector<MemberId>&>(*members_);
 }
 
 bool View::contains(MemberId id) const {
-  return std::binary_search(members_.begin(), members_.end(), id);
+  const auto& m = members();
+  return std::binary_search(m.begin(), m.end(), id);
 }
 
 void View::add(MemberId id) {
-  const auto it = std::lower_bound(members_.begin(), members_.end(), id);
-  if (it == members_.end() || *it != id) members_.insert(it, id);
+  auto& m = mutate();
+  const auto it = std::lower_bound(m.begin(), m.end(), id);
+  if (it == m.end() || *it != id) m.insert(it, id);
 }
 
 void View::remove(MemberId id) {
-  const auto it = std::lower_bound(members_.begin(), members_.end(), id);
-  if (it != members_.end() && *it == id) members_.erase(it);
+  auto& m = mutate();
+  const auto it = std::lower_bound(m.begin(), m.end(), id);
+  if (it != m.end() && *it == id) m.erase(it);
 }
 
 View complete_view(std::size_t group_size) {

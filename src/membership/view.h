@@ -5,9 +5,15 @@
 // final hierarchical gossiping solution", §2). View supports both complete
 // and partial knowledge: protocols only ever ask a View, never the global
 // Group, so partial-view operation is a drop-in.
+//
+// Views are copy-on-write: copying a View shares the underlying member
+// vector, and add/remove clone it first. N nodes holding the full view by
+// value therefore cost one vector, not N — the difference between O(N) and
+// O(N^2) memory at 10^5+ members.
 #pragma once
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -20,19 +26,25 @@ class View {
   View() = default;
   explicit View(std::vector<MemberId> members);
 
+  /// Wraps an already sorted, duplicate-free shared member vector without
+  /// copying (Group::full_view and the state arena share one vector this
+  /// way).
+  explicit View(std::shared_ptr<const std::vector<MemberId>> members)
+      : members_(std::move(members)) {}
+
   /// All known members, sorted by id, no duplicates.
   [[nodiscard]] const std::vector<MemberId>& members() const {
-    return members_;
+    return members_ ? *members_ : kEmpty;
   }
 
-  [[nodiscard]] std::size_t size() const { return members_.size(); }
-  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] std::size_t size() const { return members().size(); }
+  [[nodiscard]] bool empty() const { return members().empty(); }
   [[nodiscard]] bool contains(MemberId id) const;
 
-  /// Adds a member (idempotent).
+  /// Adds a member (idempotent). Clones the shared vector if needed.
   void add(MemberId id);
 
-  /// Removes a member (idempotent).
+  /// Removes a member (idempotent). Clones the shared vector if needed.
   void remove(MemberId id);
 
   /// Uniformly random known member satisfying `pred`, excluding `self`.
@@ -45,7 +57,7 @@ class View {
     // uniformity, no allocation.
     MemberId chosen = MemberId::invalid();
     std::size_t seen = 0;
-    for (const MemberId m : members_) {
+    for (const MemberId m : members()) {
       if (m == self || !pred(m)) continue;
       ++seen;
       if (rng.index(seen) == 0) chosen = m;
@@ -54,7 +66,11 @@ class View {
   }
 
  private:
-  std::vector<MemberId> members_;
+  /// Makes members_ uniquely owned and mutable (clones if shared or null).
+  std::vector<MemberId>& mutate();
+
+  static const std::vector<MemberId> kEmpty;
+  std::shared_ptr<const std::vector<MemberId>> members_;
 };
 
 /// A complete view over ids 0..n-1 (the common experimental setup).

@@ -20,10 +20,13 @@ SimNetwork::SimNetwork(sim::Simulator& simulator,
 
 void SimNetwork::attach(MemberId id, Endpoint& endpoint) {
   expects(id.is_valid(), "cannot attach the invalid member id");
-  endpoints_[id] = &endpoint;
+  if (id.value() >= endpoints_.size()) endpoints_.resize(id.value() + 1);
+  endpoints_[id.value()] = &endpoint;
 }
 
-void SimNetwork::detach(MemberId id) { endpoints_.erase(id); }
+void SimNetwork::detach(MemberId id) {
+  if (id.value() < endpoints_.size()) endpoints_[id.value()] = nullptr;
+}
 
 void SimNetwork::set_liveness(std::function<bool(MemberId)> is_alive) {
   is_alive_ = std::move(is_alive);
@@ -91,9 +94,11 @@ void SimNetwork::send(Message message) {
 }
 
 void SimNetwork::deliver_frame(const Message& message) {
-  const auto it = endpoints_.find(message.destination);
+  Endpoint* endpoint = message.destination.value() < endpoints_.size()
+                           ? endpoints_[message.destination.value()]
+                           : nullptr;
   const bool alive = !is_alive_ || is_alive_(message.destination);
-  if (it == endpoints_.end() || !alive) {
+  if (endpoint == nullptr || !alive) {
     ++stats_.messages_dead_dest;
     if (observer_ != nullptr) {
       observer_->on_dead_destination(message, simulator_.now());
@@ -103,7 +108,7 @@ void SimNetwork::deliver_frame(const Message& message) {
   ++stats_.messages_delivered;
   if (observer_ != nullptr) observer_->on_deliver(message, simulator_.now());
   try {
-    it->second->on_message(message);
+    endpoint->on_message(message);
   } catch (const PreconditionError&) {
     // A corrupt or truncated payload must never take a node down: decoding
     // failures surface as PreconditionError (ByteReader, Partial checks);

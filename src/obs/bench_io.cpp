@@ -33,6 +33,9 @@ std::string BenchReport::to_json() const {
     w.key("sim_events").value(e.sim_events);
     w.key("network_messages").value(e.network_messages);
     w.key("peak_rss_mb").value(e.peak_rss_mb);
+    if (e.rss_per_member_b > 0.0) {
+      w.key("rss_per_member_b").value(e.rss_per_member_b);
+    }
     w.end_object();
   }
   w.end_array();
@@ -74,6 +77,7 @@ BenchReport BenchReport::parse(const std::string& json_text) {
     e.network_messages =
         static_cast<std::uint64_t>(v.number_or("network_messages", 0));
     e.peak_rss_mb = v.number_or("peak_rss_mb", 0.0);
+    e.rss_per_member_b = v.number_or("rss_per_member_b", 0.0);
     report.entries.push_back(std::move(e));
   }
   return report;
@@ -90,15 +94,25 @@ BenchReport BenchReport::load(const std::string& path) {
 std::string BenchDiffReport::render() const {
   std::ostringstream out;
   char line[200];
-  std::snprintf(line, sizeof(line), "%-32s %12s %12s %8s %9s %9s\n", "case",
-                "old wall_s", "new wall_s", "ratio", "ev/s", "msg/s");
+  std::snprintf(line, sizeof(line), "%-32s %12s %12s %8s %9s %9s %11s\n",
+                "case", "old wall_s", "new wall_s", "ratio", "ev/s", "msg/s",
+                "B/member");
   out << line;
   for (const BenchDiffRow& row : rows) {
+    // Bytes-per-member is informational (never gates): shown as old->new
+    // when either side reports it, blank otherwise.
+    char rss[32];
+    if (row.old_rss_per_member_b > 0.0 || row.new_rss_per_member_b > 0.0) {
+      std::snprintf(rss, sizeof(rss), " %4.0f->%-5.0f",
+                    row.old_rss_per_member_b, row.new_rss_per_member_b);
+    } else {
+      std::snprintf(rss, sizeof(rss), " %11s", "");
+    }
     std::snprintf(line, sizeof(line),
-                  "%-32s %12.6f %12.6f %7.3fx %+8.1f%% %+8.1f%%%s\n",
+                  "%-32s %12.6f %12.6f %7.3fx %+8.1f%% %+8.1f%%%s%s\n",
                   row.name.c_str(), row.old_wall_s, row.new_wall_s,
                   row.wall_ratio, (row.events_ratio - 1.0) * 100.0,
-                  (row.msgs_ratio - 1.0) * 100.0,
+                  (row.msgs_ratio - 1.0) * 100.0, rss,
                   row.regressed ? "  REGRESSED" : "");
     out << line;
   }
@@ -146,6 +160,8 @@ BenchDiffReport bench_diff(const BenchReport& old_report,
     row.msgs_ratio = row.old_msgs_per_s > 0.0
                          ? row.new_msgs_per_s / row.old_msgs_per_s
                          : 0.0;
+    row.old_rss_per_member_b = it->second->rss_per_member_b;
+    row.new_rss_per_member_b = e.rss_per_member_b;
     row.regressed = row.wall_ratio > 1.0 + threshold;
     if (row.regressed) ++report.regressions;
     report.worst_ratio = std::max(report.worst_ratio, row.wall_ratio);

@@ -24,6 +24,10 @@ struct BenchEntry {
   std::uint64_t sim_events = 0;        ///< per repeat (deterministic)
   std::uint64_t network_messages = 0;  ///< per repeat (deterministic)
   double peak_rss_mb = 0.0;            ///< process peak RSS after the case
+  /// Peak RSS divided by the case's member count — the memory-scalability
+  /// figure of merit for the big-N scale cases. 0 when the case does not
+  /// report it (older reports parse fine: the field is optional).
+  double rss_per_member_b = 0.0;
 };
 
 struct BenchReport {
@@ -61,6 +65,8 @@ struct BenchDiffRow {
   double old_msgs_per_s = 0.0;
   double new_msgs_per_s = 0.0;
   double msgs_ratio = 1.0;  ///< new/old msgs/s (0 when old was 0)
+  double old_rss_per_member_b = 0.0;  ///< informational, never gates
+  double new_rss_per_member_b = 0.0;
   bool regressed = false;   ///< wall_ratio > 1 + threshold
 };
 

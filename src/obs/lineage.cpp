@@ -56,8 +56,11 @@ LineageTracker::Cell& LineageTracker::cell_at(MemberState& s,
                                               std::size_t phase,
                                               std::uint32_t index) {
   if (phase == 1) {
-    if (index >= s.phase1.size()) s.phase1.resize(index + 1);
-    return s.phase1[index];
+    const auto it = std::lower_bound(
+        s.phase1.begin(), s.phase1.end(), index,
+        [](const auto& entry, std::uint32_t i) { return entry.first < i; });
+    if (it != s.phase1.end() && it->first == index) return it->second;
+    return s.phase1.insert(it, {index, Cell{}})->second;
   }
   if (phase - 2 >= s.upper.size()) s.upper.resize(phase - 1);
   std::vector<Cell>& row = s.upper[phase - 2];
@@ -69,7 +72,10 @@ const LineageTracker::Cell* LineageTracker::find_cell(const MemberState& s,
                                                       std::size_t phase,
                                                       std::uint32_t index) {
   if (phase == 1) {
-    return index < s.phase1.size() ? &s.phase1[index] : nullptr;
+    const auto it = std::lower_bound(
+        s.phase1.begin(), s.phase1.end(), index,
+        [](const auto& entry, std::uint32_t i) { return entry.first < i; });
+    return it != s.phase1.end() && it->first == index ? &it->second : nullptr;
   }
   if (phase - 2 >= s.upper.size()) return nullptr;
   const std::vector<Cell>& row = s.upper[phase - 2];
@@ -266,18 +272,18 @@ void LineageTracker::replay_conclude(const RawEvent& e) const {
   node.op = NodeOp::kConclude;
   node.at = e.at;
   std::uint64_t sum = 0;
-  const std::vector<Cell>* cells = nullptr;
+  const auto merge_cell = [this, &node, &sum](const Cell& cell) {
+    if (cell.held < 0) return;
+    node.merged.push_back(cell.held);
+    sum += nodes_[static_cast<std::size_t>(cell.held)].votes;
+  };
   if (phase == 1) {
-    cells = &s.phase1;
-  } else if (phase - 2 < s.upper.size()) {
-    cells = &s.upper[phase - 2];
-  }
-  if (cells != nullptr) {
-    for (const Cell& cell : *cells) {
-      if (cell.held < 0) continue;
-      node.merged.push_back(cell.held);
-      sum += nodes_[static_cast<std::size_t>(cell.held)].votes;
+    for (const auto& [index, cell] : s.phase1) {
+      (void)index;
+      merge_cell(cell);
     }
+  } else if (phase - 2 < s.upper.size()) {
+    for (const Cell& cell : s.upper[phase - 2]) merge_cell(cell);
   }
   // Determinism: cells are index-ordered, not arrival-ordered; order the
   // merge list by node id.

@@ -148,9 +148,12 @@ class LineageTracker final : public protocols::gossip::GossipTrace {
   };
 
   struct MemberState {
-    /// Cell state, direct-indexed: phase-1 cells by origin member id,
-    /// phase p >= 2 cells by child slot (< K).
-    std::vector<Cell> phase1;
+    /// Cell state. Phase-1 cells are sparse — a member only ever touches the
+    /// cells of its own box, a K-sized island in a possibly 10^6-wide origin
+    /// space — so they are kept as an index-sorted vector (binary search)
+    /// rather than direct-indexed by origin id. Phase p >= 2 cells are
+    /// direct-indexed by child slot (< K).
+    std::vector<std::pair<std::uint32_t, Cell>> phase1;  ///< sorted by index
     std::vector<std::vector<Cell>> upper;  ///< [phase-2][index]
     std::int64_t carry = -1;   ///< latest conclusion / adoption
     std::int64_t result = -1;  ///< result push, if any

@@ -22,7 +22,12 @@ void ProfileCollector::record(const char* section, std::uint64_t ns) {
 ProfileSnapshot ProfileCollector::snapshot() const {
   ProfileSnapshot snap;
   for (const auto& [name, entry] : entries_) {
-    snap.sections[std::string(name)] = entry;
+    // Merge, don't assign: distinct pointers can carry the same section
+    // name (one literal per translation unit), and assignment would keep
+    // only whichever pointer sorted last.
+    ProfileEntry& out = snap.sections[std::string(name)];
+    out.count += entry.count;
+    out.total_ns += entry.total_ns;
   }
   return snap;
 }

@@ -56,8 +56,12 @@ class ProfileCollector {
  private:
   friend class ProfileInstallGuard;
   // Keyed by the section-name pointer: scope names are string literals, so
-  // pointer identity is name identity within a binary, and the hot-path
-  // lookup avoids string hashing. Snapshot re-keys by value.
+  // within one translation unit pointer identity is name identity and the
+  // hot-path lookup avoids string hashing. The same literal in different
+  // TUs can land at different addresses (no string pooling guarantee), so
+  // snapshot() re-keys by *content* and merges entries whose names collide —
+  // keying output by pointer would split identical sections into duplicate
+  // rows with address-dependent order.
   std::map<const char*, ProfileEntry> entries_;
 };
 

@@ -61,7 +61,11 @@ std::uint32_t CentralizedNode::effective_collect_rounds() const {
 void CentralizedNode::start(SimTime at) {
   own_token_ = register_own_vote();
   if (is_leader()) {
-    collected_.emplace(self(), std::make_pair(own_vote(), own_token_));
+    const std::size_t id = self().value();
+    collected_mask_.grow_universe(id + 1);
+    collected_.resize(id + 1);
+    collected_mask_.set(id);
+    collected_[id] = std::make_pair(own_vote(), own_token_);
   }
   if (gossip::GossipTrace* trace = env_trace()) {
     trace->on_phase_entered(self(), 1);
@@ -83,10 +87,10 @@ bool CentralizedNode::on_round() {
       // Compute the global estimate from whatever arrived.
       agg::Partial acc;
       std::vector<std::uint64_t> tokens;
-      for (const auto& [origin, vt] : collected_) {
-        acc.merge(agg::Partial::from_vote(vt.first));
-        tokens.push_back(vt.second);
-      }
+      collected_mask_.for_each_set([this, &acc, &tokens](std::size_t id) {
+        acc.merge(agg::Partial::from_vote(collected_[id].first));
+        tokens.push_back(collected_[id].second);
+      });
       result_ = acc;
       result_token_ = audit() != nullptr ? audit()->register_merge(tokens)
                                          : agg::kNoAuditToken;
@@ -169,8 +173,16 @@ void CentralizedNode::on_message(const net::Message& message) {
     const MemberId origin{r.u32()};
     const double value = r.f64();
     const std::uint64_t token = r.u64();
-    const bool inserted =
-        collected_.emplace(origin, std::make_pair(value, token)).second;
+    const std::size_t id = origin.value();
+    if (id >= collected_mask_.universe_size()) {
+      collected_mask_.grow_universe(id + 1);
+    }
+    const bool inserted = !collected_mask_.test(id);
+    if (inserted) {
+      collected_mask_.set(id);
+      if (id >= collected_.size()) collected_.resize(id + 1);
+      collected_[id] = std::make_pair(value, token);
+    }
     if (inserted) {
       if (gossip::GossipTrace* trace = env_trace()) {
         trace->on_knowledge_gained(self(), 1, origin.value(), message.source,

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
+#include <vector>
 
+#include "src/common/bitset.h"
 #include "src/protocols/node.h"
 
 namespace gridbox::protocols::baseline {
@@ -64,8 +66,10 @@ class CentralizedNode final : public protocols::ProtocolNode {
   std::uint64_t round_ = 0;
   std::uint64_t own_token_ = agg::kNoAuditToken;
 
-  // Leader state.
-  std::map<MemberId, std::pair<double, std::uint64_t>> collected_;
+  // Leader state. Struct-of-arrays collection: bit `id` set ⟺
+  // collected_[id] holds that member's (vote, token); grows on demand.
+  MemberBitset collected_mask_;
+  std::vector<std::pair<double, std::uint64_t>> collected_;
   std::uint32_t received_this_round_ = 0;
   std::uint64_t implosion_drops_ = 0;
   bool result_ready_ = false;

@@ -101,7 +101,11 @@ void CommitteeNode::start(SimTime at) {
   level_partial_.assign(num_phases_, std::nullopt);
 
   if (am_committee_[0]) {
-    votes_.emplace(self(), std::make_pair(own_vote(), own_token_));
+    const std::size_t id = self().value();
+    votes_mask_.grow_universe(id + 1);
+    votes_.resize(id + 1);
+    votes_mask_.set(id);
+    votes_[id] = std::make_pair(own_vote(), own_token_);
   }
   if (gossip::GossipTrace* trace = env_trace()) {
     trace->on_phase_entered(self(), 1);
@@ -132,10 +136,10 @@ void CommitteeNode::compute_level_partial(std::size_t level) {
   agg::Partial acc;
   std::vector<std::uint64_t> tokens;
   if (level == 1) {
-    for (const auto& [origin, vt] : votes_) {
-      acc.merge(agg::Partial::from_vote(vt.first));
-      tokens.push_back(vt.second);
-    }
+    votes_mask_.for_each_set([this, &acc, &tokens](std::size_t id) {
+      acc.merge(agg::Partial::from_vote(votes_[id].first));
+      tokens.push_back(votes_[id].second);
+    });
   } else {
     for (const auto& slot : slots_[level - 2]) {
       if (!slot.has_value()) continue;
@@ -287,8 +291,14 @@ void CommitteeNode::on_message(const net::Message& message) {
     const MemberId origin{r.u32()};
     const double value = r.f64();
     const std::uint64_t token = r.u64();
-    const bool inserted =
-        votes_.emplace(origin, std::make_pair(value, token)).second;
+    const std::size_t id = origin.value();
+    if (id >= votes_mask_.universe_size()) votes_mask_.grow_universe(id + 1);
+    const bool inserted = !votes_mask_.test(id);
+    if (inserted) {
+      votes_mask_.set(id);
+      if (id >= votes_.size()) votes_.resize(id + 1);
+      votes_[id] = std::make_pair(value, token);
+    }
     if (inserted) {
       if (gossip::GossipTrace* trace = env_trace()) {
         trace->on_knowledge_gained(self(), 1, origin.value(), message.source,

@@ -16,10 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "src/common/bitset.h"
 #include "src/protocols/node.h"
 
 namespace gridbox::protocols::baseline {
@@ -77,8 +78,10 @@ class CommitteeNode : public protocols::ProtocolNode {
   std::vector<std::vector<MemberId>> my_committee_;  // [phase-1]
   std::vector<bool> am_committee_;                   // [phase-1]
 
-  // Box-committee vote collection (phase 1).
-  std::map<MemberId, std::pair<double, std::uint64_t>> votes_;
+  // Box-committee vote collection (phase 1), struct-of-arrays: bit `id`
+  // set ⟺ votes_[id] holds (vote, token); grows on demand.
+  MemberBitset votes_mask_;
+  std::vector<std::pair<double, std::uint64_t>> votes_;
 
   // slots_[p-2][slot]: first-received child partial of phase p (p >= 2).
   std::vector<std::vector<std::optional<KnownValue>>> slots_;

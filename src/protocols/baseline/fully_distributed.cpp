@@ -32,9 +32,25 @@ FullyDistributedNode::FullyDistributedNode(MemberId self, double vote,
   expects(config_.fanout_m >= 1, "fanout must be at least 1");
 }
 
+void FullyDistributedNode::absorb(MemberId origin, const KnownVote& kv,
+                                  MemberId sender) {
+  const std::size_t id = origin.value();
+  if (id >= known_mask_.universe_size()) known_mask_.grow_universe(id + 1);
+  if (known_mask_.test(id)) return;  // first received wins
+  known_mask_.set(id);
+  if (id >= votes_.size()) votes_.resize(id + 1);
+  votes_[id] = kv;
+  if (origin != self()) {
+    if (gossip::GossipTrace* trace = env_trace()) {
+      trace->on_knowledge_gained(self(), 1, origin.value(), sender, 1,
+                                 gossip::GainKind::kRemote);
+    }
+  }
+}
+
 void FullyDistributedNode::start(SimTime at) {
   own_token_ = register_own_vote();
-  known_votes_.emplace(self(), KnownVote{own_vote(), own_token_});
+  absorb(self(), KnownVote{own_vote(), own_token_}, self());
   if (gossip::GossipTrace* trace = env_trace()) {
     trace->on_phase_entered(self(), 1);
     trace->on_knowledge_gained(self(), 1, self().value(), self(), 1,
@@ -74,23 +90,16 @@ void FullyDistributedNode::on_message(const net::Message& message) {
   const MemberId origin{r.u32()};
   const double value = r.f64();
   const std::uint64_t token = r.u64();
-  const bool inserted =
-      known_votes_.emplace(origin, KnownVote{value, token}).second;
-  if (inserted) {
-    if (gossip::GossipTrace* trace = env_trace()) {
-      trace->on_knowledge_gained(self(), 1, origin.value(), message.source, 1,
-                                 gossip::GainKind::kRemote);
-    }
-  }
+  absorb(origin, KnownVote{value, token}, message.source);
 }
 
 void FullyDistributedNode::conclude() {
   agg::Partial acc;
   std::vector<std::uint64_t> tokens;
-  for (const auto& [origin, kv] : known_votes_) {
-    acc.merge(agg::Partial::from_vote(kv.value));
-    tokens.push_back(kv.audit_token);
-  }
+  known_mask_.for_each_set([this, &acc, &tokens](std::size_t id) {
+    acc.merge(agg::Partial::from_vote(votes_[id].value));
+    tokens.push_back(votes_[id].audit_token);
+  });
   const std::uint64_t token =
       audit() != nullptr ? audit()->register_merge(tokens) : agg::kNoAuditToken;
   set_outcome(acc, token);

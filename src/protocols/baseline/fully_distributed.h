@@ -8,8 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <vector>
 
+#include "src/common/bitset.h"
 #include "src/protocols/node.h"
 
 namespace gridbox::protocols::baseline {
@@ -39,13 +40,18 @@ class FullyDistributedNode final : public protocols::ProtocolNode {
 
   bool on_round() override;
   void conclude();
+  void absorb(MemberId origin, const KnownVote& kv, MemberId sender);
 
   FullyDistributedConfig config_;
   std::vector<MemberId> send_queue_;  // members not yet sent to
   std::size_t send_cursor_ = 0;
   std::uint64_t rounds_after_send_ = 0;
   std::uint64_t own_token_ = agg::kNoAuditToken;
-  std::map<MemberId, KnownVote> known_votes_;
+  // Knowledge vector, struct-of-arrays: bit `id` set ⟺ votes_[id] holds
+  // that member's vote. Grows on demand (forged origins included), and
+  // word-at-a-time iteration replaces the old std::map walk.
+  MemberBitset known_mask_;
+  std::vector<KnownVote> votes_;
 };
 
 }  // namespace gridbox::protocols::baseline

@@ -66,9 +66,17 @@ HierGossipNode::HierGossipNode(MemberId self, double vote,
                                membership::View view, protocols::NodeEnv env,
                                Rng rng, GossipConfig config)
     : ProtocolNode(self, vote, std::move(view), env, rng),
-      config_(config) {
+      config_(config),
+      phase_(arena().phase(slot())),
+      rounds_budget_(arena().rounds_budget(slot())) {
   expects(config_.k == hier().fanout(),
           "gossip config K must match the hierarchy fanout");
+  // Segment mode needs the run's phase tables *and* this node seeing the
+  // run's exact member set (the tables describe the full group, not a
+  // partial view). Views share the arena's vector, so pointer identity is
+  // the test.
+  use_segment_ = arena().has_phase_tables() &&
+                 this->view().members().data() == arena().members().data();
 }
 
 void HierGossipNode::start(SimTime at) {
@@ -84,7 +92,7 @@ void HierGossipNode::start(SimTime at) {
 }
 
 void HierGossipNode::enter_phase(std::size_t phase) {
-  phase_ = phase;
+  phase_ = static_cast<std::uint32_t>(phase);
   rounds_in_phase_ = 0;
   // Phase deadlines sit on a fixed grid: phase i times out once the member
   // has executed i * ⌈C·log_M N⌉ rounds since its own start. A member that
@@ -96,15 +104,35 @@ void HierGossipNode::enter_phase(std::size_t phase) {
       static_cast<std::uint64_t>(phase) *
       config_.rounds_per_phase(hier().group_size_estimate());
   round_robin_cursor_ = 0;
+  rebuild_peer_cache();
 
   if (phase == 1) {
-    // Own vote is always known; pre-start gossip may already have filled
-    // known_votes_ with neighbours' votes (start skew), so insert, don't
-    // reset.
+    // The phase-1 universe: this node's box members (itself included),
+    // ascending by id — the key set the old per-node std::map grew into.
+    if (use_segment_) {
+      p1_ids_.reserve(seg_.size);
+      for (std::uint32_t i = 0; i < seg_.size; ++i) {
+        p1_ids_.push_back(arena().ordered_member(1, seg_.offset + i));
+      }
+    } else {
+      p1_ids_ = peers_;
+      p1_ids_.insert(
+          std::lower_bound(p1_ids_.begin(), p1_ids_.end(), self()), self());
+    }
+    p1_mask_ = MemberBitset(p1_ids_.size());
+    p1_values_.assign(p1_ids_.size(), KnownValue{});
+    // Own vote is always known.
     KnownValue own;
     own.partial = agg::Partial::from_vote(own_vote());
     own.audit_token = register_own_vote();
-    known_votes_.emplace(self(), std::move(own));
+    const std::size_t self_idx =
+        use_segment_
+            ? seg_.pos
+            : static_cast<std::size_t>(
+                  std::lower_bound(p1_ids_.begin(), p1_ids_.end(), self()) -
+                  p1_ids_.begin());
+    p1_mask_.set(self_idx);
+    p1_values_[self_idx] = std::move(own);
   } else {
     known_children_.assign(config_.k, std::nullopt);
     // Seed our own child slot with the previous phase's result (§6.3:
@@ -112,7 +140,6 @@ void HierGossipNode::enter_phase(std::size_t phase) {
     // height-(i−1) subtree immediately after phase (i−1) concludes").
     known_children_[hier().child_slot(self(), phase)] = carry_;
   }
-  rebuild_peer_cache();
   if (config_.trace != nullptr) {
     config_.trace->on_phase_entered(self(), phase);
     if (phase == 1) {
@@ -128,7 +155,24 @@ void HierGossipNode::enter_phase(std::size_t phase) {
 }
 
 void HierGossipNode::rebuild_peer_cache() {
-  peers_ = hier().phase_peers(view().members(), self(), phase_);
+  if (use_segment_) {
+    seg_ = arena().segment(phase_, self());
+    peers_.clear();
+  } else {
+    peers_ = hier().phase_peers(view().members(), self(), phase_);
+  }
+}
+
+std::size_t HierGossipNode::peer_count() const {
+  return use_segment_ ? seg_.size - 1 : peers_.size();
+}
+
+MemberId HierGossipNode::peer_at(std::size_t index) const {
+  if (!use_segment_) return peers_[index];
+  // The segment includes self at seg_.pos; skipping it reproduces the old
+  // self-excluded peer vector index for index.
+  const std::size_t j = index < seg_.pos ? index : index + 1;
+  return arena().ordered_member(phase_, seg_.offset + j);
 }
 
 bool HierGossipNode::on_round() {
@@ -148,14 +192,15 @@ bool HierGossipNode::on_round() {
   ++rounds_in_phase_;
 
   std::uint32_t fanout = 0;
-  if (!peers_.empty()) {
+  const std::size_t gossipees = peer_count();
+  if (gossipees > 0) {
     // Note: gossip_once subsamples entries into scratch_picks_, so the
     // round's gossipee picks need their own scratch vector.
     rng().sample_indices_into(
-        peers_.size(), std::min<std::size_t>(config_.fanout_m, peers_.size()),
+        gossipees, std::min<std::size_t>(config_.fanout_m, gossipees),
         scratch_round_picks_);
     fanout = static_cast<std::uint32_t>(scratch_round_picks_.size());
-    for (const std::size_t p : scratch_round_picks_) gossip_once(peers_[p]);
+    for (const std::size_t p : scratch_round_picks_) gossip_once(peer_at(p));
   }
   if (config_.trace != nullptr) {
     config_.trace->on_round_gossiped(self(), phase_, fanout);
@@ -169,21 +214,17 @@ void HierGossipNode::gossip_once(MemberId target) {
     std::vector<VoteEntry>& entries = scratch_votes_;
     entries.clear();
     if (config_.exchange_mode == ExchangeMode::kSingleValue) {
-      const KnownValue* value = pick_value_to_send();
-      if (value == nullptr) return;
-      for (auto& [origin, kv] : known_votes_) {
-        if (&kv == value) {
-          ++kv.times_sent;
-          entries.push_back(VoteEntry{origin, kv.partial.sum(),
-                                      kv.audit_token});
-          break;
-        }
-      }
+      const Candidate picked = pick_value_to_send();
+      if (picked.value == nullptr) return;
+      ++picked.value->times_sent;
+      entries.push_back(VoteEntry{
+          MemberId{static_cast<MemberId::underlying>(picked.key)},
+          picked.value->partial.sum(), picked.value->audit_token});
     } else {
       // Full-state: everything known, or a uniform subset above the cap.
-      for (const auto& [origin, kv] : known_votes_) {
+      for_each_known_vote([&entries](MemberId origin, KnownValue& kv) {
         entries.push_back(VoteEntry{origin, kv.partial.sum(), kv.audit_token});
-      }
+      });
       if (entries.size() > kMaxEntriesPerMessage) {
         // Same draw sequence as sampling from a separate `all` vector, so
         // seeded runs and their wire bytes are unchanged.
@@ -201,17 +242,12 @@ void HierGossipNode::gossip_once(MemberId target) {
     std::vector<ChildEntry>& entries = scratch_children_;
     entries.clear();
     if (config_.exchange_mode == ExchangeMode::kSingleValue) {
-      const KnownValue* value = pick_value_to_send();
-      if (value == nullptr) return;
-      for (std::uint32_t slot = 0; slot < config_.k; ++slot) {
-        auto& known = known_children_[slot];
-        if (known.has_value() && &known.value() == value) {
-          ++known->times_sent;
-          entries.push_back(
-              ChildEntry{slot, known->partial, known->audit_token});
-          break;
-        }
-      }
+      const Candidate picked = pick_value_to_send();
+      if (picked.value == nullptr) return;
+      ++picked.value->times_sent;
+      entries.push_back(
+          ChildEntry{static_cast<std::uint32_t>(picked.key),
+                     picked.value->partial, picked.value->audit_token});
     } else {
       for (std::uint32_t slot = 0; slot < config_.k; ++slot) {
         const auto& known = known_children_[slot];
@@ -237,26 +273,33 @@ void HierGossipNode::gossip_once(MemberId target) {
   }
 }
 
-const HierGossipNode::KnownValue* HierGossipNode::pick_value_to_send() {
-  // Collect candidate values for the current phase.
-  std::vector<const KnownValue*>& candidates = scratch_candidates_;
+HierGossipNode::Candidate HierGossipNode::pick_value_to_send() {
+  // Collect candidate values for the current phase, ascending by key — the
+  // same order the std::map iteration produced.
+  std::vector<Candidate>& candidates = scratch_candidates_;
   candidates.clear();
   if (phase_ == 1) {
-    for (const auto& [origin, kv] : known_votes_) candidates.push_back(&kv);
+    for_each_known_vote([&candidates](MemberId origin, KnownValue& kv) {
+      candidates.push_back(Candidate{origin.value(), &kv});
+    });
   } else {
-    for (const auto& known : known_children_) {
-      if (known.has_value()) candidates.push_back(&known.value());
+    for (std::uint32_t slot = 0; slot < config_.k; ++slot) {
+      auto& known = known_children_[slot];
+      if (known.has_value()) {
+        candidates.push_back(Candidate{slot, &known.value()});
+      }
     }
   }
-  if (candidates.empty()) return nullptr;
+  if (candidates.empty()) return Candidate{};
 
   switch (config_.value_policy) {
     case ValuePolicy::kRandomSingle:
       return candidates[rng().index(candidates.size())];
     case ValuePolicy::kRarestFirst:
       return *std::min_element(candidates.begin(), candidates.end(),
-                               [](const KnownValue* a, const KnownValue* b) {
-                                 return a->times_sent < b->times_sent;
+                               [](const Candidate& a, const Candidate& b) {
+                                 return a.value->times_sent <
+                                        b.value->times_sent;
                                });
     case ValuePolicy::kRoundRobin:
       return candidates[round_robin_cursor_++ % candidates.size()];
@@ -326,11 +369,26 @@ void HierGossipNode::on_message(const net::Message& message) {
 
 void HierGossipNode::absorb_vote(MemberId origin, double value,
                                  std::uint64_t token, MemberId sender) {
-  KnownValue kv;
-  kv.partial = agg::Partial::from_vote(value);
-  kv.audit_token = token;
   // First received wins; duplicates are idempotent (same origin, same vote).
-  const bool inserted = known_votes_.emplace(origin, std::move(kv)).second;
+  bool inserted = false;
+  const auto it = std::lower_bound(p1_ids_.begin(), p1_ids_.end(), origin);
+  if (it != p1_ids_.end() && *it == origin) {
+    const auto idx = static_cast<std::size_t>(it - p1_ids_.begin());
+    if (!p1_mask_.test(idx)) {
+      p1_mask_.set(idx);
+      p1_values_[idx].partial = agg::Partial::from_vote(value);
+      p1_values_[idx].audit_token = token;
+      p1_values_[idx].times_sent = 0;
+      inserted = true;
+    }
+  } else {
+    // Origin outside this node's phase-1 universe: possible under partial
+    // views, where a box peer knows members this node's view lacks.
+    KnownValue kv;
+    kv.partial = agg::Partial::from_vote(value);
+    kv.audit_token = token;
+    inserted = p1_extra_.emplace(origin, std::move(kv)).second;
+  }
   if (inserted && config_.trace != nullptr) {
     config_.trace->on_knowledge_gained(self(), 1, origin.value(), sender, 1,
                                        GainKind::kRemote);
@@ -367,11 +425,9 @@ void HierGossipNode::absorb_child(std::uint32_t slot,
 bool HierGossipNode::phase_saturated() const {
   if (phase_ == 1) {
     if (!config_.phase1_early_bump_with_view) return false;
-    // All same-box view members' votes known (peers_ is exactly that set).
-    for (const MemberId peer : peers_) {
-      if (!known_votes_.contains(peer)) return false;
-    }
-    return true;
+    // All box members' votes known (p1_ids_ is exactly that set, self
+    // included and always known).
+    return p1_mask_.count() == p1_ids_.size();
   }
   return std::all_of(known_children_.begin(), known_children_.end(),
                      [](const auto& v) { return v.has_value(); });
@@ -381,10 +437,10 @@ void HierGossipNode::conclude_phase(PhaseEnd how) {
   agg::Partial acc;
   std::vector<std::uint64_t> tokens;
   if (phase_ == 1) {
-    for (const auto& [origin, kv] : known_votes_) {
+    for_each_known_vote([&acc, &tokens](MemberId, KnownValue& kv) {
       acc.merge(kv.partial);
       tokens.push_back(kv.audit_token);
-    }
+    });
   } else {
     for (const auto& known : known_children_) {
       if (!known.has_value()) continue;
@@ -405,7 +461,7 @@ void HierGossipNode::adopt_phase_result(std::size_t msg_phase,
   // What would this member conclude from its own knowledge right now?
   std::uint32_t own_count = 0;
   if (phase_ == 1) {
-    own_count = static_cast<std::uint32_t>(known_votes_.size());
+    own_count = static_cast<std::uint32_t>(known_vote_count());
   } else {
     for (const auto& known : known_children_) {
       if (known.has_value()) own_count += known->partial.count();
@@ -440,7 +496,7 @@ void HierGossipNode::finish_phase(PhaseEnd how) {
   }
   if (phase_ >= hier().num_phases()) {
     set_outcome(carry_.partial, carry_.audit_token);
-    phase_ = hier().num_phases() + 1;
+    phase_ = static_cast<std::uint32_t>(hier().num_phases() + 1);
     if (config_.trace != nullptr) {
       config_.trace->on_finished(self(), carry_.partial.count());
     }

@@ -12,14 +12,23 @@
 // No leader election, no failure detection, no acknowledgements: robustness
 // comes entirely from epidemic redundancy. Message and time complexity are
 // O(N·log²N) and O(log²N) — poly-logarithmically sub-optimal.
+//
+// State layout. When the run provides a StateArena with phase tables and
+// this node's view is the run's full view, gossip targets come straight from
+// the arena's per-phase group segments — no per-node peer vectors, which at
+// the final phase used to mean every node holding an (N−1)-entry list.
+// Phase-1 knowledge is a small struct-of-arrays over the node's box members
+// (index-parallel flags + values) instead of a std::map per node; iteration
+// stays in ascending-id order, so RNG draws, wire bytes, and traces are
+// bitwise-identical to the map-based implementation.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/bitset.h"
 #include "src/protocols/gossip/gossip_config.h"
 #include "src/protocols/gossip/trace.h"
 #include "src/protocols/node.h"
@@ -57,6 +66,13 @@ class HierGossipNode final : public protocols::ProtocolNode {
     std::uint64_t times_sent = 0;
   };
 
+  /// A sendable value: its wire key (origin id in phase 1, child slot in
+  /// phases >= 2) plus the mutable entry behind it.
+  struct Candidate {
+    std::uint64_t key = 0;
+    KnownValue* value = nullptr;
+  };
+
   /// Wire entry for a phase-1 vote batch (20 bytes on the wire).
   struct VoteEntry {
     MemberId origin;
@@ -88,17 +104,57 @@ class HierGossipNode final : public protocols::ProtocolNode {
   void absorb_child(std::uint32_t slot, const agg::Partial& partial,
                     std::uint64_t token, MemberId sender);
   [[nodiscard]] bool phase_saturated() const;  // all values known (early bump)
-  [[nodiscard]] const KnownValue* pick_value_to_send();
+  [[nodiscard]] Candidate pick_value_to_send();
   void rebuild_peer_cache();
 
-  GossipConfig config_;
-  std::size_t phase_ = 0;  // 0 = not started
-  std::uint64_t rounds_in_phase_ = 0;
-  std::uint64_t rounds_budget_ = 0;
+  /// Gossipees available this phase (segment size − 1, or peers_.size()).
+  [[nodiscard]] std::size_t peer_count() const;
+  /// The `index`-th gossipee (ascending id, self excluded).
+  [[nodiscard]] MemberId peer_at(std::size_t index) const;
 
-  // Phase-1 knowledge: votes of members in this node's grid box, keyed by
-  // origin member. Deterministic order (std::map) keeps runs reproducible.
-  std::map<MemberId, KnownValue> known_votes_;
+  /// Number of phase-1 votes known (box members + out-of-box extras).
+  [[nodiscard]] std::size_t known_vote_count() const {
+    return p1_mask_.count() + p1_extra_.size();
+  }
+
+  /// Calls fn(MemberId origin, KnownValue&) for every known phase-1 vote in
+  /// ascending origin order — the iteration order the old std::map had.
+  template <typename Fn>
+  void for_each_known_vote(Fn&& fn) {
+    auto it = p1_extra_.begin();
+    for (std::size_t i = 0; i < p1_ids_.size(); ++i) {
+      if (!p1_mask_.test(i)) continue;
+      while (it != p1_extra_.end() && it->first < p1_ids_[i]) {
+        fn(it->first, it->second);
+        ++it;
+      }
+      fn(p1_ids_[i], p1_values_[i]);
+    }
+    for (; it != p1_extra_.end(); ++it) fn(it->first, it->second);
+  }
+
+  GossipConfig config_;
+  // Hot per-member scalars live in the run arena's lanes (struct-of-arrays);
+  // these references are this node's slots in them.
+  std::uint32_t& phase_;          // 0 = not started; num_phases+1 = finished
+  std::uint64_t& rounds_budget_;  // phase deadline on the global round grid
+  std::uint64_t rounds_in_phase_ = 0;
+
+  // True when gossip targets come from the arena's phase segments (shared
+  // arena with phase tables, full run view). Otherwise peers_ is
+  // materialized per phase, as the map-based implementation did.
+  bool use_segment_ = false;
+  StateArena::Segment seg_;  // current phase's segment (use_segment_ only)
+
+  // Phase-1 knowledge, struct-of-arrays: p1_ids_ is the node's box-member
+  // universe (sorted, includes self), p1_mask_ flags which votes are known,
+  // p1_values_ holds them index-parallel. Out-of-universe origins (possible
+  // under partial views: a peer knows box members this node's view lacks)
+  // overflow into the ordered p1_extra_ map.
+  std::vector<MemberId> p1_ids_;
+  MemberBitset p1_mask_;
+  std::vector<KnownValue> p1_values_;
+  std::map<MemberId, KnownValue> p1_extra_;
 
   // Phase-i (i >= 2) knowledge: one aggregate per child slot, first received
   // wins (paper: "when it first receives the same ... in phase i"). Values
@@ -110,7 +166,9 @@ class HierGossipNode final : public protocols::ProtocolNode {
   // Result of the previous phase, seeding this node's own child slot.
   KnownValue carry_;
 
-  // View members in the same phase group as this node, re-filtered per phase.
+  // View members in the same phase group as this node, re-filtered per
+  // phase. Only populated when segments are unavailable (hand-wired tests,
+  // partial views) — with segments this stays empty at every phase.
   std::vector<MemberId> peers_;
 
   std::vector<SimTime> phase_end_times_;
@@ -121,7 +179,7 @@ class HierGossipNode final : public protocols::ProtocolNode {
   // are dead between calls; every user clears before filling.
   std::vector<VoteEntry> scratch_votes_;
   std::vector<ChildEntry> scratch_children_;
-  std::vector<const KnownValue*> scratch_candidates_;
+  std::vector<Candidate> scratch_candidates_;
   std::vector<std::size_t> scratch_round_picks_;  ///< gossipee picks per round
   std::vector<std::size_t> scratch_picks_;        ///< entry subsampling
 };

@@ -9,17 +9,22 @@ namespace gridbox::protocols {
 ProtocolNode::ProtocolNode(MemberId self, double vote, membership::View view,
                            NodeEnv env, Rng rng)
     : self_(self),
-      vote_(vote),
       view_(std::move(view)),
       env_(env),
+      solo_arena_(env.arena == nullptr
+                      ? std::make_unique<StateArena>(StateArena::solo(self))
+                      : nullptr),
+      arena_(env.arena != nullptr ? env.arena : solo_arena_.get()),
+      slot_(arena_->slot_of(self)),
       rng_(rng) {
   expects(env_.simulator != nullptr, "node env: simulator required");
   expects(env_.network != nullptr, "node env: network required");
   expects(env_.hierarchy != nullptr, "node env: hierarchy required");
+  arena_->vote(slot_) = vote;
 }
 
 void ProtocolNode::send_to(MemberId to, const net::Frame& frame) {
-  ++messages_sent_;
+  ++arena_->messages_sent(slot_);
   env_.network->send(net::Message{self_, to, frame});
 }
 
@@ -30,8 +35,11 @@ void ProtocolNode::start_rounds(SimTime start, SimTime interval) {
 }
 
 std::uint64_t ProtocolNode::register_own_vote() {
-  if (env_.audit == nullptr) return agg::kNoAuditToken;
-  return env_.audit->register_vote(self_);
+  const std::uint64_t token = env_.audit == nullptr
+                                  ? agg::kNoAuditToken
+                                  : env_.audit->register_vote(self_);
+  arena_->audit_token(slot_) = token;
+  return token;
 }
 
 void ProtocolNode::set_outcome(agg::Partial estimate, std::uint64_t token) {

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "src/agg/aggregate.h"
@@ -22,6 +23,7 @@
 #include "src/hierarchy/hierarchy.h"
 #include "src/membership/view.h"
 #include "src/net/network.h"
+#include "src/protocols/arena.h"
 #include "src/protocols/gossip/trace.h"
 #include "src/sim/simulator.h"
 
@@ -34,6 +36,9 @@ struct NodeEnv {
   net::SimNetwork* network = nullptr;
   const hierarchy::GridBoxHierarchy* hierarchy = nullptr;
   agg::AuditRegistry* audit = nullptr;  // nullable
+  /// Shared struct-of-arrays state for the run's nodes (nullable: a node
+  /// without one gets a private single-slot arena).
+  StateArena* arena = nullptr;  // nullable
   /// Liveness of *this* node: a crashed process stops executing.
   std::function<bool(MemberId)> is_alive;
   agg::AggregateKind kind = agg::AggregateKind::kAverage;
@@ -61,14 +66,18 @@ class ProtocolNode : public net::Endpoint, public sim::TimerTarget {
   virtual void start(SimTime at) = 0;
 
   [[nodiscard]] MemberId self() const { return self_; }
-  [[nodiscard]] double own_vote() const { return vote_; }
+  [[nodiscard]] double own_vote() const { return arena_->vote(slot_); }
   [[nodiscard]] const membership::View& view() const { return view_; }
 
   [[nodiscard]] const NodeOutcome& outcome() const { return outcome_; }
   [[nodiscard]] bool finished() const { return outcome_.finished; }
 
-  [[nodiscard]] std::uint64_t messages_sent() const { return messages_sent_; }
-  [[nodiscard]] std::uint64_t rounds_executed() const { return rounds_; }
+  [[nodiscard]] std::uint64_t messages_sent() const {
+    return arena_->messages_sent(slot_);
+  }
+  [[nodiscard]] std::uint64_t rounds_executed() const {
+    return arena_->round(slot_);
+  }
 
  protected:
   [[nodiscard]] sim::Simulator& simulator() { return *env_.simulator; }
@@ -103,21 +112,29 @@ class ProtocolNode : public net::Endpoint, public sim::TimerTarget {
   void start_rounds(SimTime start, SimTime interval);
 
   /// Registers this node's own vote with the audit registry (token 0 if
-  /// audit is off). Call once during start().
+  /// audit is off) and records it in the arena's audit-token lane. Call
+  /// once during start().
   [[nodiscard]] std::uint64_t register_own_vote();
 
-  void count_round() { ++rounds_; }
+  void count_round() { ++arena_->round(slot_); }
   void set_outcome(agg::Partial estimate, std::uint64_t token);
+
+  /// The run's state arena and this node's slot in it. Protocols keep
+  /// hot per-member scalars (phase, round budget) in arena lanes rather
+  /// than member fields.
+  [[nodiscard]] StateArena& arena() { return *arena_; }
+  [[nodiscard]] const StateArena& arena() const { return *arena_; }
+  [[nodiscard]] std::size_t slot() const { return slot_; }
 
  private:
   MemberId self_;
-  double vote_;
   membership::View view_;
   NodeEnv env_;
+  std::unique_ptr<StateArena> solo_arena_;  // only when env.arena is null
+  StateArena* arena_;
+  std::size_t slot_;
   Rng rng_;
   NodeOutcome outcome_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t rounds_ = 0;
 };
 
 }  // namespace gridbox::protocols

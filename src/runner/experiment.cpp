@@ -349,13 +349,41 @@ RunResult run_experiment(const ExperimentConfig& config) {
   std::unique_ptr<agg::AuditRegistry> audit;
   if (config.audit) {
     audit = std::make_unique<agg::AuditRegistry>(config.group_size);
+    // Bit order sorted by (box, id): a box's members get contiguous bits, so
+    // the audit sets the protocols actually build (per-box, then per-subtree)
+    // occupy narrow word windows instead of scattering across the universe.
+    std::vector<MemberId> by_box = group.members();
+    std::stable_sort(by_box.begin(), by_box.end(),
+                     [&hier](MemberId a, MemberId b) {
+                       return hier.phase_group(a, 1) < hier.phase_group(b, 1);
+                     });
+    std::vector<std::uint32_t> member_to_bit(config.group_size);
+    for (std::uint32_t bit = 0; bit < by_box.size(); ++bit) {
+      member_to_bit[by_box[bit].value()] = bit;
+    }
+    audit->set_bit_order(std::move(member_to_bit));
   }
+
+  // Shared struct-of-arrays node state (§DESIGN 11): one arena of flat
+  // per-member lanes plus the hierarchy's phase-group segment tables,
+  // computed once per run instead of once per node.
+  protocols::StateArena arena(group.shared_members());
+  arena.build_phase_tables(hier);
+  simulator.reserve_events(4 * config.group_size);
+  // The runaway-reschedule guard must scale with N: a healthy audited run
+  // executes ~450 events per member at N = 10^5 and grows ~log N past
+  // that, so the stock 500M lifetime cap is real headroom at small N but
+  // less than one legitimate run at N = 10^6. 1000 events/member keeps a
+  // comfortable 2x margin while still catching unbounded loops.
+  simulator.set_event_limit(std::max<std::uint64_t>(
+      500'000'000, 1000 * static_cast<std::uint64_t>(config.group_size)));
 
   protocols::NodeEnv env;
   env.simulator = &simulator;
   env.network = &network;
   env.hierarchy = &hier;
   env.audit = audit.get();
+  env.arena = &arena;
   env.is_alive = [&group](MemberId m) { return group.is_alive(m); };
   env.kind = config.aggregate;
 

@@ -79,6 +79,15 @@ class EventQueue {
   /// Enqueues work at an absolute simulated time.
   void push(SimTime time, EventWork work);
 
+  /// Pre-sizes heap and slab for `capacity` simultaneously pending events,
+  /// so large-N runs reach steady state without reallocation during the
+  /// initial burst.
+  void reserve(std::size_t capacity) {
+    heap_.reserve(capacity);
+    slab_.reserve(capacity);
+    free_slots_.reserve(capacity);
+  }
+
   /// Removes and returns the earliest event. Requires !empty().
   [[nodiscard]] Event pop();
 

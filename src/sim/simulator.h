@@ -82,6 +82,10 @@ class Simulator {
   /// protocol bugs that reschedule forever.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  /// Pre-sizes the event queue for `capacity` simultaneously pending events
+  /// (large-N runs: avoids reallocation churn during the start-skew burst).
+  void reserve_events(std::size_t capacity) { queue_.reserve(capacity); }
+
  private:
   void execute(Event& event);
 

@@ -1,0 +1,45 @@
+// Regression test: ProfileCollector keys its hot-path map by section-name
+// *pointer* (cheap), but the same scope name used from two translation
+// units generally lands at two different addresses. snapshot() must re-key
+// by content and merge such entries into one section — the bug this guards
+// against split them into duplicate rows whose order depended on load
+// addresses, breaking profile determinism across builds.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/obs/profile.h"
+
+namespace gridbox::obs::two_tu_test {
+
+// Implemented in test_profile_two_tu_helper.cpp.
+const char* helper_section_name();
+void helper_record(std::uint64_t ns);
+
+namespace {
+
+const char kSection[] = "twotu.section";
+
+TEST(ProfileTwoTu, SameSectionNameFromTwoTusMergesIntoOneRow) {
+  // The premise: two distinct name addresses with equal content. If a
+  // future toolchain pools these arrays the test would pass vacuously, so
+  // assert the premise explicitly.
+  ASSERT_NE(static_cast<const void*>(kSection),
+            static_cast<const void*>(helper_section_name()));
+  ASSERT_STREQ(kSection, helper_section_name());
+
+  ProfileCollector collector;
+  ProfileInstallGuard guard(&collector);
+  ProfileCollector::current()->record(kSection, 5);
+  helper_record(7);
+  ProfileCollector::current()->record(kSection, 1);
+
+  const ProfileSnapshot snap = collector.snapshot();
+  ASSERT_EQ(snap.sections.size(), 1u);
+  const ProfileEntry& entry = snap.sections.at("twotu.section");
+  EXPECT_EQ(entry.count, 3u);
+  EXPECT_EQ(entry.total_ns, 13u);
+}
+
+}  // namespace
+}  // namespace gridbox::obs::two_tu_test

@@ -1,0 +1,24 @@
+// Second translation unit of the ProfileCollector cross-TU regression test
+// (see test_profile_two_tu.cpp). Records into a section whose name has the
+// same *content* as the one in the test TU but — being a namespace-scope
+// array, not a string literal the linker may pool — a guaranteed different
+// address.
+#include <cstdint>
+
+#include "src/obs/profile.h"
+
+namespace gridbox::obs::two_tu_test {
+
+namespace {
+const char kSection[] = "twotu.section";
+}  // namespace
+
+const char* helper_section_name() { return kSection; }
+
+void helper_record(std::uint64_t ns) {
+  if (ProfileCollector* collector = ProfileCollector::current()) {
+    collector->record(kSection, ns);
+  }
+}
+
+}  // namespace gridbox::obs::two_tu_test

@@ -43,6 +43,7 @@ struct BenchOptions {
   bool scale = true;
   bool chaos = true;
   bool quick = false;
+  bool huge = false;  ///< add the 10^6-member scale point
   bool obs_overhead = false;  ///< gate mode instead of the suites
   double threshold_pct = 5.0;  ///< --obs-overhead failure threshold
   std::uint64_t repeats = 0;  ///< 0 = suite default (5, quick 2)
@@ -98,6 +99,31 @@ void run_case(BenchReport& report, const std::string& name,
               name.c_str(), entry.wall_s, entry.events_per_s,
               entry.msgs_per_s);
   report.entries.push_back(std::move(entry));
+}
+
+/// Lossless saturation config for the big-N scale points: no loss, no
+/// crashes, audit on. With every box saturating, phases end by early bump
+/// and the audit registry's content dedup collapses the per-node provenance
+/// sets, so even 10^5..10^6 members complete in seconds.
+ExperimentConfig scale_config(std::size_t n) {
+  ExperimentConfig config;
+  config.group_size = n;
+  config.ucast_loss = 0.0;
+  config.crash_probability = 0.0;
+  config.audit = true;
+  config.seed = 20010701;
+  return config;
+}
+
+/// Stamps the just-appended entry with peak RSS per member. Peak RSS is
+/// process-wide and monotone, so big-N cases must run before anything
+/// larger; the column is informational (bench_diff never gates on it).
+void note_rss_per_member(BenchReport& report, std::size_t members) {
+  BenchEntry& entry = report.entries.back();
+  entry.rss_per_member_b =
+      entry.peak_rss_mb * 1024.0 * 1024.0 / static_cast<double>(members);
+  std::printf("  %-28s peak rss %8.1f MB   %8.0f B/member\n",
+              entry.name.c_str(), entry.peak_rss_mb, entry.rss_per_member_b);
 }
 
 /// One end-to-end run as a bench body.
@@ -178,6 +204,18 @@ BenchReport run_scale(const BenchOptions& options, std::uint64_t repeats) {
     return std::pair<std::uint64_t, std::uint64_t>(sweep.total_sim_events,
                                                    messages);
   });
+
+  if (!options.quick) {
+    // Struct-of-arrays scale points: one audited lossless run well past the
+    // paper's N range. Deterministic like every other case, but minutes
+    // long — so always a single repeat, whatever --repeats says.
+    run_case(report, "hier_n100k", 1, single_run_body(scale_config(100'000)));
+    note_rss_per_member(report, 100'000);
+    if (options.huge) {
+      run_case(report, "hier_n1m", 1, single_run_body(scale_config(1'000'000)));
+      note_rss_per_member(report, 1'000'000);
+    }
+  }
   return report;
 }
 
@@ -304,6 +342,7 @@ int usage(int code) {
       "usage: gridbox_bench [flags]\n"
       "  --suite NAME   micro | scale | chaos | all (default all)\n"
       "  --quick        smaller case list and fewer repeats (CI smoke)\n"
+      "  --huge         add the 10^6-member scale point (scale suite only)\n"
       "  --repeats R    wall-time repeats per case (default 5; --quick 2)\n"
       "  --out DIR      output directory for BENCH_*.json (default .)\n"
       "  --jobs N       worker threads for sweep cases (default auto)\n"
@@ -329,6 +368,8 @@ int main(int argc, char** argv) {
     if (flag == "--help" || flag == "-h") return usage(0);
     if (flag == "--quick") {
       options.quick = true;
+    } else if (flag == "--huge") {
+      options.huge = true;
     } else if (flag == "--obs-overhead") {
       options.obs_overhead = true;
     } else if (flag == "--threshold") {
