@@ -66,7 +66,7 @@ int main() {
   });
 
   protocols::NodeEnv env;
-  env.simulator = &simulator;
+  env.scheduler = &simulator;
   env.network = &network;
   env.hierarchy = &hier;
   env.is_alive = [&wing](MemberId m) { return wing.is_alive(m); };

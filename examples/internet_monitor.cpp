@@ -50,7 +50,7 @@ EpochResult run_epoch(membership::Group& processes,
       [&processes](MemberId m) { return processes.is_alive(m); });
 
   protocols::NodeEnv env;
-  env.simulator = &simulator;
+  env.scheduler = &simulator;
   env.network = &network;
   env.hierarchy = &hier;
   env.is_alive = [&processes](MemberId m) { return processes.is_alive(m); };

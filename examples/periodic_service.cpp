@@ -50,7 +50,7 @@ int main() {
   network.set_liveness([&sensors](MemberId m) { return sensors.is_alive(m); });
 
   protocols::NodeEnv env;
-  env.simulator = &simulator;
+  env.scheduler = &simulator;
   env.network = &network;
   env.hierarchy = &hier;
   env.is_alive = [&sensors](MemberId m) { return sensors.is_alive(m); };

@@ -46,7 +46,7 @@ int main() {
 
   // 4. One protocol node per member.
   protocols::NodeEnv env;
-  env.simulator = &simulator;
+  env.scheduler = &simulator;
   env.network = &network;
   env.hierarchy = &hier;
   env.is_alive = [&group](MemberId m) { return group.is_alive(m); };

@@ -48,7 +48,7 @@ int main() {
   network.set_liveness([&field](MemberId m) { return field.is_alive(m); });
 
   protocols::NodeEnv env;
-  env.simulator = &simulator;
+  env.scheduler = &simulator;
   env.network = &network;
   env.hierarchy = &hier;
   env.is_alive = [&field](MemberId m) { return field.is_alive(m); };

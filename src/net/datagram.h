@@ -1,0 +1,64 @@
+// The UDP wire encoding of one net::Message.
+//
+// A datagram is a fixed 16-byte header followed by the frame payload:
+//
+//   offset  size  field
+//        0     4  magic        0x47'52'42'58 ("GRBX", little-endian u32)
+//        4     1  version      1
+//        5     1  reserved     0
+//        6     2  payload_len  little-endian u16, <= net::kMaxPayloadBytes
+//        8     4  source       little-endian u32 member id
+//       12     4  destination  little-endian u32 member id
+//       16     n  payload      exactly payload_len frame bytes
+//
+// Decoding is strict: the datagram's total size must equal
+// kDatagramHeaderBytes + payload_len exactly — truncated AND padded
+// datagrams are malformed, never partially accepted. That mirrors
+// SimNetwork's contract ("never corrupts silently"): a receiver either
+// delivers the frame bytes unchanged or counts the datagram malformed.
+//
+// Free functions over raw buffers, deliberately socket-free: the decode
+// fuzz tests (tests/test_udp_fuzz.cpp) drive this exact code path with
+// arbitrary byte soup and no file descriptors in sight.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/net/message.h"
+
+namespace gridbox::net {
+
+inline constexpr std::size_t kDatagramHeaderBytes = 16;
+inline constexpr std::size_t kMaxDatagramBytes =
+    kDatagramHeaderBytes + kMaxPayloadBytes;
+inline constexpr std::uint32_t kDatagramMagic = 0x47524258;  // "GRBX"
+inline constexpr std::uint8_t kDatagramVersion = 1;
+
+/// Why a buffer failed to decode (kOk = it decoded).
+enum class DecodeError : std::uint8_t {
+  kOk = 0,
+  kTooShort = 1,        ///< fewer than kDatagramHeaderBytes bytes
+  kBadMagic = 2,        ///< magic mismatch: not a gridbox datagram
+  kBadVersion = 3,      ///< version this decoder does not speak
+  kBadReserved = 4,     ///< reserved byte nonzero
+  kOversizePayload = 5, ///< header claims more than kMaxPayloadBytes
+  kLengthMismatch = 6,  ///< total size != header bytes + claimed payload
+};
+
+[[nodiscard]] const char* to_string(DecodeError error);
+
+/// Writes the datagram for `message` into `buffer`, which must hold at
+/// least kMaxDatagramBytes. Returns the number of bytes written
+/// (kDatagramHeaderBytes + frame size).
+[[nodiscard]] std::size_t encode_datagram(const Message& message,
+                                          std::uint8_t* buffer);
+
+/// Parses `size` bytes at `data` into `out`. Returns kOk and fills `out`
+/// only when the buffer is a well-formed datagram; on any error `out` is
+/// untouched. Never reads past `data + size` and never throws — this is
+/// the boundary where untrusted network bytes enter the process.
+[[nodiscard]] DecodeError decode_datagram(const std::uint8_t* data,
+                                          std::size_t size, Message& out);
+
+}  // namespace gridbox::net

@@ -18,22 +18,19 @@
 #include "src/net/message.h"
 #include "src/net/observer.h"
 #include "src/net/stats.h"
+#include "src/net/transport.h"
 #include "src/sim/simulator.h"
 
 namespace gridbox::net {
-
-/// Receiver side of the transport. Protocol nodes implement this.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-  virtual void on_message(const Message& message) = 0;
-};
 
 /// In-flight messages are typed deliver-frame events: the frame rides inside
 /// the event queue, so a send -> deliver hop is two fixed-size copies and no
 /// heap allocation (chaos duplicates reuse the already-built frame the same
 /// way — one more event copy each, never a deep copy).
-class SimNetwork final : public sim::FrameSink {
+///
+/// Final: protocol code dispatches through Transport, but the simulator's
+/// own calls (deliver_frame) and the runner's wiring stay devirtualized.
+class SimNetwork final : public Transport, public sim::FrameSink {
  public:
   /// The network does not own the simulator; it must outlive the network.
   SimNetwork(sim::Simulator& simulator, std::unique_ptr<FaultModel> faults,
@@ -44,10 +41,10 @@ class SimNetwork final : public sim::FrameSink {
 
   /// Registers the receiver for a member id. The endpoint must outlive the
   /// network or be detached first.
-  void attach(MemberId id, Endpoint& endpoint);
+  void attach(MemberId id, Endpoint& endpoint) override;
 
   /// Removes the receiver; in-flight messages to it are dropped on arrival.
-  void detach(MemberId id);
+  void detach(MemberId id) override;
 
   /// Optional liveness oracle consulted at delivery time; a message to a
   /// member for which this returns false is counted as dead-destination.
@@ -76,9 +73,9 @@ class SimNetwork final : public sim::FrameSink {
   /// Sends one unicast message. May be dropped by the fault model; otherwise
   /// it is delivered after the model latency, if the destination is then
   /// attached and alive. Self-sends are delivered like any other message.
-  void send(Message message);
+  void send(Message message) override;
 
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] const NetworkStats& stats() const override { return stats_; }
   void reset_stats() { stats_.reset(); }
 
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }

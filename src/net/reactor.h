@@ -1,0 +1,144 @@
+// Real-time event loop: poll(2) over nonblocking sockets plus a hashed
+// timer wheel, presented to protocol code as a sim::Scheduler.
+//
+// This is the real-world twin of sim::Simulator. The simulator advances a
+// virtual clock to the next queued event; the reactor sleeps in poll(2)
+// until a socket turns readable or the next timer-wheel tick comes due, and
+// reads its clock from steady_clock µs since a run-wide epoch. Protocol
+// nodes cannot tell the difference: start_rounds() arms the same typed
+// TimerTarget chain, and on_timer's return value re-arms or stops the
+// periodic timer exactly as in the simulator.
+//
+// Threading model (docs/udp_runtime.md): a run shards its members over a
+// few reactors, one thread each. Everything protocol-visible — timer fires,
+// datagram deliveries, scheduled actions, the run_until done() probe — is
+// executed under the run's single dispatch mutex, because the protocol
+// state they touch (AuditRegistry, StateArena, membership::Group) is not
+// thread-safe. Socket readiness waiting stays parallel; only dispatch is
+// serialized. Scheduling calls (schedule_*) are reactor-thread-local: they
+// may be made during setup before the loop starts, or from inside a
+// callback this reactor is running — never from another thread.
+//
+// The loop tolerates EINTR (poll retried, counted), EAGAIN (drain loops
+// simply end), and spurious wakeups (a poll return with nothing readable
+// costs one bounded iteration) without busy-spinning: every iteration
+// either dispatches work or sleeps in poll for the tick quantum.
+#pragma once
+
+#include <poll.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/scheduler.h"
+
+namespace gridbox::net {
+
+/// Receiver of socket readiness. Implemented by UdpTransport.
+class IoHandler {
+ public:
+  virtual ~IoHandler() = default;
+  /// `fd` polled readable (possibly spuriously). Drain until EAGAIN.
+  virtual void on_readable(int fd) = 0;
+};
+
+class Reactor final : public sim::Scheduler {
+ public:
+  struct Options {
+    /// The run's giant dispatch lock; null = single-threaded run, no
+    /// locking. Held around every timer fire, action, on_readable, and
+    /// done() probe.
+    std::mutex* dispatch_mutex = nullptr;
+    /// Timer wheel tick quantum; also the poll sleep bound, so a timer
+    /// fires at most ~one quantum late.
+    SimTime tick = SimTime::millis(1);
+    /// Wheel slots; horizon before a wrap is tick * slots (entries past
+    /// the horizon simply wait out extra laps).
+    std::size_t slots = 4096;
+  };
+
+  explicit Reactor(Options options);
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Sets the steady_clock instant that maps to SimTime::zero(). All
+  /// reactors of one run share one epoch so their clocks agree.
+  void bind_epoch(std::chrono::steady_clock::time_point epoch) {
+    epoch_ = epoch;
+  }
+
+  /// Real microseconds since the epoch.
+  [[nodiscard]] SimTime now() const override;
+
+  // sim::Scheduler — same clamping semantics as the simulator: times in
+  // the past mean "as soon as possible".
+  void schedule_at(SimTime time, sim::Action action) override;
+  void schedule_after(SimTime delay, sim::Action action) override;
+  void schedule_periodic(SimTime start, SimTime interval,
+                         sim::TimerTarget& target,
+                         std::uint32_t timer_id = 0) override;
+  void schedule_timer_at(SimTime time, sim::TimerTarget& target,
+                         std::uint32_t timer_id = 0) override;
+
+  /// Registers `fd` for readability watching. The handler must outlive the
+  /// registration.
+  void add_fd(int fd, IoHandler& handler);
+  void remove_fd(int fd);
+
+  /// Runs the poll/timer loop until `done()` returns true (probed under
+  /// the dispatch lock once per iteration) or the real clock passes
+  /// `deadline`. Returns true iff done() turned true.
+  bool run_until(const std::function<bool()>& done, SimTime deadline);
+
+  /// Fires every timer due at or before now() once, without polling.
+  /// Exposed for mocked-reactor unit tests that drive the loop by hand.
+  void fire_due_timers();
+
+  /// Injectable poll(2), for tests that script EINTR and spurious wakeups.
+  using PollFn = std::function<int(pollfd*, nfds_t, int)>;
+  void set_poll_fn(PollFn fn) { poll_fn_ = std::move(fn); }
+
+  [[nodiscard]] std::uint64_t timers_fired() const { return timers_fired_; }
+  [[nodiscard]] std::uint64_t actions_run() const { return actions_run_; }
+  [[nodiscard]] std::uint64_t polls() const { return polls_; }
+  [[nodiscard]] std::uint64_t eintr_retries() const { return eintr_retries_; }
+
+ private:
+  /// One wheel entry: either a typed timer (target != null) or an action.
+  struct Entry {
+    SimTime deadline;
+    SimTime interval;  ///< zero = one-shot
+    sim::TimerTarget* target = nullptr;
+    std::uint32_t timer_id = 0;
+    sim::Action action;  ///< used when target == null
+  };
+
+  void insert(Entry entry);
+  [[nodiscard]] std::size_t slot_of(SimTime deadline) const;
+  /// Collects due entries from slots in (last_tick_, now-tick], fires them
+  /// under the dispatch lock, re-inserts surviving periodic timers.
+  void advance_wheel(SimTime now);
+
+  Options options_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+  std::vector<std::vector<Entry>> wheel_;
+  std::int64_t last_tick_ = -1;  ///< last wheel tick fully processed
+  std::size_t pending_timers_ = 0;
+  std::vector<Entry> due_;  ///< scratch: entries being fired this pass
+
+  std::vector<pollfd> pollfds_;
+  std::vector<IoHandler*> handlers_;  ///< parallel to pollfds_
+  PollFn poll_fn_;
+
+  std::uint64_t timers_fired_ = 0;
+  std::uint64_t actions_run_ = 0;
+  std::uint64_t polls_ = 0;
+  std::uint64_t eintr_retries_ = 0;
+};
+
+}  // namespace gridbox::net

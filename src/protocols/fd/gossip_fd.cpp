@@ -10,12 +10,12 @@ namespace gridbox::protocols::fd {
 
 GossipFailureDetector::GossipFailureDetector(MemberId self,
                                              membership::View view,
-                                             sim::Simulator& simulator,
-                                             net::SimNetwork& network, Rng rng,
+                                             sim::Scheduler& scheduler,
+                                             net::Transport& network, Rng rng,
                                              FdConfig config)
     : self_(self),
       view_(std::move(view)),
-      simulator_(&simulator),
+      scheduler_(&scheduler),
       network_(&network),
       rng_(rng),
       config_(config) {
@@ -46,7 +46,7 @@ const GossipFailureDetector::Entry* GossipFailureDetector::entry_of(
 void GossipFailureDetector::start(SimTime at) {
   expects(!running_, "start called twice");
   running_ = true;
-  simulator_->schedule_periodic(at, config_.round_duration, *this);
+  scheduler_->schedule_periodic(at, config_.round_duration, *this);
 }
 
 bool GossipFailureDetector::on_timer(std::uint32_t /*timer_id*/) {

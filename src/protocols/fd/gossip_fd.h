@@ -27,8 +27,8 @@
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/membership/view.h"
-#include "src/net/network.h"
-#include "src/sim/simulator.h"
+#include "src/net/transport.h"
+#include "src/sim/scheduler.h"
 
 namespace gridbox::protocols::fd {
 
@@ -51,7 +51,7 @@ class GossipFailureDetector final : public net::Endpoint,
   static constexpr std::uint8_t kWireType = 0x20;
 
   GossipFailureDetector(MemberId self, membership::View view,
-                        sim::Simulator& simulator, net::SimNetwork& network,
+                        sim::Scheduler& scheduler, net::Transport& network,
                         Rng rng, FdConfig config);
 
   /// Begins heartbeating and gossiping at `at`; runs until stop().
@@ -96,8 +96,8 @@ class GossipFailureDetector final : public net::Endpoint,
 
   MemberId self_;
   membership::View view_;
-  sim::Simulator* simulator_;
-  net::SimNetwork* network_;
+  sim::Scheduler* scheduler_;
+  net::Transport* network_;
   Rng rng_;
   FdConfig config_;
   std::function<bool(MemberId)> is_alive_;

@@ -482,14 +482,14 @@ void HierGossipNode::adopt_phase_result(std::size_t msg_phase,
   // The adopted value concludes phase msg_phase − 1, skipping the phases in
   // between; they end (vacuously) now.
   while (phase_ + 1 < msg_phase) {
-    phase_end_times_.push_back(simulator().now());
+    phase_end_times_.push_back(scheduler().now());
     ++phase_;
   }
   finish_phase(PhaseEnd::kAdopted);
 }
 
 void HierGossipNode::finish_phase(PhaseEnd how) {
-  phase_end_times_.push_back(simulator().now());
+  phase_end_times_.push_back(scheduler().now());
   if (config_.trace != nullptr) {
     config_.trace->on_phase_concluded(self(), phase_, how,
                                       carry_.partial.count());

@@ -9,12 +9,12 @@
 namespace gridbox::protocols::gossip {
 
 FloodStarter::FloodStarter(MemberId self, membership::View view,
-                           sim::Simulator& simulator, net::SimNetwork& network,
+                           sim::Scheduler& scheduler, net::Transport& network,
                            Rng rng, FloodConfig config,
                            std::function<void(std::uint64_t)> on_start)
     : self_(self),
       view_(std::move(view)),
-      simulator_(&simulator),
+      scheduler_(&scheduler),
       network_(&network),
       rng_(rng),
       config_(config),
@@ -69,7 +69,7 @@ void FloodStarter::forward_round(std::uint64_t instance,
       network_->send(net::Message{self_, others[i], frame});
     }
   }
-  simulator_->schedule_after(
+  scheduler_->schedule_after(
       config_.round_duration, [this, instance, rounds_left]() {
         // A newer instance supersedes the flood of an older one.
         if (last_started_ == instance) {

@@ -18,7 +18,7 @@
 #include "src/common/types.h"
 #include "src/membership/view.h"
 #include "src/net/network.h"
-#include "src/sim/simulator.h"
+#include "src/sim/scheduler.h"
 
 namespace gridbox::protocols::gossip {
 
@@ -38,8 +38,8 @@ class FloodStarter {
  public:
   /// `on_start(instance)` fires exactly once per instance id, at the
   /// simulated time the first START for it arrives (or initiate() is called).
-  FloodStarter(MemberId self, membership::View view, sim::Simulator& simulator,
-               net::SimNetwork& network, Rng rng, FloodConfig config,
+  FloodStarter(MemberId self, membership::View view, sim::Scheduler& scheduler,
+               net::Transport& network, Rng rng, FloodConfig config,
                std::function<void(std::uint64_t)> on_start);
 
   /// The wire type tag this class uses (first payload byte).
@@ -64,8 +64,8 @@ class FloodStarter {
 
   MemberId self_;
   membership::View view_;
-  sim::Simulator* simulator_;
-  net::SimNetwork* network_;
+  sim::Scheduler* scheduler_;
+  net::Transport* network_;
   Rng rng_;
   FloodConfig config_;
   std::function<void(std::uint64_t)> on_start_;

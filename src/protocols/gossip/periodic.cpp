@@ -40,7 +40,7 @@ void PeriodicAggregatorNode::start(SimTime at) {
   // Epoch e begins at `at + e * period`; the chain self-schedules so crashes
   // stop it naturally (a dead member's instance never finishes and the next
   // begin_epoch call still happens but the instance won't act).
-  env_.simulator->schedule_at(at, [this]() { begin_epoch(0); });
+  env_.scheduler->schedule_at(at, [this]() { begin_epoch(0); });
 }
 
 void PeriodicAggregatorNode::begin_epoch(std::size_t epoch) {
@@ -49,13 +49,13 @@ void PeriodicAggregatorNode::begin_epoch(std::size_t epoch) {
   instance_ = std::make_unique<HierGossipNode>(
       self_, vote_for_epoch_(epoch), view_, env_,
       rng_.derive(0xE90C0000 + epoch), config_.gossip);
-  instance_->start(env_.simulator->now());
+  instance_->start(env_.scheduler->now());
   if (epoch + 1 < config_.epochs) {
-    env_.simulator->schedule_after(
+    env_.scheduler->schedule_after(
         config_.period, [this, next = epoch + 1]() { begin_epoch(next); });
   } else {
     // Harvest the final epoch once it must have drained.
-    env_.simulator->schedule_after(config_.period,
+    env_.scheduler->schedule_after(config_.period,
                                    [this]() { harvest_previous(); });
   }
 }

@@ -16,7 +16,7 @@ InvariantChecker::InvariantChecker(Config config)
 }
 
 SimTime InvariantChecker::now() const {
-  return config_.simulator != nullptr ? config_.simulator->now()
+  return config_.scheduler != nullptr ? config_.scheduler->now()
                                       : SimTime::zero();
 }
 

@@ -23,7 +23,7 @@
 #include "src/agg/audit.h"
 #include "src/common/types.h"
 #include "src/protocols/gossip/trace.h"
-#include "src/sim/simulator.h"
+#include "src/sim/scheduler.h"
 
 namespace gridbox::protocols {
 
@@ -46,7 +46,7 @@ class InvariantChecker final : public gossip::GossipTrace {
     /// Highest legal phase index. 0 disables the phase-range check.
     std::size_t num_phases = 0;
     /// Clock for violation timestamps and the deadline check (optional).
-    const sim::Simulator* simulator = nullptr;
+    const sim::Scheduler* scheduler = nullptr;
     /// When set, merge disjointness is checked at every phase conclusion by
     /// watching this registry's violation counter (optional).
     const agg::AuditRegistry* audit = nullptr;

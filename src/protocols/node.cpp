@@ -17,7 +17,7 @@ ProtocolNode::ProtocolNode(MemberId self, double vote, membership::View view,
       arena_(env.arena != nullptr ? env.arena : solo_arena_.get()),
       slot_(arena_->slot_of(self)),
       rng_(rng) {
-  expects(env_.simulator != nullptr, "node env: simulator required");
+  expects(env_.scheduler != nullptr, "node env: scheduler required");
   expects(env_.network != nullptr, "node env: network required");
   expects(env_.hierarchy != nullptr, "node env: hierarchy required");
   arena_->vote(slot_) = vote;
@@ -31,7 +31,7 @@ void ProtocolNode::send_to(MemberId to, const net::Frame& frame) {
 bool ProtocolNode::on_timer(std::uint32_t /*timer_id*/) { return on_round(); }
 
 void ProtocolNode::start_rounds(SimTime start, SimTime interval) {
-  env_.simulator->schedule_periodic(start, interval, *this);
+  env_.scheduler->schedule_periodic(start, interval, *this);
 }
 
 std::uint64_t ProtocolNode::register_own_vote() {
@@ -46,7 +46,7 @@ void ProtocolNode::set_outcome(agg::Partial estimate, std::uint64_t token) {
   outcome_.finished = true;
   outcome_.estimate = estimate;
   outcome_.audit_token = token;
-  outcome_.finish_time = env_.simulator->now();
+  outcome_.finish_time = env_.scheduler->now();
 }
 
 }  // namespace gridbox::protocols

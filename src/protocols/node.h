@@ -1,7 +1,8 @@
 // Framework shared by every aggregation protocol.
 //
 // A protocol is a set of per-member state machines (ProtocolNode) driven by
-// the simulator's clock and the network's deliveries. Nodes act only on
+// a scheduler's clock (simulated or real) and a transport's deliveries.
+// Nodes act only on
 //   - their own configuration and view,
 //   - the well-known hierarchy parameters (H, K, N-estimate), and
 //   - received messages;
@@ -22,18 +23,22 @@
 #include "src/common/types.h"
 #include "src/hierarchy/hierarchy.h"
 #include "src/membership/view.h"
-#include "src/net/network.h"
+#include "src/net/transport.h"
 #include "src/protocols/arena.h"
 #include "src/protocols/gossip/trace.h"
-#include "src/sim/simulator.h"
+#include "src/sim/scheduler.h"
 
 namespace gridbox::protocols {
 
 /// Everything a node needs from its environment. All pointers are non-owning
 /// and must outlive the node; `audit` may be null (audit off).
+///
+/// `scheduler` and `network` are the two abstraction seams that make the
+/// same node code run in the simulator and over real UDP sockets: the world
+/// that builds the node decides which implementations back them.
 struct NodeEnv {
-  sim::Simulator* simulator = nullptr;
-  net::SimNetwork* network = nullptr;
+  sim::Scheduler* scheduler = nullptr;
+  net::Transport* network = nullptr;
   const hierarchy::GridBoxHierarchy* hierarchy = nullptr;
   agg::AuditRegistry* audit = nullptr;  // nullable
   /// Shared struct-of-arrays state for the run's nodes (nullable: a node
@@ -80,8 +85,8 @@ class ProtocolNode : public net::Endpoint, public sim::TimerTarget {
   }
 
  protected:
-  [[nodiscard]] sim::Simulator& simulator() { return *env_.simulator; }
-  [[nodiscard]] net::SimNetwork& network() { return *env_.network; }
+  [[nodiscard]] sim::Scheduler& scheduler() { return *env_.scheduler; }
+  [[nodiscard]] net::Transport& network() { return *env_.network; }
   [[nodiscard]] const hierarchy::GridBoxHierarchy& hier() const {
     return *env_.hierarchy;
   }

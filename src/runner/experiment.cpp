@@ -8,8 +8,7 @@
 
 #include "src/agg/vote.h"
 #include "src/common/ensure.h"
-#include "src/hashing/fair_hash.h"
-#include "src/hashing/topo_hash.h"
+#include "src/runner/world_setup.h"
 #include "src/hierarchy/hierarchy.h"
 #include "src/membership/group.h"
 #include "src/net/chaos.h"
@@ -19,7 +18,6 @@
 #include "src/obs/lineage.h"
 #include "src/obs/run_observer.h"
 #include "src/obs/trace_sink.h"
-#include "src/protocols/baseline/leader_election.h"
 #include "src/protocols/gossip/hier_gossip.h"
 #include "src/protocols/invariant_checker.h"
 #include "src/sim/simulator.h"
@@ -29,92 +27,6 @@
 namespace gridbox::runner {
 
 namespace {
-
-// Independent rng stream tags.
-constexpr std::uint64_t kVoteStream = 0x01;
-constexpr std::uint64_t kNetStream = 0x02;
-constexpr std::uint64_t kCrashStream = 0x03;
-constexpr std::uint64_t kPositionStream = 0x04;
-constexpr std::uint64_t kHashSaltStream = 0x05;
-constexpr std::uint64_t kViewStream = 0x06;
-constexpr std::uint64_t kChaosStream = 0x07;
-constexpr std::uint64_t kNodeStreamBase = 0x1000;
-
-// The view a given member starts with: complete, or an independent random
-// subset of the others at the configured coverage (self always included).
-[[nodiscard]] membership::View make_view(const ExperimentConfig& config,
-                                         const membership::Group& group,
-                                         MemberId self, Rng& view_rng) {
-  if (config.view_coverage >= 1.0) return group.full_view();
-  expects(config.view_coverage > 0.0, "view coverage must be positive");
-  expects(config.protocol == ProtocolKind::kHierGossip ||
-              config.protocol == ProtocolKind::kFullyDistributed,
-          "partial views: leader/committee baselines need complete views");
-  std::vector<MemberId> known;
-  known.push_back(self);
-  for (const MemberId m : group.members()) {
-    if (m != self && view_rng.bernoulli(config.view_coverage)) {
-      known.push_back(m);
-    }
-  }
-  return membership::View{std::move(known)};
-}
-
-[[nodiscard]] agg::VoteTable make_votes(const ExperimentConfig& config,
-                                        const membership::Group& group,
-                                        Rng& rng) {
-  switch (config.workload) {
-    case WorkloadKind::kUniform:
-      return agg::uniform_votes(config.group_size, rng, config.vote_lo,
-                                config.vote_hi);
-    case WorkloadKind::kNormal:
-      return agg::normal_votes(config.group_size, rng, config.vote_mu,
-                               config.vote_sigma);
-    case WorkloadKind::kField:
-      expects(group.has_positions(),
-              "field workload requires assign_positions");
-      return agg::field_votes(
-          config.group_size, [&group](MemberId m) { return group.position(m); },
-          rng, config.vote_mu, config.vote_sigma, config.vote_sigma * 0.1);
-  }
-  ensures(false, "unhandled workload kind");
-  return agg::uniform_votes(config.group_size, rng, 0.0, 1.0);
-}
-
-[[nodiscard]] std::unique_ptr<net::FaultModel> make_faults(
-    const ExperimentConfig& config) {
-  if (config.partition_loss >= 0.0) {
-    return net::PartitionLoss::split_at(
-        static_cast<MemberId::underlying>(config.group_size / 2),
-        config.ucast_loss, config.partition_loss);
-  }
-  if (config.ucast_loss <= 0.0) return std::make_unique<net::NoLoss>();
-  return std::make_unique<net::IndependentLoss>(config.ucast_loss);
-}
-
-[[nodiscard]] std::unique_ptr<protocols::ProtocolNode> make_node(
-    const ExperimentConfig& config, MemberId id, double vote,
-    membership::View view, protocols::NodeEnv env, Rng rng) {
-  switch (config.protocol) {
-    case ProtocolKind::kHierGossip:
-      return std::make_unique<protocols::gossip::HierGossipNode>(
-          id, vote, std::move(view), env, rng, config.gossip);
-    case ProtocolKind::kFullyDistributed:
-      return std::make_unique<protocols::baseline::FullyDistributedNode>(
-          id, vote, std::move(view), env, rng, config.fully_distributed);
-    case ProtocolKind::kCentralized:
-      return std::make_unique<protocols::baseline::CentralizedNode>(
-          id, vote, std::move(view), env, rng, config.centralized);
-    case ProtocolKind::kLeaderElection:
-      return std::make_unique<protocols::baseline::LeaderElectionNode>(
-          id, vote, std::move(view), env, rng, config.committee);
-    case ProtocolKind::kCommittee:
-      return std::make_unique<protocols::baseline::CommitteeNode>(
-          id, vote, std::move(view), env, rng, config.committee);
-  }
-  ensures(false, "unhandled protocol kind");
-  return nullptr;
-}
 
 /// Members per phase group at `phase`, as (group key, member count) pairs.
 /// One sort + run-length pass instead of a hash map: this runs inside the
@@ -251,39 +163,24 @@ RunResult run_experiment(const ExperimentConfig& config) {
   membership::Group group(config.group_size);
   if (config.assign_positions || config.hash == HashKind::kTopoAware ||
       config.workload == WorkloadKind::kField) {
-    Rng pos_rng = root.derive(kPositionStream);
+    Rng pos_rng = root.derive(streams::kPosition);
     group.scatter_positions(pos_rng);
   }
 
-  Rng vote_rng = root.derive(kVoteStream);
+  Rng vote_rng = root.derive(streams::kVote);
   const agg::VoteTable votes = make_votes(config, group, vote_rng);
 
-  // The well-known hash H: same salt at every member (it is group-wide
-  // knowledge), different across seeds so box assignments vary per run.
-  std::unique_ptr<hashing::HashFunction> hash;
-  if (config.hash == HashKind::kTopoAware) {
-    expects(group.has_positions(), "topo-aware hash requires positions");
-    std::vector<Position> sample;
-    sample.reserve(group.size());
-    for (const MemberId m : group.members()) sample.push_back(group.position(m));
-    hash = std::make_unique<hashing::TopoAwareHash>(
-        [&group](MemberId m) { return group.position(m); }, sample);
-  } else {
-    Rng salt_rng = root.derive(kHashSaltStream);
-    hash = std::make_unique<hashing::FairHash>(salt_rng.raw());
-  }
-
-  const std::uint32_t k = config.protocol == ProtocolKind::kHierGossip
-                              ? config.gossip.k
-                              : config.hierarchy_k;
-  hierarchy::GridBoxHierarchy hier(config.group_size, k, *hash);
+  const std::unique_ptr<hashing::HashFunction> hash =
+      make_hash(config, group, root);
+  hierarchy::GridBoxHierarchy hier(config.group_size, hierarchy_fanout(config),
+                                   *hash);
 
   sim::Simulator simulator;
   net::SimNetwork network(
       simulator, make_faults(config),
       std::make_unique<net::UniformLatency>(config.latency_lo,
                                             config.latency_hi),
-      root.derive(kNetStream));
+      root.derive(streams::kNet));
   network.set_liveness([&group](MemberId m) { return group.is_alive(m); });
 
   // Chaos: scripted adversity layered over (or replacing) the static fault
@@ -336,7 +233,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   if (chaos.affects_network()) {
     network.install_chaos(std::make_unique<net::ChaosSchedule>(
         chaos, make_faults(config), config.group_size,
-        root.derive(kChaosStream)));
+        root.derive(streams::kChaos)));
   }
   net::schedule_chaos_crashes(chaos, simulator,
                               [&group](MemberId m) { group.crash(m); });
@@ -346,23 +243,8 @@ RunResult run_experiment(const ExperimentConfig& config) {
     });
   }
 
-  std::unique_ptr<agg::AuditRegistry> audit;
-  if (config.audit) {
-    audit = std::make_unique<agg::AuditRegistry>(config.group_size);
-    // Bit order sorted by (box, id): a box's members get contiguous bits, so
-    // the audit sets the protocols actually build (per-box, then per-subtree)
-    // occupy narrow word windows instead of scattering across the universe.
-    std::vector<MemberId> by_box = group.members();
-    std::stable_sort(by_box.begin(), by_box.end(),
-                     [&hier](MemberId a, MemberId b) {
-                       return hier.phase_group(a, 1) < hier.phase_group(b, 1);
-                     });
-    std::vector<std::uint32_t> member_to_bit(config.group_size);
-    for (std::uint32_t bit = 0; bit < by_box.size(); ++bit) {
-      member_to_bit[by_box[bit].value()] = bit;
-    }
-    audit->set_bit_order(std::move(member_to_bit));
-  }
+  const std::unique_ptr<agg::AuditRegistry> audit =
+      make_audit(config, group, hier);
 
   // Shared struct-of-arrays node state (§DESIGN 11): one arena of flat
   // per-member lanes plus the hierarchy's phase-group segment tables,
@@ -379,7 +261,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
       500'000'000, 1000 * static_cast<std::uint64_t>(config.group_size)));
 
   protocols::NodeEnv env;
-  env.simulator = &simulator;
+  env.scheduler = &simulator;
   env.network = &network;
   env.hierarchy = &hier;
   env.audit = audit.get();
@@ -405,7 +287,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
     icfg.group_size = config.group_size;
     icfg.fanout = config.gossip.k;
     icfg.num_phases = hier.num_phases();
-    icfg.simulator = &simulator;
+    icfg.scheduler = &simulator;
     icfg.audit = audit.get();
     // Theorem 1 bound: every phase lasts ⌈C·log_M N⌉ rounds, so all trace
     // activity must stop by start skew + num_phases × rounds-per-phase
@@ -425,13 +307,13 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // per-protocol trace config); same chain head as hier-gossip.
   env.trace = node_config.gossip.trace;
 
-  Rng view_rng = root.derive(kViewStream);
+  Rng view_rng = root.derive(streams::kView);
   std::vector<std::unique_ptr<protocols::ProtocolNode>> nodes;
   nodes.reserve(config.group_size);
   for (const MemberId m : group.members()) {
     auto node = make_node(node_config, m, votes.of(m),
                           make_view(config, group, m, view_rng), env,
-                          root.derive(kNodeStreamBase + m.value()));
+                          root.derive(streams::kNodeBase + m.value()));
     network.attach(m, *node);
     nodes.push_back(std::move(node));
   }
@@ -442,7 +324,7 @@ RunResult run_experiment(const ExperimentConfig& config) {
   // running the protocol, letting the simulation drain and finish.
   const membership::PerRoundCrash crash_model(config.crash_probability);
   if (config.crash_probability > 0.0) {
-    auto crash_rng = std::make_shared<Rng>(root.derive(kCrashStream));
+    auto crash_rng = std::make_shared<Rng>(root.derive(streams::kCrash));
     auto round = std::make_shared<std::uint64_t>(0);
     simulator.schedule_periodic(
         config.round_duration(), config.round_duration(),

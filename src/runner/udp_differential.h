@@ -1,0 +1,47 @@
+// UDP-vs-simulator differential oracle.
+//
+// Runs the same ExperimentConfig (audit forced on) twice: once in the
+// discrete-event simulator, once over real UDP sockets on loopback, under
+// an equivalent chaos spec. Both runs derive bit-identical ground truth
+// (world_setup.h), so agreement is defined on the invariants that must
+// hold regardless of timing:
+//
+//   - both runs complete: every member alive at the end delivered an
+//     estimate (the UDP side additionally within its wall-clock deadline),
+//   - both are audit-clean: zero disjoint-merge violations,
+//   - both reconstruct: every estimate is exactly the aggregate of the
+//     member's audited vote set (a wrong-but-complete answer cannot pass),
+//   - both report the identical ground-truth value, bit-for-bit.
+//
+// Per-member estimates and message counts are NOT compared: under loss the
+// two runs legitimately deliver different message subsets, so completeness
+// may differ — the oracle checks that whatever each run computed is
+// provably honest, the same definition `gridbox_sim --differential` uses
+// across protocols (exit 2 on divergence).
+#pragma once
+
+#include <string>
+
+#include "src/runner/differential.h"
+#include "src/runner/udp_runtime.h"
+
+namespace gridbox::runner {
+
+struct UdpDifferentialReport {
+  DifferentialRow sim;  ///< protocol field = the configured protocol
+  DifferentialRow udp;
+  UdpRunResult udp_run;  ///< full real-socket result (timing, shards, ...)
+
+  /// True iff both runs satisfy the agreement definition above.
+  [[nodiscard]] bool ok() const;
+
+  /// Human-readable one-run-per-line summary, ending in OK / DIVERGED.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Runs the oracle. Audit and invariant checking are forced on for both
+/// sides; the config's protocol field chooses which protocol to compare.
+[[nodiscard]] UdpDifferentialReport run_udp_differential(
+    const UdpRunConfig& config);
+
+}  // namespace gridbox::runner

@@ -1,0 +1,280 @@
+#include "src/runner/udp_runtime.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/ensure.h"
+#include "src/membership/group.h"
+#include "src/net/chaos.h"
+#include "src/net/reactor.h"
+#include "src/net/udp_transport.h"
+#include "src/protocols/invariant_checker.h"
+#include "src/runner/world_setup.h"
+
+namespace gridbox::runner {
+
+namespace {
+
+/// Theoretical protocol horizon on the shared clock: when a healthy run
+/// should have finished. Hier-gossip has the paper's closed form; the
+/// baselines get a generous round-count blanket.
+[[nodiscard]] SimTime protocol_horizon(const ExperimentConfig& config,
+                                       std::size_t num_phases) {
+  if (config.protocol == ProtocolKind::kHierGossip) {
+    const std::uint64_t total_rounds =
+        num_phases * config.gossip.rounds_per_phase(config.group_size) + 1;
+    return config.gossip.start_skew_max +
+           SimTime::micros(static_cast<SimTime::underlying>(total_rounds) *
+                           config.gossip.round_duration.ticks());
+  }
+  return SimTime::micros(200 * config.round_duration().ticks());
+}
+
+}  // namespace
+
+std::uint64_t raise_fd_limit(std::uint64_t need) {
+  rlimit limit{};
+  expects(getrlimit(RLIMIT_NOFILE, &limit) == 0, "getrlimit failed");
+  if (limit.rlim_cur >= need) return limit.rlim_cur;
+  rlimit raised = limit;
+  raised.rlim_cur = limit.rlim_max == RLIM_INFINITY
+                        ? need
+                        : std::min<rlim_t>(limit.rlim_max, need);
+  if (raised.rlim_cur > limit.rlim_cur) {
+    (void)setrlimit(RLIMIT_NOFILE, &raised);
+    expects(getrlimit(RLIMIT_NOFILE, &raised) == 0, "getrlimit failed");
+    return raised.rlim_cur;
+  }
+  return limit.rlim_cur;
+}
+
+UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
+  const ExperimentConfig& config = udp_config.experiment;
+  expects(config.group_size >= 2, "need at least two members");
+  // Sockets + stdio + test-framework slack; fail early and loudly if the
+  // hard limit cannot cover the run instead of mid-setup on bind().
+  const std::uint64_t fd_need = config.group_size + 64;
+  expects(raise_fd_limit(fd_need) >= fd_need,
+          "RLIMIT_NOFILE too low for this group size");
+
+  // === World construction: identical derivations to run_experiment. ===
+  const Rng root(config.seed);
+  membership::Group group(config.group_size);
+  if (config.assign_positions || config.hash == HashKind::kTopoAware ||
+      config.workload == WorkloadKind::kField) {
+    Rng pos_rng = root.derive(streams::kPosition);
+    group.scatter_positions(pos_rng);
+  }
+  Rng vote_rng = root.derive(streams::kVote);
+  const agg::VoteTable votes = make_votes(config, group, vote_rng);
+  const std::unique_ptr<hashing::HashFunction> hash =
+      make_hash(config, group, root);
+  hierarchy::GridBoxHierarchy hier(config.group_size, hierarchy_fanout(config),
+                                   *hash);
+  const std::unique_ptr<agg::AuditRegistry> audit =
+      make_audit(config, group, hier);
+  protocols::StateArena arena(group.shared_members());
+  arena.build_phase_tables(hier);
+
+  // === Real-time substrate: reactors (one thread each) + transports. ===
+  const std::size_t shard_count =
+      udp_config.shards > 0
+          ? udp_config.shards
+          : std::max<std::size_t>(
+                1, std::min<std::size_t>(
+                       {4, std::thread::hardware_concurrency(),
+                        config.group_size}));
+  std::mutex dispatch;
+  const auto epoch = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<net::Reactor>> reactors;
+  std::vector<std::unique_ptr<net::UdpTransport>> transports;
+  reactors.reserve(shard_count);
+  transports.reserve(shard_count);
+  const net::ChaosSpec chaos = net::ChaosSpec::parse(config.chaos_spec);
+  const bool shim_active = chaos.affects_network() ||
+                           config.ucast_loss > 0.0 ||
+                           config.partition_loss >= 0.0;
+  const Rng chaos_root = root.derive(streams::kChaos);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    net::Reactor::Options ropt;
+    ropt.dispatch_mutex = &dispatch;
+    reactors.push_back(std::make_unique<net::Reactor>(ropt));
+    reactors.back()->bind_epoch(epoch);
+    net::UdpTransport::Options topt;
+    topt.port_base = udp_config.port_base;
+    auto transport =
+        std::make_unique<net::UdpTransport>(*reactors.back(), topt);
+    transport->set_liveness([&group](MemberId m) { return group.is_alive(m); });
+    if (shim_active) {
+      // One schedule per shard, each with its own derived streams: with
+      // real sockets there is no global send order for a single schedule
+      // to consume in, so parity with the simulator is statistical (same
+      // marginal loss/jitter/dup law), not per-message.
+      auto schedule = std::make_unique<net::ChaosSchedule>(
+          chaos, make_faults(config), config.group_size, chaos_root.derive(s));
+      transport->install_chaos(std::move(schedule));
+    }
+    transports.push_back(std::move(transport));
+  }
+
+  // Scripted crashes fire as reactor actions on the member's own shard;
+  // group state is only ever touched under the dispatch lock.
+  for (const net::CrashEvent& event : chaos.crashes) {
+    const std::size_t s = event.member.value() % shard_count;
+    reactors[s]->schedule_at(event.at,
+                             [&group, m = event.member]() { group.crash(m); });
+  }
+
+  // === Nodes: same construction order and RNG streams as the simulator. ===
+  protocols::NodeEnv base_env;
+  base_env.hierarchy = &hier;
+  base_env.audit = audit.get();
+  base_env.arena = &arena;
+  base_env.is_alive = [&group](MemberId m) { return group.is_alive(m); };
+  base_env.kind = config.aggregate;
+
+  const SimTime horizon = protocol_horizon(config, hier.num_phases());
+  const SimTime deadline = std::max(
+      udp_config.min_deadline,
+      SimTime::micros(static_cast<SimTime::underlying>(
+          static_cast<double>(horizon.ticks()) * udp_config.deadline_factor)));
+
+  std::unique_ptr<protocols::InvariantChecker> checker;
+  ExperimentConfig node_config = config;
+  node_config.gossip.trace = nullptr;
+  if (config.check_invariants &&
+      config.protocol == ProtocolKind::kHierGossip) {
+    protocols::InvariantChecker::Config icfg;
+    icfg.group_size = config.group_size;
+    icfg.fanout = config.gossip.k;
+    icfg.num_phases = hier.num_phases();
+    icfg.scheduler = reactors[0].get();
+    icfg.audit = audit.get();
+    // The Theorem-1 deadline is meaningful on the virtual clock; on a real
+    // host the run-level deadline (already a generous multiple of the
+    // horizon) plays that role, so scheduler noise cannot fake a
+    // violation.
+    icfg.deadline = deadline;
+    // Never throw across reactor threads; collect and report after join.
+    icfg.fail_fast = false;
+    checker = std::make_unique<protocols::InvariantChecker>(icfg);
+    node_config.gossip.trace = checker.get();
+  }
+  base_env.trace = node_config.gossip.trace;
+
+  Rng view_rng = root.derive(streams::kView);
+  std::vector<std::unique_ptr<protocols::ProtocolNode>> nodes;
+  nodes.reserve(config.group_size);
+  for (const MemberId m : group.members()) {
+    const std::size_t s = m.value() % shard_count;
+    protocols::NodeEnv env = base_env;
+    env.scheduler = reactors[s].get();
+    env.network = transports[s].get();
+    auto node = make_node(node_config, m, votes.of(m),
+                          make_view(config, group, m, view_rng), env,
+                          root.derive(streams::kNodeBase + m.value()));
+    transports[s]->attach(m, *node);
+    nodes.push_back(std::move(node));
+  }
+  for (auto& node : nodes) node->start(SimTime::zero());
+
+  // Per-round crash clock (paper §7 pf), ticking as a self-rescheduling
+  // action on shard 0 under the dispatch lock.
+  const membership::PerRoundCrash crash_model(config.crash_probability);
+  auto crash_rng = std::make_shared<Rng>(root.derive(streams::kCrash));
+  if (config.crash_probability > 0.0) {
+    auto round = std::make_shared<std::uint64_t>(0);
+    auto tick = std::make_shared<std::function<void()>>();
+    net::Reactor& r0 = *reactors[0];
+    *tick = [&group, &nodes, &crash_model, &r0, crash_rng, round, tick,
+             interval = config.round_duration()]() {
+      (void)group.apply_round_crashes(crash_model, (*round)++, *crash_rng);
+      for (const auto& node : nodes) {
+        if (!node->finished() && group.is_alive(node->self())) {
+          r0.schedule_after(interval, [tick]() { (*tick)(); });
+          return;
+        }
+      }
+    };
+    r0.schedule_after(config.round_duration(), [tick]() { (*tick)(); });
+  }
+
+  // === Run: one thread per reactor until global completion or deadline.
+  // done() is probed under the dispatch lock and scans the whole run — a
+  // shard must keep serving datagrams until *everyone* finished, not just
+  // its own members.
+  const auto done = [&nodes, &group]() {
+    for (const auto& node : nodes) {
+      if (!node->finished() && group.is_alive(node->self())) return false;
+    }
+    return true;
+  };
+  std::vector<std::thread> threads;
+  std::vector<char> shard_done(shard_count, 0);
+  std::vector<std::exception_ptr> errors(shard_count);
+  threads.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    threads.emplace_back([&, s]() {
+      try {
+        shard_done[s] = reactors[s]->run_until(done, deadline) ? 1 : 0;
+      } catch (...) {
+        errors[s] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+
+  UdpRunResult result;
+  result.shards = shard_count;
+  result.completed = true;
+  for (const char d : shard_done) result.completed = result.completed && d;
+  result.elapsed = reactors[0]->now();
+
+  if (checker != nullptr) {
+    std::vector<MemberId> alive;
+    for (const MemberId m : group.members()) {
+      if (group.is_alive(m)) alive.push_back(m);
+    }
+    checker->expect_all_finished(alive);
+    result.invariant_violations = checker->violations().size();
+    if (!checker->violations().empty()) {
+      result.first_violation = checker->violations().front().what;
+    }
+  }
+
+  net::NetworkStats total;
+  for (const auto& transport : transports) {
+    const net::NetworkStats& s = transport->stats();
+    total.messages_sent += s.messages_sent;
+    total.messages_dropped += s.messages_dropped;
+    total.messages_dead_dest += s.messages_dead_dest;
+    total.messages_delivered += s.messages_delivered;
+    total.messages_malformed += s.messages_malformed;
+    total.messages_duplicated += s.messages_duplicated;
+    total.bytes_sent += s.bytes_sent;
+  }
+  result.network = total;
+  result.measurement = protocols::measure_run(group, nodes, votes,
+                                              config.aggregate, total,
+                                              audit.get());
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    result.timers_fired += reactors[s]->timers_fired();
+    result.polls += reactors[s]->polls();
+    result.eintr_retries += reactors[s]->eintr_retries();
+    result.eintr_retries += transports[s]->recv_eintr_retries();
+  }
+  return result;
+}
+
+}  // namespace gridbox::runner

@@ -1,0 +1,75 @@
+// The real-socket runner: the same experiment, over UDP on loopback.
+//
+// run_udp_experiment builds the identical world run_experiment builds —
+// same votes, views, hash salt, hierarchy, audit bit order, per-node RNG
+// streams, all via world_setup.h — but wires the nodes to net::UdpTransport
+// shards driven by net::Reactor threads instead of the simulator. Protocol
+// code is byte-for-byte the same; only the NodeEnv seams differ. The
+// UDP-vs-simulator differential harness (udp_differential.h) is built on
+// exactly that: any disagreement is a transport or timing bug, never a
+// world-construction artifact.
+//
+// Real time replaces virtual time, so two things change at the harness
+// level: the run needs a wall-clock completion deadline (with a generous
+// multiplier — host scheduling noise must not fail a correct run), and the
+// hier-gossip invariant checker runs with fail_fast off, reporting
+// violations after the threads join instead of throwing across them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/stats.h"
+#include "src/protocols/protocol_stats.h"
+#include "src/runner/config.h"
+
+namespace gridbox::runner {
+
+struct UdpRunConfig {
+  /// The experiment to run. Execution-side fields that only exist in the
+  /// simulator are ignored: latency_lo/hi (loopback has its own latency),
+  /// observability sinks, and `jobs`. Chaos specs and ucast/partition loss
+  /// apply through the userspace send shim.
+  ExperimentConfig experiment;
+
+  /// Member m listens on 127.0.0.1:(port_base + m). Parallel test runs
+  /// must pick disjoint port windows.
+  std::uint16_t port_base = 38000;
+
+  /// Reactor shard threads; 0 = min(4, hardware_concurrency, N).
+  std::size_t shards = 0;
+
+  /// Wall-clock completion deadline = max(min_deadline, deadline_factor ×
+  /// the protocol's theoretical horizon). Generous by default: a missed
+  /// deadline means "did not complete", never a flaky margin.
+  double deadline_factor = 20.0;
+  SimTime min_deadline = SimTime::seconds(5);
+};
+
+struct UdpRunResult {
+  protocols::RunMeasurement measurement;
+  net::NetworkStats network;  ///< summed over all transport shards
+
+  bool completed = false;   ///< every node finished/crashed before deadline
+  SimTime elapsed = SimTime::zero();  ///< real run time (µs since epoch)
+  std::size_t shards = 0;
+  std::uint64_t timers_fired = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t eintr_retries = 0;
+
+  /// Invariant-checker findings (hier-gossip only; empty otherwise or when
+  /// check_invariants is off). Includes members unfinished at deadline.
+  std::uint64_t invariant_violations = 0;
+  std::string first_violation;
+};
+
+/// Runs the experiment over real sockets. Throws PreconditionError on
+/// setup failures (ports in use, fd limits that cannot be raised).
+[[nodiscard]] UdpRunResult run_udp_experiment(const UdpRunConfig& config);
+
+/// Raises RLIMIT_NOFILE's soft limit toward the hard limit until at least
+/// `need` descriptors fit (sockets + epsilon). Returns the resulting soft
+/// limit. Idempotent; never lowers the limit.
+std::uint64_t raise_fd_limit(std::uint64_t need);
+
+}  // namespace gridbox::runner

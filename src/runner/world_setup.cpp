@@ -1,0 +1,128 @@
+#include "src/runner/world_setup.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/common/ensure.h"
+#include "src/hashing/fair_hash.h"
+#include "src/hashing/topo_hash.h"
+#include "src/protocols/baseline/leader_election.h"
+#include "src/protocols/gossip/hier_gossip.h"
+
+namespace gridbox::runner {
+
+membership::View make_view(const ExperimentConfig& config,
+                           const membership::Group& group, MemberId self,
+                           Rng& view_rng) {
+  if (config.view_coverage >= 1.0) return group.full_view();
+  expects(config.view_coverage > 0.0, "view coverage must be positive");
+  expects(config.protocol == ProtocolKind::kHierGossip ||
+              config.protocol == ProtocolKind::kFullyDistributed,
+          "partial views: leader/committee baselines need complete views");
+  std::vector<MemberId> known;
+  known.push_back(self);
+  for (const MemberId m : group.members()) {
+    if (m != self && view_rng.bernoulli(config.view_coverage)) {
+      known.push_back(m);
+    }
+  }
+  return membership::View{std::move(known)};
+}
+
+agg::VoteTable make_votes(const ExperimentConfig& config,
+                          const membership::Group& group, Rng& rng) {
+  switch (config.workload) {
+    case WorkloadKind::kUniform:
+      return agg::uniform_votes(config.group_size, rng, config.vote_lo,
+                                config.vote_hi);
+    case WorkloadKind::kNormal:
+      return agg::normal_votes(config.group_size, rng, config.vote_mu,
+                               config.vote_sigma);
+    case WorkloadKind::kField:
+      expects(group.has_positions(),
+              "field workload requires assign_positions");
+      return agg::field_votes(
+          config.group_size, [&group](MemberId m) { return group.position(m); },
+          rng, config.vote_mu, config.vote_sigma, config.vote_sigma * 0.1);
+  }
+  ensures(false, "unhandled workload kind");
+  return agg::uniform_votes(config.group_size, rng, 0.0, 1.0);
+}
+
+std::unique_ptr<net::FaultModel> make_faults(const ExperimentConfig& config) {
+  if (config.partition_loss >= 0.0) {
+    return net::PartitionLoss::split_at(
+        static_cast<MemberId::underlying>(config.group_size / 2),
+        config.ucast_loss, config.partition_loss);
+  }
+  if (config.ucast_loss <= 0.0) return std::make_unique<net::NoLoss>();
+  return std::make_unique<net::IndependentLoss>(config.ucast_loss);
+}
+
+std::unique_ptr<hashing::HashFunction> make_hash(const ExperimentConfig& config,
+                                                 const membership::Group& group,
+                                                 const Rng& root) {
+  if (config.hash == HashKind::kTopoAware) {
+    expects(group.has_positions(), "topo-aware hash requires positions");
+    std::vector<Position> sample;
+    sample.reserve(group.size());
+    for (const MemberId m : group.members()) sample.push_back(group.position(m));
+    return std::make_unique<hashing::TopoAwareHash>(
+        [&group](MemberId m) { return group.position(m); }, sample);
+  }
+  Rng salt_rng = root.derive(streams::kHashSalt);
+  return std::make_unique<hashing::FairHash>(salt_rng.raw());
+}
+
+std::uint32_t hierarchy_fanout(const ExperimentConfig& config) {
+  return config.protocol == ProtocolKind::kHierGossip ? config.gossip.k
+                                                      : config.hierarchy_k;
+}
+
+std::unique_ptr<agg::AuditRegistry> make_audit(
+    const ExperimentConfig& config, const membership::Group& group,
+    const hierarchy::GridBoxHierarchy& hier) {
+  if (!config.audit) return nullptr;
+  auto audit = std::make_unique<agg::AuditRegistry>(config.group_size);
+  // Bit order sorted by (box, id): a box's members get contiguous bits, so
+  // the audit sets the protocols actually build (per-box, then per-subtree)
+  // occupy narrow word windows instead of scattering across the universe.
+  std::vector<MemberId> by_box = group.members();
+  std::stable_sort(by_box.begin(), by_box.end(),
+                   [&hier](MemberId a, MemberId b) {
+                     return hier.phase_group(a, 1) < hier.phase_group(b, 1);
+                   });
+  std::vector<std::uint32_t> member_to_bit(config.group_size);
+  for (std::uint32_t bit = 0; bit < by_box.size(); ++bit) {
+    member_to_bit[by_box[bit].value()] = bit;
+  }
+  audit->set_bit_order(std::move(member_to_bit));
+  return audit;
+}
+
+std::unique_ptr<protocols::ProtocolNode> make_node(
+    const ExperimentConfig& config, MemberId id, double vote,
+    membership::View view, protocols::NodeEnv env, Rng rng) {
+  switch (config.protocol) {
+    case ProtocolKind::kHierGossip:
+      return std::make_unique<protocols::gossip::HierGossipNode>(
+          id, vote, std::move(view), env, rng, config.gossip);
+    case ProtocolKind::kFullyDistributed:
+      return std::make_unique<protocols::baseline::FullyDistributedNode>(
+          id, vote, std::move(view), env, rng, config.fully_distributed);
+    case ProtocolKind::kCentralized:
+      return std::make_unique<protocols::baseline::CentralizedNode>(
+          id, vote, std::move(view), env, rng, config.centralized);
+    case ProtocolKind::kLeaderElection:
+      return std::make_unique<protocols::baseline::LeaderElectionNode>(
+          id, vote, std::move(view), env, rng, config.committee);
+    case ProtocolKind::kCommittee:
+      return std::make_unique<protocols::baseline::CommitteeNode>(
+          id, vote, std::move(view), env, rng, config.committee);
+  }
+  ensures(false, "unhandled protocol kind");
+  return nullptr;
+}
+
+}  // namespace gridbox::runner

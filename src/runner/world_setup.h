@@ -1,0 +1,82 @@
+// World-building shared by the simulated and real-socket runners.
+//
+// run_experiment (simulator) and run_udp_experiment (loopback sockets) must
+// derive *bit-identical* ground truth from the same ExperimentConfig: the
+// same votes, views, hash salt, hierarchy, audit bit order, and per-node RNG
+// streams. That equality is what makes the UDP-vs-simulator differential
+// harness meaningful — any divergence it reports is a transport or protocol
+// bug, never a world-construction artifact. Factoring the derivations here
+// keeps the two runners call-for-call identical by construction.
+//
+// RNG discipline: every stream is derived from the root seed by a fixed tag
+// (streams::*), so adding a consumer never perturbs another stream and the
+// derivation order in the two runners cannot drift apart.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/agg/audit.h"
+#include "src/agg/vote.h"
+#include "src/common/rng.h"
+#include "src/hashing/hash_function.h"
+#include "src/hierarchy/hierarchy.h"
+#include "src/membership/group.h"
+#include "src/membership/view.h"
+#include "src/net/fault_model.h"
+#include "src/protocols/node.h"
+#include "src/runner/config.h"
+
+namespace gridbox::runner {
+
+/// Independent RNG stream tags, derived from the root seed.
+namespace streams {
+inline constexpr std::uint64_t kVote = 0x01;
+inline constexpr std::uint64_t kNet = 0x02;
+inline constexpr std::uint64_t kCrash = 0x03;
+inline constexpr std::uint64_t kPosition = 0x04;
+inline constexpr std::uint64_t kHashSalt = 0x05;
+inline constexpr std::uint64_t kView = 0x06;
+inline constexpr std::uint64_t kChaos = 0x07;
+inline constexpr std::uint64_t kNodeBase = 0x1000;
+}  // namespace streams
+
+/// The view a given member starts with: complete, or an independent random
+/// subset of the others at the configured coverage (self always included).
+/// Consumes `view_rng` sequentially — call in ascending member order.
+[[nodiscard]] membership::View make_view(const ExperimentConfig& config,
+                                         const membership::Group& group,
+                                         MemberId self, Rng& view_rng);
+
+/// The run's ground-truth vote table for the configured workload.
+[[nodiscard]] agg::VoteTable make_votes(const ExperimentConfig& config,
+                                        const membership::Group& group,
+                                        Rng& rng);
+
+/// The static fault pipeline (no-loss / iid / partition) for the config.
+[[nodiscard]] std::unique_ptr<net::FaultModel> make_faults(
+    const ExperimentConfig& config);
+
+/// The well-known hash H: same salt at every member (it is group-wide
+/// knowledge), different across seeds so box assignments vary per run.
+[[nodiscard]] std::unique_ptr<hashing::HashFunction> make_hash(
+    const ExperimentConfig& config, const membership::Group& group,
+    const Rng& root);
+
+/// Hierarchy fanout K for the configured protocol (hier-gossip takes K from
+/// gossip.k; the hierarchical baselines from hierarchy_k).
+[[nodiscard]] std::uint32_t hierarchy_fanout(const ExperimentConfig& config);
+
+/// Audit registry with the bit order sorted by (box, id): a box's members
+/// get contiguous bits, so the audit sets the protocols actually build
+/// occupy narrow word windows. Returns null when config.audit is off.
+[[nodiscard]] std::unique_ptr<agg::AuditRegistry> make_audit(
+    const ExperimentConfig& config, const membership::Group& group,
+    const hierarchy::GridBoxHierarchy& hier);
+
+/// One protocol node of the configured kind.
+[[nodiscard]] std::unique_ptr<protocols::ProtocolNode> make_node(
+    const ExperimentConfig& config, MemberId id, double vote,
+    membership::View view, protocols::NodeEnv env, Rng rng);
+
+}  // namespace gridbox::runner

@@ -17,24 +17,28 @@
 
 #include "src/common/types.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/scheduler.h"
 
 namespace gridbox::sim {
 
-class Simulator {
+/// Final so calls through a concrete Simulator& devirtualize: the Scheduler
+/// interface costs nothing on the simulation hot path (the zero-allocation
+/// proof binary pins the allocation half of that claim).
+class Simulator final : public Scheduler {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] SimTime now() const override { return now_; }
 
   /// Schedules an action at an absolute time (>= now; earlier times are
   /// clamped to now, which models "as soon as possible").
-  void schedule_at(SimTime time, Action action);
+  void schedule_at(SimTime time, Action action) override;
 
   /// Schedules an action after a relative delay (>= 0).
-  void schedule_after(SimTime delay, Action action);
+  void schedule_after(SimTime delay, Action action) override;
 
   /// Schedules delivery of `message` to `sink` after `delay` (>= 0). The
   /// message travels inside the event — no closure, no allocation.
@@ -51,12 +55,12 @@ class Simulator {
   /// std::function overload (the tick runs, then the next tick is enqueued)
   /// but allocation-free per firing. The target must outlive the chain.
   void schedule_periodic(SimTime start, SimTime interval, TimerTarget& target,
-                         std::uint32_t timer_id = 0);
+                         std::uint32_t timer_id = 0) override;
 
   /// One-shot typed timer at an absolute time (clamped to now); the return
   /// value of on_timer is ignored.
   void schedule_timer_at(SimTime time, TimerTarget& target,
-                         std::uint32_t timer_id = 0);
+                         std::uint32_t timer_id = 0) override;
 
   /// Runs until the queue is empty. Returns events executed.
   std::uint64_t run();

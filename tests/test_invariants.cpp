@@ -104,7 +104,7 @@ TEST(InvariantChecker, FailFastThrowsInvariantError) {
 TEST(InvariantChecker, DeadlineViolationCarriesTime) {
   sim::Simulator simulator;
   InvariantChecker::Config config = lax_config();
-  config.simulator = &simulator;
+  config.scheduler = &simulator;
   config.deadline = SimTime::millis(10);
   InvariantChecker checker(config);
   simulator.schedule_at(SimTime::millis(5), [&checker] {

@@ -1,0 +1,80 @@
+// Loopback soak (ctest label `slow`): many back-to-back one-shot UDP runs
+// in one process, hunting the leaks a single run cannot show — file
+// descriptors that survive a run, ports left unreleasable, reactor state
+// bleeding between instances. Every run must be audit-clean, and the
+// process fd count must come back to its baseline after every instance.
+//
+// Port discipline: this test owns the 48xxx window; instances alternate
+// between two bases so a lingering TIME_WAIT-ish kernel state (not that
+// UDP has one — belt and braces) could never serialize into flakes.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <cstdint>
+
+#include "src/runner/udp_runtime.h"
+
+namespace gridbox {
+namespace {
+
+/// Open descriptors of this process, via /proc/self/fd. The readdir
+/// traversal itself holds one fd; the caller compares counts, so the
+/// constant offset cancels.
+[[nodiscard]] std::size_t open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  std::size_t count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+TEST(UdpSoak, TwoHundredOneShotRunsStayAuditCleanWithoutLeakingFds) {
+  constexpr std::size_t kInstances = 200;
+  constexpr std::size_t kGroupSize = 64;
+
+  runner::UdpRunConfig base;
+  base.experiment.group_size = kGroupSize;
+  base.experiment.ucast_loss = 0.0;  // loss comes from the chaos spec below
+  base.experiment.crash_probability = 0.0;
+  base.experiment.chaos_spec = "loss 0.1\n";
+  base.experiment.audit = true;
+  base.experiment.gossip.round_duration = SimTime::millis(2);
+
+  // First instance warms lazily-created process state (resolver caches,
+  // gtest internals); the fd baseline is taken after it.
+  {
+    runner::UdpRunConfig warm = base;
+    warm.experiment.seed = 1;
+    warm.port_base = 48000;
+    const auto result = runner::run_udp_experiment(warm);
+    ASSERT_TRUE(result.completed);
+  }
+  const std::size_t baseline_fds = open_fd_count();
+  ASSERT_GT(baseline_fds, 0u) << "/proc/self/fd unavailable";
+
+  for (std::size_t i = 0; i < kInstances; ++i) {
+    runner::UdpRunConfig config = base;
+    config.experiment.seed = 100 + i;
+    config.port_base = static_cast<std::uint16_t>(i % 2 == 0 ? 48000 : 49000);
+
+    const auto result = runner::run_udp_experiment(config);
+    ASSERT_TRUE(result.completed) << "instance " << i << " missed deadline";
+    ASSERT_EQ(result.invariant_violations, 0u)
+        << "instance " << i << ": " << result.first_violation;
+    ASSERT_EQ(result.measurement.audit_violations, 0u) << "instance " << i;
+    ASSERT_EQ(result.measurement.reconstruction_failures, 0u)
+        << "instance " << i;
+    ASSERT_EQ(result.measurement.finished_nodes, kGroupSize)
+        << "instance " << i;
+
+    const std::size_t fds = open_fd_count();
+    ASSERT_EQ(fds, baseline_fds)
+        << "fd leak after instance " << i << ": " << baseline_fds << " -> "
+        << fds;
+  }
+}
+
+}  // namespace
+}  // namespace gridbox

@@ -1,0 +1,365 @@
+// UdpTransport + Reactor over real loopback sockets, plus mocked-syscall
+// unit tests for the receive path's EINTR/EAGAIN/spurious-wakeup behavior.
+//
+// Port discipline: every test binds its own disjoint port window (ctest
+// runs tests of this binary as separate parallel processes). Windows here
+// live in 43xxx; the differential/scale/soak suites use 44xxx-46xxx.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/net/chaos.h"
+#include "src/net/datagram.h"
+#include "src/net/fault_model.h"
+#include "src/net/reactor.h"
+#include "src/net/udp_transport.h"
+
+namespace gridbox {
+namespace {
+
+class CollectingEndpoint final : public net::Endpoint {
+ public:
+  void on_message(const net::Message& message) override {
+    messages_.push_back(message);
+  }
+  std::vector<net::Message> messages_;
+};
+
+[[nodiscard]] net::Reactor::Options reactor_options() {
+  return net::Reactor::Options{};  // single-threaded tests: no dispatch lock
+}
+
+TEST(UdpTransport, DeliversFramesAcrossRealSockets) {
+  net::Reactor reactor(reactor_options());
+  net::UdpTransport::Options topt;
+  topt.port_base = 43000;
+  net::UdpTransport transport(reactor, topt);
+
+  CollectingEndpoint a;
+  CollectingEndpoint b;
+  transport.attach(MemberId{0}, a);
+  transport.attach(MemberId{1}, b);
+  ASSERT_EQ(transport.attached_count(), 2u);
+
+  const net::Frame frame{0xAA, 0xBB, 0xCC};
+  transport.send(net::Message{MemberId{0}, MemberId{1}, frame});
+  transport.send(net::Message{MemberId{1}, MemberId{0}, frame});
+  transport.send(net::Message{MemberId{0}, MemberId{0}, frame});  // self
+
+  const bool done = reactor.run_until(
+      [&]() { return a.messages_.size() == 2 && b.messages_.size() == 1; },
+      SimTime::seconds(5));
+  ASSERT_TRUE(done) << "loopback delivery timed out";
+
+  EXPECT_EQ(b.messages_[0].source, MemberId{0});
+  EXPECT_TRUE(b.messages_[0].frame == frame);
+  EXPECT_EQ(transport.stats().messages_sent, 3u);
+  EXPECT_EQ(transport.stats().messages_delivered, 3u);
+  EXPECT_EQ(transport.stats().messages_malformed, 0u);
+}
+
+TEST(UdpTransport, CountsRawGarbageAsMalformed) {
+  net::Reactor reactor(reactor_options());
+  net::UdpTransport::Options topt;
+  topt.port_base = 43050;
+  net::UdpTransport transport(reactor, topt);
+
+  CollectingEndpoint a;
+  transport.attach(MemberId{0}, a);
+
+  // A plain socket lobs byte soup at the member's port: short junk, a
+  // valid header with padding appended, and an empty datagram.
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in to{};
+  to.sin_family = AF_INET;
+  to.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  to.sin_port = htons(43050);
+  const std::uint8_t junk[5] = {1, 2, 3, 4, 5};
+  ASSERT_GT(::sendto(fd, junk, sizeof(junk), 0,
+                     reinterpret_cast<sockaddr*>(&to), sizeof(to)), 0);
+  std::uint8_t padded[net::kMaxDatagramBytes + 4] = {};
+  const std::size_t valid = net::encode_datagram(
+      net::Message{MemberId{9}, MemberId{0}, net::Frame{7}}, padded);
+  ASSERT_GT(::sendto(fd, padded, valid + 4, 0,
+                     reinterpret_cast<sockaddr*>(&to), sizeof(to)), 0);
+  ASSERT_EQ(::sendto(fd, junk, 0, 0, reinterpret_cast<sockaddr*>(&to),
+                     sizeof(to)), 0);
+  ::close(fd);
+
+  const bool done = reactor.run_until(
+      [&]() { return transport.stats().messages_malformed >= 3; },
+      SimTime::seconds(5));
+  ASSERT_TRUE(done) << "malformed datagrams were not counted";
+  EXPECT_TRUE(a.messages_.empty());
+  EXPECT_EQ(transport.stats().messages_delivered, 0u);
+}
+
+TEST(UdpTransport, ChaosShimDropsOnTheSendPath) {
+  net::Reactor reactor(reactor_options());
+  net::UdpTransport::Options topt;
+  topt.port_base = 43100;
+  net::UdpTransport transport(reactor, topt);
+
+  CollectingEndpoint a;
+  CollectingEndpoint b;
+  transport.attach(MemberId{0}, a);
+  transport.attach(MemberId{1}, b);
+
+  auto schedule = std::make_unique<net::ChaosSchedule>(
+      net::ChaosSpec::parse("loss 1.0"), std::make_unique<net::NoLoss>(), 2,
+      Rng{99});
+  transport.install_chaos(std::move(schedule));
+
+  for (int i = 0; i < 20; ++i) {
+    transport.send(net::Message{MemberId{0}, MemberId{1}, net::Frame{1}});
+  }
+  EXPECT_EQ(transport.stats().messages_sent, 20u);
+  EXPECT_EQ(transport.stats().messages_dropped, 20u);
+
+  // Nothing in flight: the poll loop must come back empty-handed.
+  (void)reactor.run_until([&]() { return !b.messages_.empty(); },
+                          SimTime::millis(30));
+  EXPECT_TRUE(b.messages_.empty());
+}
+
+TEST(UdpTransport, ChaosShimDuplicatesViaTheTimerWheel) {
+  net::Reactor reactor(reactor_options());
+  net::UdpTransport::Options topt;
+  topt.port_base = 43150;
+  net::UdpTransport transport(reactor, topt);
+
+  CollectingEndpoint a;
+  CollectingEndpoint b;
+  transport.attach(MemberId{0}, a);
+  transport.attach(MemberId{1}, b);
+
+  auto schedule = std::make_unique<net::ChaosSchedule>(
+      net::ChaosSpec::parse("dup p=1.0 extra=2 spread=2000us"),
+      std::make_unique<net::NoLoss>(), 2, Rng{5});
+  transport.install_chaos(std::move(schedule));
+
+  transport.send(net::Message{MemberId{0}, MemberId{1}, net::Frame{3}});
+  const bool done = reactor.run_until(
+      [&]() { return b.messages_.size() == 3; }, SimTime::seconds(5));
+  ASSERT_TRUE(done) << "duplicates did not arrive";
+  EXPECT_EQ(transport.stats().messages_duplicated, 2u);
+  EXPECT_EQ(transport.stats().messages_delivered, 3u);
+}
+
+// === Mocked-syscall receive-path tests (satellite: EINTR/EAGAIN). ===
+
+/// Scripted recv(2): returns each queued result in order, then EAGAIN
+/// forever. A result with bytes installs those bytes; one with err sets
+/// errno and returns -1.
+struct ScriptedRecv {
+  struct Step {
+    std::vector<std::uint8_t> bytes;
+    int err = 0;  ///< nonzero: fail with this errno
+  };
+  std::vector<Step> steps;
+  std::size_t next = 0;
+  std::uint64_t calls = 0;
+
+  ssize_t operator()(int, void* buf, std::size_t len) {
+    ++calls;
+    if (next >= steps.size()) {
+      errno = EAGAIN;
+      return -1;
+    }
+    const Step& step = steps[next++];
+    if (step.err != 0) {
+      errno = step.err;
+      return -1;
+    }
+    const std::size_t n = std::min(len, step.bytes.size());
+    std::memcpy(buf, step.bytes.data(), n);
+    return static_cast<ssize_t>(n);
+  }
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encoded(MemberId from, MemberId to,
+                                                std::uint8_t payload) {
+  std::uint8_t buffer[net::kMaxDatagramBytes];
+  const std::size_t size = net::encode_datagram(
+      net::Message{from, to, net::Frame{payload}}, buffer);
+  return std::vector<std::uint8_t>(buffer, buffer + size);
+}
+
+TEST(UdpTransport, ReceivePathRetriesEintrWithoutSpinning) {
+  net::Reactor reactor(reactor_options());
+  net::UdpTransport::Options topt;
+  topt.port_base = 43200;
+  net::UdpTransport transport(reactor, topt);
+  CollectingEndpoint a;
+  transport.attach(MemberId{0}, a);
+
+  auto script = std::make_shared<ScriptedRecv>();
+  script->steps.push_back({{}, EINTR});
+  script->steps.push_back({{}, EINTR});
+  script->steps.push_back({encoded(MemberId{1}, MemberId{0}, 0x7E), 0});
+  net::UdpTransport::Hooks hooks;
+  hooks.recv = [script](int fd, void* buf, std::size_t len) {
+    return (*script)(fd, buf, len);
+  };
+  transport.set_hooks(std::move(hooks));
+
+  // Drive the handler directly — a mocked reactor turn with the fd the
+  // real dispatch would pass, so the owner lookup behaves as in production.
+  transport.on_readable(transport.fd_of(MemberId{0}));
+
+  // Two EINTR retries, one datagram, one EAGAIN that ends the drain: four
+  // calls total — bounded, not a spin.
+  EXPECT_EQ(script->calls, 4u);
+  EXPECT_EQ(transport.recv_eintr_retries(), 2u);
+  ASSERT_EQ(a.messages_.size(), 1u);
+  EXPECT_EQ(a.messages_[0].frame[0], 0x7E);
+}
+
+TEST(UdpTransport, SpuriousWakeupReadsOnceAndReturns) {
+  net::Reactor reactor(reactor_options());
+  net::UdpTransport::Options topt;
+  topt.port_base = 43250;
+  net::UdpTransport transport(reactor, topt);
+  CollectingEndpoint a;
+  transport.attach(MemberId{0}, a);
+
+  auto script = std::make_shared<ScriptedRecv>();  // EAGAIN immediately
+  net::UdpTransport::Hooks hooks;
+  hooks.recv = [script](int fd, void* buf, std::size_t len) {
+    return (*script)(fd, buf, len);
+  };
+  transport.set_hooks(std::move(hooks));
+
+  transport.on_readable(transport.fd_of(MemberId{0}));
+  EXPECT_EQ(script->calls, 1u);
+  EXPECT_TRUE(a.messages_.empty());
+  EXPECT_EQ(transport.stats().messages_malformed, 0u);
+}
+
+TEST(UdpTransport, EndlessEintrIsBoundedByMaxDrain) {
+  net::Reactor reactor(reactor_options());
+  net::UdpTransport::Options topt;
+  topt.port_base = 43300;
+  topt.max_drain = 16;
+  net::UdpTransport transport(reactor, topt);
+  CollectingEndpoint a;
+  transport.attach(MemberId{0}, a);
+
+  auto script = std::make_shared<ScriptedRecv>();
+  for (int i = 0; i < 1000; ++i) script->steps.push_back({{}, EINTR});
+  net::UdpTransport::Hooks hooks;
+  hooks.recv = [script](int fd, void* buf, std::size_t len) {
+    return (*script)(fd, buf, len);
+  };
+  transport.set_hooks(std::move(hooks));
+
+  // A pathological signal storm must yield back to the reactor after
+  // max_drain iterations, not spin through the whole storm.
+  transport.on_readable(transport.fd_of(MemberId{0}));
+  EXPECT_EQ(script->calls, 16u);
+}
+
+TEST(UdpTransport, MockedDrainCountsMalformedAndDeliversValid) {
+  net::Reactor reactor(reactor_options());
+  net::UdpTransport::Options topt;
+  topt.port_base = 43350;
+  net::UdpTransport transport(reactor, topt);
+  CollectingEndpoint a;
+  transport.attach(MemberId{0}, a);
+
+  auto script = std::make_shared<ScriptedRecv>();
+  script->steps.push_back({{0xDE, 0xAD}, 0});                       // junk
+  script->steps.push_back({encoded(MemberId{4}, MemberId{0}, 1), 0});
+  script->steps.push_back({encoded(MemberId{4}, MemberId{9}, 2), 0});  // mis-addressed
+  script->steps.push_back({{}, EINTR});
+  script->steps.push_back({encoded(MemberId{5}, MemberId{0}, 3), 0});
+  net::UdpTransport::Hooks hooks;
+  hooks.recv = [script](int fd, void* buf, std::size_t len) {
+    return (*script)(fd, buf, len);
+  };
+  transport.set_hooks(std::move(hooks));
+
+  transport.on_readable(transport.fd_of(MemberId{0}));
+  EXPECT_EQ(transport.stats().messages_malformed, 2u);
+  EXPECT_EQ(transport.stats().messages_delivered, 2u);
+  ASSERT_EQ(a.messages_.size(), 2u);
+  EXPECT_EQ(a.messages_[0].frame[0], 1);
+  EXPECT_EQ(a.messages_[1].frame[0], 3);
+}
+
+TEST(Reactor, PollEintrIsRetriedNotFatal) {
+  net::Reactor reactor(reactor_options());
+  int eintr_left = 3;
+  reactor.set_poll_fn([&](pollfd* fds, nfds_t nfds, int timeout) -> int {
+    if (eintr_left > 0) {
+      --eintr_left;
+      errno = EINTR;
+      return -1;
+    }
+    return ::poll(fds, nfds, timeout);
+  });
+
+  bool fired = false;
+  reactor.schedule_after(SimTime::millis(5), [&]() { fired = true; });
+  const bool done =
+      reactor.run_until([&]() { return fired; }, SimTime::seconds(5));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(reactor.eintr_retries(), 3u);
+}
+
+/// Typed periodic timer driven by the wheel: counts fires, stops at limit.
+class CountingTimer final : public sim::TimerTarget {
+ public:
+  explicit CountingTimer(std::uint64_t limit) : limit_(limit) {}
+  bool on_timer(std::uint32_t) override { return ++fires_ < limit_; }
+  std::uint64_t fires_ = 0;
+
+ private:
+  std::uint64_t limit_;
+};
+
+TEST(Reactor, TimerWheelDrivesTypedPeriodicTimers) {
+  net::Reactor reactor(reactor_options());
+  CountingTimer timer(5);
+  reactor.schedule_periodic(SimTime::zero(), SimTime::millis(2), timer);
+  const bool done = reactor.run_until([&]() { return timer.fires_ == 5; },
+                                      SimTime::seconds(5));
+  EXPECT_TRUE(done);
+  // The chain self-cancelled at 5: give the wheel a few more quanta and
+  // assert no sixth fire.
+  (void)reactor.run_until([]() { return false; }, SimTime::millis(20));
+  EXPECT_EQ(timer.fires_, 5u);
+  EXPECT_GE(reactor.timers_fired(), 5u);
+}
+
+TEST(Reactor, FarFutureTimersParkBeyondTheWheelHorizon) {
+  // A 16-slot wheel with a 1ms tick has a 16ms horizon; a 40ms timer must
+  // wait out two extra laps and still fire on time, while a near timer
+  // sharing its slot fires on its own lap.
+  net::Reactor::Options ropt;
+  ropt.slots = 16;
+  net::Reactor reactor(ropt);
+  bool near = false;
+  bool far = false;
+  reactor.schedule_after(SimTime::millis(8), [&]() { near = true; });
+  reactor.schedule_after(SimTime::millis(40), [&]() { far = true; });
+
+  ASSERT_TRUE(reactor.run_until([&]() { return near; }, SimTime::seconds(5)));
+  EXPECT_FALSE(far) << "far timer fired a lap early";
+  ASSERT_TRUE(reactor.run_until([&]() { return far; }, SimTime::seconds(5)));
+  EXPECT_GE(reactor.now(), SimTime::millis(40));
+}
+
+}  // namespace
+}  // namespace gridbox

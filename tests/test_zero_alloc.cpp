@@ -145,6 +145,46 @@ TEST(ZeroAlloc, TypedPeriodicTimerReArmsWithoutAllocating) {
   EXPECT_EQ(timer.ticks(), 5000u);
 }
 
+TEST(ZeroAlloc, TransportVirtualDispatchAddsNoAllocations) {
+  // The sim path dispatches through the net::Transport interface since the
+  // UDP runtime landed. Virtual dispatch must not reintroduce allocations:
+  // the same steady-state proof as above, but every send goes through a
+  // Transport& base reference, exactly as protocol nodes issue it.
+  sim::Simulator sim;
+  net::SimNetwork network(sim, std::make_unique<net::NoLoss>(),
+                          std::make_unique<net::ConstantLatency>(SimTime{5}),
+                          Rng{42});
+  net::Transport& transport = network;
+  DecodingSink left;
+  DecodingSink right;
+  transport.attach(MemberId{1}, left);
+  transport.attach(MemberId{2}, right);
+
+  agg::ByteWriter w;
+  w.u8(7);
+  w.u64(0xfeedfaceULL);
+  const net::Frame frame = w.take();
+
+  const auto burst = [&](int messages) {
+    for (int i = 0; i < messages; ++i) {
+      transport.send(net::Message{MemberId{1}, MemberId{2}, frame});
+      transport.send(net::Message{MemberId{2}, MemberId{1}, frame});
+    }
+    sim.run();
+  };
+
+  burst(64);  // warm-up (see SteadyStateSendDeliverPathDoesNotTouchTheHeap)
+
+  const std::uint64_t before = heap_allocs();
+  for (int round = 0; round < 100; ++round) burst(32);
+  const std::uint64_t after = heap_allocs();
+
+  EXPECT_EQ(after - before, 0u)
+      << "Transport-dispatched send/deliver allocated " << (after - before)
+      << " time(s) over 6400 messages";
+  EXPECT_EQ(left.received() + right.received(), 2u * (64 + 100 * 32));
+}
+
 TEST(ZeroAlloc, CountingShimIsLive) {
   // Sanity: the override is actually installed in this binary — otherwise
   // the two proofs above would pass vacuously.

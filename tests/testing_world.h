@@ -94,7 +94,7 @@ class World {
   [[nodiscard]] protocols::NodeEnv env(
       agg::AggregateKind kind = agg::AggregateKind::kAverage) {
     protocols::NodeEnv e;
-    e.simulator = &simulator_;
+    e.scheduler = &simulator_;
     e.network = &network_;
     e.hierarchy = &hierarchy_;
     e.audit = audit_.get();
@@ -115,7 +115,7 @@ class World {
         icfg.group_size = options_.group_size;
         icfg.fanout = options_.k;
         icfg.num_phases = hierarchy_.num_phases();
-        icfg.simulator = &simulator_;
+        icfg.scheduler = &simulator_;
         icfg.audit = audit_.get();
         const std::uint64_t total_rounds =
             hierarchy_.num_phases() *
