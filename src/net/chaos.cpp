@@ -220,6 +220,12 @@ ChaosSpec ChaosSpec::parse(const std::string& text) {
       c.member = parse_member(t[1], line_no);
       c.at = parse_time(expect_kv(t[2], "at", line_no), line_no);
       spec.crashes.push_back(c);
+    } else if (directive == "join" || directive == "recover") {
+      want(2);
+      ChurnEvent e;
+      e.member = parse_member(t[1], line_no);
+      e.at = parse_time(expect_kv(t[2], "at", line_no), line_no);
+      (directive == "join" ? spec.joins : spec.recovers).push_back(e);
     } else {
       fail_at(line_no, "unknown directive: " + directive);
     }
@@ -263,6 +269,13 @@ std::string ChaosSpec::to_text() const {
   for (const CrashEvent& c : crashes) {
     out << "crash M" << c.member.value() << " at=" << time_text(c.at) << "\n";
   }
+  for (const ChurnEvent& e : joins) {
+    out << "join M" << e.member.value() << " at=" << time_text(e.at) << "\n";
+  }
+  for (const ChurnEvent& e : recovers) {
+    out << "recover M" << e.member.value() << " at=" << time_text(e.at)
+        << "\n";
+  }
   return out.str();
 }
 
@@ -272,8 +285,10 @@ bool ChaosSpec::affects_network() const {
          !partitions.empty();
 }
 
+bool ChaosSpec::has_churn() const { return !joins.empty() || !recovers.empty(); }
+
 bool ChaosSpec::empty() const {
-  return !affects_network() && crashes.empty();
+  return !affects_network() && crashes.empty() && !has_churn();
 }
 
 ChaosSpec random_chaos_spec(Rng& rng, std::size_t group_size,

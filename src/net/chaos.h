@@ -107,6 +107,19 @@ struct CrashEvent {
   friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
 };
 
+/// Scheduled membership churn: a member joining the group or recovering from
+/// a crash at a scripted time. Only the service runtime (src/service) honors
+/// these — the paper's one-shot protocol has no epoch boundary for a joiner
+/// to enter at, so run_experiment/run_udp_experiment reject specs containing
+/// them. Churn is scripted, never randomized, so adding a join/recover line
+/// to a spec perturbs no RNG stream of the loss/jitter/dup pipeline.
+struct ChurnEvent {
+  MemberId member;
+  SimTime at = SimTime::zero();
+
+  friend bool operator==(const ChurnEvent&, const ChurnEvent&) = default;
+};
+
 /// A parsed chaos scenario. Value-semantic and serializable: parse() and
 /// to_text() round-trip, so a spec is a checked-in, replayable artifact.
 /// Grammar (one directive per line, '#' comments — see docs/chaos.md):
@@ -118,6 +131,8 @@ struct CrashEvent {
 ///   dup p=P extra=N spread=Tus
 ///   partition FROMus..TOus boundary=half|INT cross=P [within=P]
 ///   crash MID at=Tus
+///   join MID at=Tus
+///   recover MID at=Tus
 ///
 /// Times accept `us`, `ms`, or `s` suffixes (bare integers are µs) and
 /// serialize canonically in µs.
@@ -129,6 +144,8 @@ struct ChaosSpec {
   DuplicationSpec dup;
   std::vector<PartitionEpoch> partitions;
   std::vector<CrashEvent> crashes;
+  std::vector<ChurnEvent> joins;     ///< service-mode only (see ChurnEvent)
+  std::vector<ChurnEvent> recovers;  ///< service-mode only (see ChurnEvent)
 
   /// Parses spec text; throws PreconditionError with a line-numbered message
   /// on malformed input.
@@ -137,8 +154,12 @@ struct ChaosSpec {
   /// Canonical serialization; parse(to_text()) == *this.
   [[nodiscard]] std::string to_text() const;
 
-  /// True if any directive affects message handling (everything but crashes).
+  /// True if any directive affects message handling (everything but
+  /// crashes and churn).
   [[nodiscard]] bool affects_network() const;
+
+  /// True if the spec scripts membership churn (join/recover directives).
+  [[nodiscard]] bool has_churn() const;
 
   [[nodiscard]] bool empty() const;
 

@@ -95,6 +95,43 @@ void Reactor::insert(Entry entry) {
 
 void Reactor::fire_due_timers() { advance_wheel(now()); }
 
+void Reactor::post(sim::Action action) {
+  std::lock_guard<std::mutex> guard(post_mutex_);
+  posted_.push_back(std::move(action));
+}
+
+void Reactor::drain_posted() {
+  // Swap the inbox out under its own lock, then run the batch under the
+  // dispatch lock: post() never blocks on dispatch, and a posted action
+  // posting onward (the retirement handshake hopping shards) lands in the
+  // fresh inbox for the next iteration.
+  std::vector<sim::Action> batch;
+  {
+    std::lock_guard<std::mutex> guard(post_mutex_);
+    if (posted_.empty()) return;
+    batch.swap(posted_);
+  }
+  std::unique_lock<std::mutex> guard;
+  if (options_.dispatch_mutex != nullptr) {
+    guard = std::unique_lock<std::mutex>(*options_.dispatch_mutex);
+  }
+  for (sim::Action& action : batch) {
+    ++actions_run_;
+    action();
+  }
+}
+
+std::size_t Reactor::count_timers_where(
+    const std::function<bool(const sim::TimerTarget*)>& pred) const {
+  std::size_t count = 0;
+  for (const auto& slot : wheel_) {
+    for (const Entry& entry : slot) {
+      if (entry.target != nullptr && pred(entry.target)) ++count;
+    }
+  }
+  return count;
+}
+
 void Reactor::advance_wheel(SimTime now) {
   if (pending_timers_ == 0) {
     last_tick_ = now.ticks() / options_.tick.ticks();
@@ -170,6 +207,7 @@ bool Reactor::run_until(const std::function<bool()>& done, SimTime deadline) {
   const int timeout_ms = static_cast<int>(
       std::max<std::int64_t>(1, options_.tick.ticks() / 1000));
   for (;;) {
+    drain_posted();
     advance_wheel(now());
     {
       std::unique_lock<std::mutex> guard;

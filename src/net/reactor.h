@@ -94,6 +94,23 @@ class Reactor final : public sim::Scheduler {
   /// `deadline`. Returns true iff done() turned true.
   bool run_until(const std::function<bool()>& done, SimTime deadline);
 
+  /// Enqueues an action to run on this reactor's thread. The one scheduling
+  /// entry point that IS safe to call from other threads: schedule_* are
+  /// reactor-thread-local, so cross-shard work (the service runtime starting
+  /// an instance's nodes on their home shards) goes through here. Posted
+  /// actions run under the dispatch lock at the top of the next loop
+  /// iteration, in post order; actions still queued when the loop exits are
+  /// discarded.
+  void post(sim::Action action);
+
+  /// Pending wheel timers (typed entries) whose target satisfies `pred`.
+  /// NOT thread-safe: call from this reactor's own thread — in practice
+  /// from a post()ed action, where the wheel is quiescent. The service
+  /// runtime's retirement handshake counts an instance's timers to prove no
+  /// wheel entry still points into nodes about to be destroyed.
+  [[nodiscard]] std::size_t count_timers_where(
+      const std::function<bool(const sim::TimerTarget*)>& pred) const;
+
   /// Fires every timer due at or before now() once, without polling.
   /// Exposed for mocked-reactor unit tests that drive the loop by hand.
   void fire_due_timers();
@@ -118,6 +135,8 @@ class Reactor final : public sim::Scheduler {
   };
 
   void insert(Entry entry);
+  /// Runs cross-thread post()ed actions (under the dispatch lock).
+  void drain_posted();
   [[nodiscard]] std::size_t slot_of(SimTime deadline) const;
   /// Collects due entries from slots in (last_tick_, now-tick], fires them
   /// under the dispatch lock, re-inserts surviving periodic timers.
@@ -134,6 +153,9 @@ class Reactor final : public sim::Scheduler {
   std::vector<pollfd> pollfds_;
   std::vector<IoHandler*> handlers_;  ///< parallel to pollfds_
   PollFn poll_fn_;
+
+  std::mutex post_mutex_;            ///< guards posted_ only
+  std::vector<sim::Action> posted_;  ///< cross-thread inbox (post())
 
   std::uint64_t timers_fired_ = 0;
   std::uint64_t actions_run_ = 0;

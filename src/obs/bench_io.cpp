@@ -36,6 +36,12 @@ std::string BenchReport::to_json() const {
     if (e.rss_per_member_b > 0.0) {
       w.key("rss_per_member_b").value(e.rss_per_member_b);
     }
+    if (e.instances_per_s > 0.0) {
+      w.key("instances_per_s").value(e.instances_per_s);
+    }
+    if (e.p99_completion_ms > 0.0) {
+      w.key("p99_completion_ms").value(e.p99_completion_ms);
+    }
     w.end_object();
   }
   w.end_array();
@@ -78,6 +84,8 @@ BenchReport BenchReport::parse(const std::string& json_text) {
         static_cast<std::uint64_t>(v.number_or("network_messages", 0));
     e.peak_rss_mb = v.number_or("peak_rss_mb", 0.0);
     e.rss_per_member_b = v.number_or("rss_per_member_b", 0.0);
+    e.instances_per_s = v.number_or("instances_per_s", 0.0);
+    e.p99_completion_ms = v.number_or("p99_completion_ms", 0.0);
     report.entries.push_back(std::move(e));
   }
   return report;
@@ -108,11 +116,27 @@ std::string BenchDiffReport::render() const {
     } else {
       std::snprintf(rss, sizeof(rss), " %11s", "");
     }
+    // Service-suite throughput/latency are informational like B/member:
+    // rendered old->new when either side reports them, blank otherwise.
+    char svc[48];
+    if (row.old_instances_per_s > 0.0 || row.new_instances_per_s > 0.0) {
+      std::snprintf(svc, sizeof(svc), " %5.1f->%-5.1f inst/s",
+                    row.old_instances_per_s, row.new_instances_per_s);
+    } else {
+      svc[0] = '\0';
+    }
+    char p99[48];
+    if (row.old_p99_completion_ms > 0.0 || row.new_p99_completion_ms > 0.0) {
+      std::snprintf(p99, sizeof(p99), " %5.1f->%-5.1f p99ms",
+                    row.old_p99_completion_ms, row.new_p99_completion_ms);
+    } else {
+      p99[0] = '\0';
+    }
     std::snprintf(line, sizeof(line),
-                  "%-32s %12.6f %12.6f %7.3fx %+8.1f%% %+8.1f%%%s%s\n",
+                  "%-32s %12.6f %12.6f %7.3fx %+8.1f%% %+8.1f%%%s%s%s%s\n",
                   row.name.c_str(), row.old_wall_s, row.new_wall_s,
                   row.wall_ratio, (row.events_ratio - 1.0) * 100.0,
-                  (row.msgs_ratio - 1.0) * 100.0, rss,
+                  (row.msgs_ratio - 1.0) * 100.0, rss, svc, p99,
                   row.regressed ? "  REGRESSED" : "");
     out << line;
   }
@@ -150,18 +174,26 @@ BenchDiffReport bench_diff(const BenchReport& old_report,
     row.wall_ratio = row.old_wall_s > 0.0 ? row.new_wall_s / row.old_wall_s
                      : row.new_wall_s > 0.0 ? 1.0 + threshold + 1.0
                                             : 1.0;
+    // 0 -> 0 (a suite that doesn't report the rate) renders as unchanged,
+    // not as a 100% regression.
     row.old_events_per_s = it->second->events_per_s;
     row.new_events_per_s = e.events_per_s;
     row.events_ratio = row.old_events_per_s > 0.0
                            ? row.new_events_per_s / row.old_events_per_s
-                           : 0.0;
+                       : row.new_events_per_s > 0.0 ? 0.0
+                                                    : 1.0;
     row.old_msgs_per_s = it->second->msgs_per_s;
     row.new_msgs_per_s = e.msgs_per_s;
     row.msgs_ratio = row.old_msgs_per_s > 0.0
                          ? row.new_msgs_per_s / row.old_msgs_per_s
-                         : 0.0;
+                     : row.new_msgs_per_s > 0.0 ? 0.0
+                                                : 1.0;
     row.old_rss_per_member_b = it->second->rss_per_member_b;
     row.new_rss_per_member_b = e.rss_per_member_b;
+    row.old_instances_per_s = it->second->instances_per_s;
+    row.new_instances_per_s = e.instances_per_s;
+    row.old_p99_completion_ms = it->second->p99_completion_ms;
+    row.new_p99_completion_ms = e.p99_completion_ms;
     row.regressed = row.wall_ratio > 1.0 + threshold;
     if (row.regressed) ++report.regressions;
     report.worst_ratio = std::max(report.worst_ratio, row.wall_ratio);

@@ -28,6 +28,11 @@ struct BenchEntry {
   /// figure of merit for the big-N scale cases. 0 when the case does not
   /// report it (older reports parse fine: the field is optional).
   double rss_per_member_b = 0.0;
+  /// Service-suite throughput/latency: completed instances per second and
+  /// p99 launch-to-completion time. 0 when the case does not report them
+  /// (non-service suites and older reports parse fine: both are optional).
+  double instances_per_s = 0.0;
+  double p99_completion_ms = 0.0;
 };
 
 struct BenchReport {
@@ -67,6 +72,10 @@ struct BenchDiffRow {
   double msgs_ratio = 1.0;  ///< new/old msgs/s (0 when old was 0)
   double old_rss_per_member_b = 0.0;  ///< informational, never gates
   double new_rss_per_member_b = 0.0;
+  double old_instances_per_s = 0.0;  ///< informational, never gates
+  double new_instances_per_s = 0.0;
+  double old_p99_completion_ms = 0.0;  ///< informational, never gates
+  double new_p99_completion_ms = 0.0;
   bool regressed = false;   ///< wall_ratio > 1 + threshold
 };
 

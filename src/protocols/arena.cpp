@@ -34,6 +34,27 @@ StateArena StateArena::solo(MemberId self) {
   return StateArena(std::move(members), /*solo=*/true);
 }
 
+void StateArena::recycle(
+    std::shared_ptr<const std::vector<MemberId>> members,
+    const hierarchy::GridBoxHierarchy& hier) {
+  expects(!solo_, "recycle needs a shared (dense) arena");
+  expects(members != nullptr && members->size() == members_->size(),
+          "recycle requires the same group size");
+  for (std::size_t i = 0; i < members->size(); ++i) {
+    expects((*members)[i].value() == i,
+            "shared arena requires dense member ids (slot == id)");
+  }
+  members_ = std::move(members);
+  std::fill(vote_.begin(), vote_.end(), 0.0);
+  std::fill(audit_token_.begin(), audit_token_.end(), 0);
+  std::fill(phase_.begin(), phase_.end(), 0);
+  std::fill(round_.begin(), round_.end(), 0);
+  std::fill(rounds_budget_.begin(), rounds_budget_.end(), 0);
+  std::fill(messages_sent_.begin(), messages_sent_.end(), 0);
+  phase_order_.clear();
+  build_phase_tables(hier);
+}
+
 void StateArena::build_phase_tables(const hierarchy::GridBoxHierarchy& hier) {
   if (has_phase_tables()) return;
   expects(!solo_, "phase tables need a shared (dense) arena");

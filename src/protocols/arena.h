@@ -89,6 +89,15 @@ class StateArena {
   /// Builds the per-phase segment tables (idempotent; requires a dense
   /// arena). `hier` must describe this run's hierarchy.
   void build_phase_tables(const hierarchy::GridBoxHierarchy& hier);
+
+  /// Rebinds a retired arena to a new instance's world: aliases `members`
+  /// (same size, dense — so slot arithmetic is unchanged), zeroes every
+  /// state lane, and rebuilds the phase tables for `hier` (each instance
+  /// hashes members into its own grid-box layout). The lane vectors keep
+  /// their capacity, so recycling across a long epoch stream allocates
+  /// only the per-phase tables — the service's arena pool leans on this.
+  void recycle(std::shared_ptr<const std::vector<MemberId>> members,
+               const hierarchy::GridBoxHierarchy& hier);
   [[nodiscard]] bool has_phase_tables() const { return !phase_order_.empty(); }
 
   /// A member's phase-group segment: the contiguous range

@@ -25,6 +25,7 @@
 #include "src/runner/experiment.h"
 #include "src/runner/stats.h"
 #include "src/runner/table.h"
+#include "src/service/service.h"
 
 namespace gridbox::runner {
 
@@ -168,6 +169,13 @@ workload & measurement
                          GRIDBOX_JOBS env var, else hardware concurrency);
                          results are identical for every N
   --csv PATH             also write per-run rows as CSV
+
+service (docs/service.md)
+  --instances I          stream I concurrent protocol instances through one
+                         membership (service mode; chaos specs may add
+                         join/recover churn directives)
+  --epoch-interval-us U  launch cadence in µs (default 50000)
+  --in-flight W          bounded in-flight window (default 8)
 
 observability
   --metrics              collect per-run metrics and print the merged
@@ -335,6 +343,20 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--flight-recorder") {
       if (!next_value(flag, &value)) break;
       p.options.flight_out = value;
+    } else if (flag == "--instances") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      p.options.instances = static_cast<std::size_t>(u);
+    } else if (flag == "--epoch-interval-us") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      p.options.epoch_interval =
+          SimTime::micros(static_cast<SimTime::underlying>(u));
+    } else if (flag == "--in-flight") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      if (u == 0) {
+        (void)p.fail("--in-flight: must be at least 1");
+        break;
+      }
+      p.options.in_flight = static_cast<std::size_t>(u);
     } else if (flag == "--profile") {
       config.profile = true;
     } else {
@@ -343,6 +365,15 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     }
   }
 
+  if (p.error.empty() && p.options.instances > 0) {
+    if (p.options.runs > 1) {
+      (void)p.fail("--instances: service mode streams one run; drop --runs");
+    } else if (p.options.differential) {
+      (void)p.fail(
+          "--instances: the service differential lives in gridbox_node "
+          "--instances --differential");
+    }
+  }
   if (!p.error.empty()) return CliParseResult{std::nullopt, p.error};
   return CliParseResult{p.options, ""};
 }
@@ -382,6 +413,92 @@ int run_differential_cli(const CliOptions& options) {
   return all_ok ? 0 : 2;
 }
 
+/// Service mode: one streaming run, a per-instance table, service metrics,
+/// and (with --lineage) one gridbox-lineage-multi/1 document.
+int run_service_cli(const CliOptions& options) {
+  service::ServiceConfig sc;
+  sc.experiment = options.config;
+  sc.instances = options.instances;
+  sc.epoch_interval = options.epoch_interval;
+  sc.max_in_flight = options.in_flight;
+  sc.collect_lineage = !options.lineage_out.empty();
+
+  const auto started = std::chrono::steady_clock::now();
+  service::ServiceResult result;
+  try {
+    result = service::run_service_experiment(sc);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "error: %s\n", ex.what());
+    return 1;
+  }
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  Table table({"instance", "launched_ms", "done_ms", "participants",
+               "completeness", "true value", "audit", "invariants", "msgs"});
+  bool clean = result.completed;
+  for (const service::InstanceResult& inst : result.instances) {
+    const auto& m = inst.measurement;
+    clean = clean && inst.completed && m.audit_violations == 0 &&
+            m.reconstruction_failures == 0 && inst.invariant_violations == 0;
+    table.add_row(
+        {std::to_string(inst.id),
+         std::to_string(inst.launched_at.ticks() / 1000),
+         inst.completed ? std::to_string(inst.completed_at.ticks() / 1000)
+                        : "FAILED",
+         std::to_string(inst.participants), Table::num(m.mean_completeness),
+         Table::num(m.true_value), std::to_string(m.audit_violations),
+         std::to_string(inst.invariant_violations),
+         std::to_string(inst.network.messages_sent)});
+  }
+  std::fputs(table.to_text().c_str(), stdout);
+  if (!options.csv_path.empty()) {
+    if (table.write_csv(options.csv_path)) {
+      std::printf("[csv] %s\n", options.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.csv_path.c_str());
+      return 1;
+    }
+  }
+
+  const service::ServiceMetrics& sm = result.metrics;
+  std::printf(
+      "\nservice: %zu/%zu instance(s) completed, %zu failed, %zu deferred "
+      "launch(es)\n"
+      "throughput %.2f instances/s (sim time), completion p50 %.1f ms "
+      "p90 %.1f ms p99 %.1f ms\n"
+      "demux: delivered %llu, malformed %llu, unknown %llu, retired %llu, "
+      "closed sends %llu\n"
+      "elapsed %.1f ms sim, wall-clock %.3f s\n",
+      sm.completed, sm.launched, sm.failed, sm.deferred, sm.instances_per_sec,
+      static_cast<double>(sm.p50_completion.ticks()) / 1000.0,
+      static_cast<double>(sm.p90_completion.ticks()) / 1000.0,
+      static_cast<double>(sm.p99_completion.ticks()) / 1000.0,
+      static_cast<unsigned long long>(sm.demux.delivered),
+      static_cast<unsigned long long>(sm.demux.malformed_envelope),
+      static_cast<unsigned long long>(sm.demux.unknown_instance),
+      static_cast<unsigned long long>(sm.demux.retired_instance),
+      static_cast<unsigned long long>(sm.demux.closed_sends),
+      static_cast<double>(result.elapsed.ticks()) / 1000.0, wall_seconds);
+
+  if (!options.lineage_out.empty()) {
+    std::ofstream out(options.lineage_out,
+                      std::ios::binary | std::ios::trunc);
+    out << service::lineage_multi_json(result.instances) << '\n';
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   options.lineage_out.c_str());
+      return 1;
+    }
+    std::printf("[lineage] %s (gridbox-lineage-multi/1; query with "
+                "gridbox_explain --instance ID)\n",
+                options.lineage_out.c_str());
+  }
+  return clean ? 0 : 1;
+}
+
 }  // namespace
 
 std::string trace_path_for_run(const std::string& base, std::size_t run,
@@ -406,6 +523,7 @@ int run_cli(const CliOptions& options) {
     return 0;
   }
   if (options.differential) return run_differential_cli(options);
+  if (options.instances > 0) return run_service_cli(options);
 
   Table table({"run", "seed", "completeness", "incompleteness", "survivors",
                "true value", "mean abs err", "msgs", "rounds"});

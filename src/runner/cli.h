@@ -40,6 +40,16 @@ struct CliOptions {
   /// dump it (config + chaos spec + event tail) to PATH when the run dies on
   /// an invariant violation. Nothing is written for clean runs.
   std::string flight_out;
+
+  /// --instances I > 0: service mode — stream I concurrent protocol
+  /// instances through one simulated membership/transport (docs/service.md).
+  /// Incompatible with --runs/--differential; --lineage then writes one
+  /// "gridbox-lineage-multi/1" document for gridbox_explain --instance.
+  std::size_t instances = 0;
+  /// --epoch-interval-us U: service launch cadence.
+  SimTime epoch_interval = SimTime::millis(50);
+  /// --in-flight W: service bounded in-flight window.
+  std::size_t in_flight = 8;
 };
 
 /// The trace file a given run writes: `base` itself for a single run, else

@@ -230,6 +230,10 @@ RunResult run_experiment(const ExperimentConfig& config) {
   obs::ProfileInstallGuard profile_guard(profiler.get());
 
   net::ChaosSpec chaos = net::ChaosSpec::parse(config.chaos_spec);
+  // Churn needs an epoch boundary for a joiner to enter at; the one-shot
+  // protocol has none. The service runtime (src/service) honors these.
+  expects(!chaos.has_churn(),
+          "join/recover directives require the service runtime");
   if (chaos.affects_network()) {
     network.install_chaos(std::make_unique<net::ChaosSchedule>(
         chaos, make_faults(config), config.group_size,

@@ -21,25 +21,6 @@
 
 namespace gridbox::runner {
 
-namespace {
-
-/// Theoretical protocol horizon on the shared clock: when a healthy run
-/// should have finished. Hier-gossip has the paper's closed form; the
-/// baselines get a generous round-count blanket.
-[[nodiscard]] SimTime protocol_horizon(const ExperimentConfig& config,
-                                       std::size_t num_phases) {
-  if (config.protocol == ProtocolKind::kHierGossip) {
-    const std::uint64_t total_rounds =
-        num_phases * config.gossip.rounds_per_phase(config.group_size) + 1;
-    return config.gossip.start_skew_max +
-           SimTime::micros(static_cast<SimTime::underlying>(total_rounds) *
-                           config.gossip.round_duration.ticks());
-  }
-  return SimTime::micros(200 * config.round_duration().ticks());
-}
-
-}  // namespace
-
 std::uint64_t raise_fd_limit(std::uint64_t need) {
   rlimit limit{};
   expects(getrlimit(RLIMIT_NOFILE, &limit) == 0, "getrlimit failed");
@@ -99,6 +80,10 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
   reactors.reserve(shard_count);
   transports.reserve(shard_count);
   const net::ChaosSpec chaos = net::ChaosSpec::parse(config.chaos_spec);
+  // Churn needs an epoch boundary for a joiner to enter at; the one-shot
+  // protocol has none. The service runtime (src/service) honors these.
+  expects(!chaos.has_churn(),
+          "join/recover directives require the service runtime");
   const bool shim_active = chaos.affects_network() ||
                            config.ucast_loss > 0.0 ||
                            config.partition_loss >= 0.0;

@@ -101,6 +101,18 @@ std::unique_ptr<agg::AuditRegistry> make_audit(
   return audit;
 }
 
+SimTime protocol_horizon(const ExperimentConfig& config,
+                         std::size_t num_phases) {
+  if (config.protocol == ProtocolKind::kHierGossip) {
+    const std::uint64_t total_rounds =
+        num_phases * config.gossip.rounds_per_phase(config.group_size) + 1;
+    return config.gossip.start_skew_max +
+           SimTime::micros(static_cast<SimTime::underlying>(total_rounds) *
+                           config.gossip.round_duration.ticks());
+  }
+  return SimTime::micros(200 * config.round_duration().ticks());
+}
+
 std::unique_ptr<protocols::ProtocolNode> make_node(
     const ExperimentConfig& config, MemberId id, double vote,
     membership::View view, protocols::NodeEnv env, Rng rng) {

@@ -79,4 +79,12 @@ inline constexpr std::uint64_t kNodeBase = 0x1000;
     const ExperimentConfig& config, MemberId id, double vote,
     membership::View view, protocols::NodeEnv env, Rng rng);
 
+/// Theoretical protocol horizon on the run clock: when a healthy run should
+/// have finished. Hier-gossip has the paper's closed form (Theorem 1:
+/// start skew + (num_phases × rounds-per-phase + 1) rounds); the baselines
+/// get a generous round-count blanket. The UDP runtime and the service
+/// engine both size their deadlines from this.
+[[nodiscard]] SimTime protocol_horizon(const ExperimentConfig& config,
+                                       std::size_t num_phases);
+
 }  // namespace gridbox::runner

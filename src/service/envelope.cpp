@@ -1,0 +1,60 @@
+#include "src/service/envelope.h"
+
+#include <cstring>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::service {
+
+std::string to_string(EnvelopeError error) {
+  switch (error) {
+    case EnvelopeError::kOk:
+      return "ok";
+    case EnvelopeError::kTooShort:
+      return "frame shorter than the envelope header";
+    case EnvelopeError::kBadMagic:
+      return "bad envelope magic";
+    case EnvelopeError::kBadVersion:
+      return "unsupported envelope version";
+    case EnvelopeError::kBadReserved:
+      return "nonzero reserved envelope byte";
+  }
+  return "unknown envelope error";
+}
+
+net::Frame envelope_wrap(std::uint32_t instance_id, const net::Frame& inner) {
+  expects(inner.size() + kEnvelopeBytes <= net::kMaxPayloadBytes,
+          "payload too large to carry an instance envelope");
+  std::uint8_t header[kEnvelopeBytes];
+  header[0] = static_cast<std::uint8_t>(kEnvelopeMagic & 0xFF);
+  header[1] = static_cast<std::uint8_t>(kEnvelopeMagic >> 8);
+  header[2] = kEnvelopeVersion;
+  header[3] = 0;  // reserved
+  header[4] = static_cast<std::uint8_t>(instance_id & 0xFF);
+  header[5] = static_cast<std::uint8_t>((instance_id >> 8) & 0xFF);
+  header[6] = static_cast<std::uint8_t>((instance_id >> 16) & 0xFF);
+  header[7] = static_cast<std::uint8_t>((instance_id >> 24) & 0xFF);
+  net::Frame outer(header, kEnvelopeBytes);
+  ensures(outer.try_append(inner.data(), inner.size()),
+          "envelope wrap overflow");
+  return outer;
+}
+
+EnvelopeError envelope_unwrap(const net::Frame& outer,
+                              std::uint32_t& instance_id, net::Frame& inner) {
+  if (outer.size() < kEnvelopeBytes) return EnvelopeError::kTooShort;
+  const std::uint8_t* b = outer.data();
+  const std::uint16_t magic =
+      static_cast<std::uint16_t>(b[0] | (static_cast<std::uint16_t>(b[1]) << 8));
+  if (magic != kEnvelopeMagic) return EnvelopeError::kBadMagic;
+  if (b[2] != kEnvelopeVersion) return EnvelopeError::kBadVersion;
+  if (b[3] != 0) return EnvelopeError::kBadReserved;
+  instance_id = static_cast<std::uint32_t>(b[4]) |
+                (static_cast<std::uint32_t>(b[5]) << 8) |
+                (static_cast<std::uint32_t>(b[6]) << 16) |
+                (static_cast<std::uint32_t>(b[7]) << 24);
+  inner = net::Frame(b + kEnvelopeBytes, outer.size() - kEnvelopeBytes);
+  return EnvelopeError::kOk;
+}
+
+}  // namespace gridbox::service

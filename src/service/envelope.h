@@ -1,0 +1,71 @@
+// The instance envelope: a strict 8-byte header multiplexing many protocol
+// instances over one frame path.
+//
+// The service runtime (src/service) runs many concurrent protocol instances
+// over one shared transport. On the wire nothing changes below this layer —
+// the GRBX datagram codec, the UDP transport, and the simulator's typed
+// event queue all carry `net::Frame` unchanged. What changes is the frame
+// *content*: the service wraps every protocol payload in a fixed header
+//
+//   offset  size  field
+//   0       2     magic 0x4D58 ("MX"), little endian
+//   2       1     version (1)
+//   3       1     reserved (must be 0)
+//   4       4     instance id, little endian
+//
+// followed by the untouched inner payload. Validation is strict in the
+// spirit of the datagram codec (datagram.h): every field is checked, a bad
+// envelope yields a typed error and the frame is counted malformed — never
+// delivered, never a crash. The inner payload's own length is implicit
+// (outer size minus header), mirroring how the datagram trusts its length
+// field only after exact-size validation.
+//
+// The envelope costs 8 of the frame's 256 bytes. The largest payload any
+// protocol here sends is the hier-gossip phase message at 236 bytes
+// (11 + 5 entries x 45), so wrapping can never overflow; envelope_wrap
+// enforces that as a precondition rather than a silent truncation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/frame.h"
+
+namespace gridbox::service {
+
+/// Envelope header size in bytes.
+inline constexpr std::size_t kEnvelopeBytes = 8;
+
+/// Envelope magic ("MX" little endian), distinct from the datagram's GRBX
+/// magic so a stray unwrapped frame can never masquerade as an envelope.
+inline constexpr std::uint16_t kEnvelopeMagic = 0x4D58;
+
+/// Envelope format version.
+inline constexpr std::uint8_t kEnvelopeVersion = 1;
+
+/// Why an envelope failed to decode. kOk is 0 so decoders can test
+/// `if (error != EnvelopeError::kOk)`.
+enum class EnvelopeError : std::uint8_t {
+  kOk = 0,
+  kTooShort,      ///< outer frame smaller than the fixed header
+  kBadMagic,      ///< first two bytes are not 0x4D58
+  kBadVersion,    ///< unsupported version byte
+  kBadReserved,   ///< reserved byte not zero
+};
+
+[[nodiscard]] std::string to_string(EnvelopeError error);
+
+/// Wraps `inner` for `instance_id`. Precondition: the inner payload plus the
+/// header fits the constant frame bound (true for every protocol message —
+/// see the header comment).
+[[nodiscard]] net::Frame envelope_wrap(std::uint32_t instance_id,
+                                       const net::Frame& inner);
+
+/// Strictly validates and strips the envelope. On success fills
+/// `instance_id` and `inner` and returns kOk; on any failure returns the
+/// specific error and leaves both out-parameters untouched.
+[[nodiscard]] EnvelopeError envelope_unwrap(const net::Frame& outer,
+                                            std::uint32_t& instance_id,
+                                            net::Frame& inner);
+
+}  // namespace gridbox::service

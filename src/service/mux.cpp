@@ -1,0 +1,135 @@
+#include "src/service/mux.h"
+
+#include <utility>
+
+#include "src/common/ensure.h"
+#include "src/service/envelope.h"
+
+namespace gridbox::service {
+
+InstanceSender::InstanceSender(InstanceMux& mux, std::uint32_t instance)
+    : mux_(mux), instance_(instance) {}
+
+void InstanceSender::attach(MemberId id, net::Endpoint& endpoint) {
+  mux_.route(instance_, id, endpoint);
+}
+
+void InstanceSender::detach(MemberId id) { mux_.unroute(instance_, id); }
+
+void InstanceSender::send(net::Message message) {
+  mux_.forward(*this, std::move(message));
+}
+
+InstanceMux::InstanceMux(Options options) : options_(std::move(options)) {
+  expects(options_.group_size >= 1, "mux needs at least one member");
+  expects(static_cast<bool>(options_.transport_of),
+          "mux needs a transport map");
+  ports_.reserve(options_.group_size);
+  for (std::size_t m = 0; m < options_.group_size; ++m) {
+    ports_.push_back(std::make_unique<MemberPort>(
+        *this, MemberId{static_cast<MemberId::underlying>(m)}));
+  }
+}
+
+void InstanceMux::attach_all() {
+  expects(!attached_, "mux already attached");
+  for (std::size_t m = 0; m < options_.group_size; ++m) {
+    const MemberId id{static_cast<MemberId::underlying>(m)};
+    options_.transport_of(id)->attach(id, *ports_[m]);
+  }
+  attached_ = true;
+}
+
+void InstanceMux::detach_all() {
+  if (!attached_) return;
+  for (std::size_t m = 0; m < options_.group_size; ++m) {
+    const MemberId id{static_cast<MemberId::underlying>(m)};
+    options_.transport_of(id)->detach(id);
+  }
+  attached_ = false;
+}
+
+std::unique_ptr<InstanceSender> InstanceMux::open_instance(std::uint32_t id) {
+  expects(id == next_id_, "instance ids must be opened in order");
+  ++next_id_;
+  auto sender = std::make_unique<InstanceSender>(*this, id);
+  Slot slot;
+  slot.routes.assign(options_.group_size, nullptr);
+  slot.sender = sender.get();
+  instances_.emplace(id, std::move(slot));
+  return sender;
+}
+
+void InstanceMux::close_instance(std::uint32_t id) {
+  const auto it = instances_.find(id);
+  expects(it != instances_.end(), "closing an instance that is not open");
+  instances_.erase(it);
+}
+
+void InstanceMux::route(std::uint32_t instance, MemberId member,
+                        net::Endpoint& endpoint) {
+  const auto it = instances_.find(instance);
+  expects(it != instances_.end(), "routing into an instance that is not open");
+  expects(member.value() < options_.group_size, "member outside the group");
+  it->second.routes[member.value()] = &endpoint;
+}
+
+void InstanceMux::unroute(std::uint32_t instance, MemberId member) {
+  const auto it = instances_.find(instance);
+  if (it == instances_.end()) return;  // closed already: nothing to unroute
+  expects(member.value() < options_.group_size, "member outside the group");
+  it->second.routes[member.value()] = nullptr;
+}
+
+void InstanceMux::forward(InstanceSender& sender, net::Message message) {
+  if (!is_open(sender.instance())) {
+    // A lingering node of a closed instance gossiping into the void — the
+    // service's equivalent of a message to a crashed process.
+    ++stats_.closed_sends;
+    return;
+  }
+  net::Message outer;
+  outer.source = message.source;
+  outer.destination = message.destination;
+  outer.frame = envelope_wrap(sender.instance(), message.frame);
+  sender.stats_.messages_sent += 1;
+  sender.stats_.bytes_sent += outer.frame.size();
+  options_.transport_of(outer.source)->send(std::move(outer));
+}
+
+void InstanceMux::demux(MemberId self, const net::Message& outer) {
+  std::uint32_t instance = 0;
+  net::Frame inner;
+  const EnvelopeError error = envelope_unwrap(outer.frame, instance, inner);
+  if (error != EnvelopeError::kOk) {
+    ++stats_.malformed_envelope;
+    return;
+  }
+  if (instance >= next_id_) {
+    ++stats_.unknown_instance;
+    return;
+  }
+  const auto it = instances_.find(instance);
+  if (it == instances_.end()) {
+    ++stats_.retired_instance;
+    return;
+  }
+  Slot& slot = it->second;
+  net::Endpoint* endpoint = slot.routes[self.value()];
+  if (endpoint == nullptr) {
+    // The member is not a participant of this instance's epoch (it joined
+    // after launch, or was down at launch): to the instance it is dead.
+    ++stats_.unrouted_member;
+    slot.sender->stats_.messages_dead_dest += 1;
+    return;
+  }
+  ++stats_.delivered;
+  slot.sender->stats_.messages_delivered += 1;
+  net::Message message;
+  message.source = outer.source;
+  message.destination = outer.destination;
+  message.frame = inner;
+  endpoint->on_message(message);
+}
+
+}  // namespace gridbox::service

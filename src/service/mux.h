@@ -1,0 +1,162 @@
+// InstanceMux: many concurrent protocol instances over one transport.
+//
+// The service runtime runs a stream of aggregation queries — each a full
+// protocol instance — over ONE shared membership and ONE transport per
+// member. The mux is the routing layer that makes that possible:
+//
+//   - Receive side: every member gets one demux endpoint, attached to the
+//     member's raw transport exactly once at setup (so the UDP runtime's fd
+//     count is constant no matter how many instances stream through). An
+//     arriving frame is strictly envelope-validated (envelope.h) and routed
+//     to the addressed instance's endpoint for that member.
+//   - Send side: each instance gets an InstanceSender — a net::Transport the
+//     instance's nodes hold as their env.network. It wraps every outgoing
+//     frame in the instance envelope and forwards it through the sending
+//     member's raw transport, keeping per-instance NetworkStats.
+//
+// Instance ids are handed out monotonically. A frame addressed to an id
+// never opened is counted `unknown_instance`; one addressed to an id that
+// was opened and has since closed is counted `retired_instance`; a frame
+// whose envelope fails validation is counted `malformed_envelope`. All
+// three are dropped — never delivered, never a crash — mirroring the strict
+// datagram codec one layer down.
+//
+// Threading: all mutation (open/close/route/demux/send) happens under the
+// run's dispatch serialization — the simulator's single thread, or the UDP
+// runtime's dispatch mutex (every delivery, timer, and posted action already
+// runs under it). The mux therefore takes no locks of its own.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/stats.h"
+#include "src/net/transport.h"
+
+namespace gridbox::service {
+
+class InstanceMux;
+
+/// Demultiplexer counters: what happened to envelope-bearing frames.
+struct DemuxStats {
+  std::uint64_t delivered = 0;           ///< routed to a live instance endpoint
+  std::uint64_t malformed_envelope = 0;  ///< failed strict envelope validation
+  std::uint64_t unknown_instance = 0;    ///< instance id never opened
+  std::uint64_t retired_instance = 0;    ///< instance id opened, since closed
+  std::uint64_t unrouted_member = 0;     ///< live instance, member not routed
+                                         ///< (non-participant of the epoch)
+  std::uint64_t closed_sends = 0;        ///< sends dropped: instance closed
+};
+
+/// The per-instance transport: what an instance's protocol nodes hold as
+/// their env.network. attach()/detach() populate the instance's routing
+/// table inside the mux; send() wraps the instance envelope and forwards
+/// through the sending member's raw transport. Owned by the engine's
+/// instance record, NOT by the mux — nodes keep their Transport* through
+/// the final-phase linger window after the instance closes, and a send in
+/// that window must land here (dropped and counted), not on a dangling
+/// pointer.
+class InstanceSender final : public net::Transport {
+ public:
+  InstanceSender(InstanceMux& mux, std::uint32_t instance);
+
+  void attach(MemberId id, net::Endpoint& endpoint) override;
+  void detach(MemberId id) override;
+  void send(net::Message message) override;
+  [[nodiscard]] const net::NetworkStats& stats() const override {
+    return stats_;
+  }
+
+  [[nodiscard]] std::uint32_t instance() const { return instance_; }
+
+ private:
+  friend class InstanceMux;  // delivery-side stat updates
+
+  InstanceMux& mux_;
+  std::uint32_t instance_ = 0;
+  net::NetworkStats stats_;
+};
+
+class InstanceMux {
+ public:
+  struct Options {
+    std::size_t group_size = 0;
+    /// The raw transport that carries a given member's traffic (the shard
+    /// transport in the UDP runtime; the one SimNetwork in the simulator).
+    std::function<net::Transport*(MemberId)> transport_of;
+  };
+
+  explicit InstanceMux(Options options);
+  InstanceMux(const InstanceMux&) = delete;
+  InstanceMux& operator=(const InstanceMux&) = delete;
+
+  /// Attaches one demux endpoint per member to its raw transport. Call once
+  /// at setup, before any instance opens; sockets bind here (UDP) and stay
+  /// bound for the whole service run.
+  void attach_all();
+
+  /// Detaches every demux endpoint (teardown symmetry; optional when the
+  /// transports are destroyed right after anyway).
+  void detach_all();
+
+  /// Opens instance `id` and returns its sender. Ids must be handed out in
+  /// increasing order with no gaps — the monotone id space is what lets the
+  /// demux distinguish a retired instance from one that never existed.
+  [[nodiscard]] std::unique_ptr<InstanceSender> open_instance(
+      std::uint32_t id);
+
+  /// Closes instance `id`: frames addressed to it count retired from now
+  /// on, and its sender's send() calls drop (counted closed_sends). The
+  /// routing slot is freed — per-instance memory does not grow with the
+  /// epoch stream.
+  void close_instance(std::uint32_t id);
+
+  [[nodiscard]] bool is_open(std::uint32_t id) const {
+    return instances_.find(id) != instances_.end();
+  }
+
+  [[nodiscard]] std::uint32_t instances_opened() const { return next_id_; }
+  [[nodiscard]] const DemuxStats& stats() const { return stats_; }
+
+ private:
+  friend class InstanceSender;
+
+  /// One live instance's routing state. The sender pointer aliases the
+  /// engine-owned InstanceSender so the delivery path can update its
+  /// per-instance stats.
+  struct Slot {
+    std::vector<net::Endpoint*> routes;  ///< by member id; null = unrouted
+    InstanceSender* sender = nullptr;
+  };
+
+  /// One member's receive port: the Endpoint attached to the raw transport.
+  class MemberPort final : public net::Endpoint {
+   public:
+    MemberPort(InstanceMux& mux, MemberId self) : mux_(mux), self_(self) {}
+    void on_message(const net::Message& message) override {
+      mux_.demux(self_, message);
+    }
+
+   private:
+    InstanceMux& mux_;
+    MemberId self_;
+  };
+
+  void demux(MemberId self, const net::Message& outer);
+  void route(std::uint32_t instance, MemberId member, net::Endpoint& endpoint);
+  void unroute(std::uint32_t instance, MemberId member);
+  void forward(InstanceSender& sender, net::Message message);
+
+  Options options_;
+  std::vector<std::unique_ptr<MemberPort>> ports_;  ///< by member id
+  std::unordered_map<std::uint32_t, Slot> instances_;
+  std::uint32_t next_id_ = 0;
+  DemuxStats stats_;
+  bool attached_ = false;
+};
+
+}  // namespace gridbox::service

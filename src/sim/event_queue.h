@@ -105,6 +105,20 @@ class EventQueue {
   /// push/pop sequence.
   [[nodiscard]] std::size_t peak_size() const { return peak_size_; }
 
+  /// Counts pending TimerFire events whose target satisfies `pred`. O(size):
+  /// a cold-path probe the service runtime uses as a quiescence proof before
+  /// destroying timer targets (a pending TimerFire holds a raw pointer into
+  /// the node it would fire on).
+  [[nodiscard]] std::size_t count_timers_where(
+      const std::function<bool(const TimerTarget*)>& pred) const {
+    std::size_t count = 0;
+    for (const Key& key : heap_) {
+      const auto* fire = std::get_if<TimerFire>(&slab_[key.slot].work);
+      if (fire != nullptr && pred(fire->target)) ++count;
+    }
+    return count;
+  }
+
   /// Discards all pending events AND resets the queue's statistics:
   /// total_pushed()/peak_size() return 0 and sequence numbering restarts,
   /// exactly as if the queue were freshly constructed (capacity is kept).

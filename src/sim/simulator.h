@@ -81,6 +81,14 @@ class Simulator final : public Scheduler {
     return queue_.peak_size();
   }
 
+  /// Pending typed-timer events whose target satisfies `pred` (see
+  /// EventQueue::count_timers_where): the service runtime's quiescence
+  /// probe before retiring an instance's nodes.
+  [[nodiscard]] std::size_t count_timers_where(
+      const std::function<bool(const TimerTarget*)>& pred) const {
+    return queue_.count_timers_where(pred);
+  }
+
   /// Hard cap on lifetime events executed (across run(), run_until(), and
   /// step() calls); exceeding it throws InvariantError. Guards against
   /// protocol bugs that reschedule forever.

@@ -7,19 +7,25 @@
 //                                      with and without instrumentation
 //   fig06_scale  -> BENCH_scale.json   the Figure 6 scalability slice
 //   chaos_stress -> BENCH_chaos.json   chaos-scripted adversity worlds
+//   service      -> BENCH_service.json streaming-epoch service runs
+//                                      (sustained instances/s, p99
+//                                      completion; both informational in
+//                                      bench_diff, like B/member)
 //
 // Wall times are medians over --repeats; sim_events / network_messages are
 // deterministic per case, so a diff of two BENCH files (tools/bench_diff)
 // separates "the code got slower" from "the workload changed".
 //
-// usage: gridbox_bench [--suite micro|scale|chaos|all] [--quick]
+// usage: gridbox_bench [--suite micro|scale|chaos|service|all] [--quick]
 //                      [--repeats R] [--out DIR] [--jobs N]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "src/obs/bench_io.h"
@@ -29,6 +35,7 @@
 #include "src/runner/config.h"
 #include "src/runner/experiment.h"
 #include "src/runner/sweep.h"
+#include "src/service/service.h"
 
 namespace {
 
@@ -42,6 +49,7 @@ struct BenchOptions {
   bool micro = true;
   bool scale = true;
   bool chaos = true;
+  bool service = true;
   bool quick = false;
   bool huge = false;  ///< add the 10^6-member scale point
   bool obs_overhead = false;  ///< gate mode instead of the suites
@@ -248,6 +256,79 @@ BenchReport run_chaos(const BenchOptions& options, std::uint64_t repeats) {
   return report;
 }
 
+/// Times one service stream `repeats` times and appends the median-wall
+/// entry, stamped with the service metrics (instances/s on the virtual
+/// clock and p99 completion — both deterministic per case).
+void run_service_case(BenchReport& report, const std::string& name,
+                      std::uint64_t repeats,
+                      const gridbox::service::ServiceConfig& config) {
+  std::vector<double> walls;
+  gridbox::service::ServiceResult last;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    last = gridbox::service::run_service_experiment(config);
+    walls.push_back(elapsed_s(start));
+  }
+  std::sort(walls.begin(), walls.end());
+  BenchEntry entry;
+  entry.name = name;
+  entry.wall_s = walls[walls.size() / 2];
+  for (const auto& inst : last.instances) {
+    entry.network_messages += inst.network.messages_sent;
+  }
+  if (entry.wall_s > 0.0) {
+    entry.msgs_per_s =
+        static_cast<double>(entry.network_messages) / entry.wall_s;
+  }
+  entry.peak_rss_mb =
+      static_cast<double>(gridbox::obs::peak_rss_bytes()) / (1024.0 * 1024.0);
+  entry.instances_per_s = last.metrics.instances_per_sec;
+  entry.p99_completion_ms =
+      static_cast<double>(last.metrics.p99_completion.ticks()) / 1000.0;
+  std::printf(
+      "  %-28s wall %8.4f s   %6.1f inst/s   p99 %7.1f ms   %zu/%zu ok\n",
+      name.c_str(), entry.wall_s, entry.instances_per_s,
+      entry.p99_completion_ms, last.metrics.completed, last.metrics.launched);
+  report.entries.push_back(std::move(entry));
+}
+
+BenchReport run_service(const BenchOptions& options, std::uint64_t repeats) {
+  BenchReport report = new_report("service", options, repeats);
+  std::printf("suite service (%llu repeat(s)):\n",
+              static_cast<unsigned long long>(repeats));
+
+  // Paper-adversity service stream: N = 64 cohorts under 25% loss, epochs
+  // every 20 ms with an 8-wide window.
+  gridbox::service::ServiceConfig base;
+  base.experiment = paper_config();
+  base.experiment.group_size = 64;
+  base.experiment.audit = true;
+  base.experiment.crash_probability = 0.0;
+  base.instances = options.quick ? 8 : 32;
+  base.epoch_interval = gridbox::SimTime::millis(20);
+  base.max_in_flight = 8;
+  run_service_case(report, "service_n64_stream", repeats, base);
+
+  // The same stream under churn: two joiners enter mid-stream, one chaos
+  // crash recovers later.
+  gridbox::service::ServiceConfig churn = base;
+  churn.experiment.chaos_spec =
+      "join M7 at=60ms\n"
+      "join M11 at=120ms\n"
+      "crash M3 at=40ms\n"
+      "recover M3 at=200ms\n";
+  run_service_case(report, "service_n64_churn", repeats, churn);
+
+  if (!options.quick) {
+    gridbox::service::ServiceConfig wide = base;
+    wide.experiment.group_size = 200;
+    wide.instances = 16;
+    wide.max_in_flight = 4;
+    run_service_case(report, "service_n200_stream", repeats, wide);
+  }
+  return report;
+}
+
 /// --obs-overhead: the CI gate that observability stays cheap. Times the
 /// micro workload bare and with metrics + lineage armed (the gated pair)
 /// and fails when the instrumented time is more than `threshold_pct`
@@ -340,7 +421,7 @@ int usage(int code) {
       "gridbox_bench — perf-regression suites emitting BENCH_*.json\n"
       "\n"
       "usage: gridbox_bench [flags]\n"
-      "  --suite NAME   micro | scale | chaos | all (default all)\n"
+      "  --suite NAME   micro | scale | chaos | service | all (default all)\n"
       "  --quick        smaller case list and fewer repeats (CI smoke)\n"
       "  --huge         add the 10^6-member scale point (scale suite only)\n"
       "  --repeats R    wall-time repeats per case (default 5; --quick 2)\n"
@@ -385,15 +466,18 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "error: --suite: missing value\n");
         return usage(1);
       }
-      options.micro = options.scale = options.chaos = false;
+      options.micro = options.scale = options.chaos = options.service = false;
       if (std::strcmp(value, "micro") == 0) {
         options.micro = true;
       } else if (std::strcmp(value, "scale") == 0) {
         options.scale = true;
       } else if (std::strcmp(value, "chaos") == 0) {
         options.chaos = true;
+      } else if (std::strcmp(value, "service") == 0) {
+        options.service = true;
       } else if (std::strcmp(value, "all") == 0) {
-        options.micro = options.scale = options.chaos = true;
+        options.micro = options.scale = options.chaos = options.service =
+            true;
       } else {
         std::fprintf(stderr, "error: --suite: unknown: %s\n", value);
         return usage(1);
@@ -437,6 +521,8 @@ int main(int argc, char** argv) {
   }
 
   const auto emit = [&](const BenchReport& report, const char* filename) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
     const std::string path = options.out_dir + "/" + filename;
     if (!report.write(path)) {
       std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
@@ -450,5 +536,8 @@ int main(int argc, char** argv) {
   if (options.micro) ok = emit(run_micro(options, repeats), "BENCH_core.json") && ok;
   if (options.scale) ok = emit(run_scale(options, repeats), "BENCH_scale.json") && ok;
   if (options.chaos) ok = emit(run_chaos(options, repeats), "BENCH_chaos.json") && ok;
+  if (options.service) {
+    ok = emit(run_service(options, repeats), "BENCH_service.json") && ok;
+  }
   return ok ? 0 : 1;
 }

@@ -79,13 +79,71 @@ struct LineageDoc {
   return content.str();
 }
 
-[[nodiscard]] LineageDoc load_lineage(const std::string& path) {
+[[nodiscard]] LineageDoc parse_lineage(const JsonValue& root);
+
+/// Loads a lineage document. Accepts both the single-run "gridbox-lineage/1"
+/// form and the multi-instance "gridbox-lineage-multi/1" container written
+/// by service runs (gridbox_sim --instances), which needs --instance ID to
+/// pick one instance's forest.
+[[nodiscard]] LineageDoc load_lineage(
+    const std::string& path, std::optional<std::uint32_t> instance) {
   const JsonValue root = gridbox::obs::json_parse(read_file(path));
-  if (root.string_or("schema", "") != "gridbox-lineage/1") {
+  const std::string schema = root.string_or("schema", "");
+  if (schema == "gridbox-lineage-multi/1") {
+    const JsonValue* instances = root.find("instances");
+    std::string available;
+    const JsonValue* picked = nullptr;
+    if (instances != nullptr && instances->is_array()) {
+      for (const JsonValue& entry : instances->array) {
+        const auto id =
+            static_cast<std::uint32_t>(entry.number_or("id", 0));
+        if (!available.empty()) available += " ";
+        available += std::to_string(id);
+        if (instance.has_value() && id == *instance) {
+          picked = entry.find("doc");
+        }
+      }
+    }
+    if (!instance.has_value()) {
+      std::fprintf(stderr,
+                   "error: %s is a multi-instance lineage document — pick one "
+                   "with --instance ID (available: %s)\n",
+                   path.c_str(),
+                   available.empty() ? "<none>" : available.c_str());
+      std::exit(1);
+    }
+    if (picked == nullptr || !picked->is_object()) {
+      std::fprintf(stderr,
+                   "error: no instance %u in %s (available: %s)\n", *instance,
+                   path.c_str(),
+                   available.empty() ? "<none>" : available.c_str());
+      std::exit(1);
+    }
+    if (picked->string_or("schema", "") != "gridbox-lineage/1") {
+      std::fprintf(stderr,
+                   "error: instance %u of %s is not a gridbox-lineage/1 "
+                   "document\n",
+                   *instance, path.c_str());
+      std::exit(1);
+    }
+    return parse_lineage(*picked);
+  }
+  if (schema != "gridbox-lineage/1") {
     std::fprintf(stderr, "error: %s is not a gridbox-lineage/1 document\n",
                  path.c_str());
     std::exit(1);
   }
+  if (instance.has_value()) {
+    std::fprintf(stderr,
+                 "error: --instance only applies to gridbox-lineage-multi/1 "
+                 "documents (%s is a single-run document)\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  return parse_lineage(root);
+}
+
+[[nodiscard]] LineageDoc parse_lineage(const JsonValue& root) {
   LineageDoc doc;
   doc.group_size = static_cast<std::size_t>(root.number_or("group_size", 0));
   doc.fanout = static_cast<std::uint32_t>(root.number_or("fanout", 0));
@@ -440,8 +498,11 @@ void usage() {
   std::fputs(
       R"(gridbox_explain — query lineage / curve artifacts of a gridbox_sim run
 
-usage: gridbox_explain --lineage FILE [--curves FILE] [command]
+usage: gridbox_explain --lineage FILE [--instance ID] [--curves FILE] [command]
        gridbox_explain --curves FILE --curve PHASE
+
+  --instance ID        select one instance of a gridbox-lineage-multi/1
+                       document (service runs: gridbox_sim --instances)
 
 commands (default: --summary)
   --summary            completeness, finish/crash counts, accounting errors
@@ -459,6 +520,7 @@ commands (default: --summary)
 int main(int argc, char** argv) {
   std::string lineage_path;
   std::string curves_path;
+  std::optional<std::uint32_t> instance;
   enum class Cmd : std::uint8_t { kSummary, kPath, kWhyMissing, kCurve };
   Cmd cmd = Cmd::kSummary;
   std::uint32_t arg_m = 0;
@@ -478,6 +540,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--curves") == 0) {
       need(i, 1);
       curves_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--instance") == 0) {
+      need(i, 1);
+      instance = static_cast<std::uint32_t>(std::stoul(argv[++i]));
     } else if (std::strcmp(argv[i], "--summary") == 0) {
       cmd = Cmd::kSummary;
     } else if (std::strcmp(argv[i], "--path") == 0) {
@@ -516,7 +581,7 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
-  const LineageDoc doc = load_lineage(lineage_path);
+  const LineageDoc doc = load_lineage(lineage_path, instance);
   switch (cmd) {
     case Cmd::kPath:
       return cmd_path(doc, arg_m, arg_v);

@@ -22,6 +22,7 @@
 #include "src/runner/config.h"
 #include "src/runner/udp_differential.h"
 #include "src/runner/udp_runtime.h"
+#include "src/service/udp_service.h"
 
 namespace {
 
@@ -48,10 +49,18 @@ network
   --round-us U           gossip round duration in µs (default 10000)
   --deadline-factor F    wall-clock deadline multiplier (default 20)
 
+service (docs/service.md)
+  --instances I          run I protocol instances as a streaming service
+                         over one socket set (enables service mode)
+  --epoch-interval-us U  launch cadence in µs (default 50000)
+  --in-flight W          bounded in-flight window (default 8)
+                         chaos specs may add join/recover churn directives
+
 harness
   --differential         also run the simulator; exit 2 unless both runs
                          are audit-clean, reconstruct, and agree on ground
-                         truth (see docs/udp_runtime.md)
+                         truth (see docs/udp_runtime.md). In service mode
+                         the check applies per instance.
   --report-dir DIR       write summary.txt, chaos.spec, and manifest.json
                          (CI failure artifacts)
   --help
@@ -62,6 +71,10 @@ struct Options {
   runner::UdpRunConfig udp;
   bool differential = false;
   std::string report_dir;
+  /// Service mode: > 0 streams this many instances (docs/service.md).
+  std::size_t instances = 0;
+  SimTime epoch_interval = SimTime::millis(50);
+  std::size_t in_flight = 8;
 };
 
 [[nodiscard]] bool parse_args(int argc, char** argv, Options& options,
@@ -151,6 +164,16 @@ struct Options {
       } else if (flag == "--deadline-factor") {
         if (!need_value(i, "--deadline-factor", value)) return false;
         options.udp.deadline_factor = std::stod(value);
+      } else if (flag == "--instances") {
+        if (!need_value(i, "--instances", value)) return false;
+        options.instances = std::stoul(value);
+      } else if (flag == "--epoch-interval-us") {
+        if (!need_value(i, "--epoch-interval-us", value)) return false;
+        options.epoch_interval = SimTime::micros(
+            static_cast<SimTime::underlying>(std::stoll(value)));
+      } else if (flag == "--in-flight") {
+        if (!need_value(i, "--in-flight", value)) return false;
+        options.in_flight = std::stoul(value);
       } else if (flag == "--differential") {
         options.differential = true;
       } else if (flag == "--report-dir") {
@@ -207,6 +230,51 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (options.instances > 0) {
+      service::UdpServiceConfig sc;
+      sc.service.experiment = options.udp.experiment;
+      sc.service.instances = options.instances;
+      sc.service.epoch_interval = options.epoch_interval;
+      sc.service.max_in_flight = options.in_flight;
+      sc.service.deadline_factor = options.udp.deadline_factor;
+      sc.service.min_deadline = options.udp.min_deadline;
+      sc.port_base = options.udp.port_base;
+      sc.shards = options.udp.shards;
+      if (options.differential) {
+        const service::ServiceDifferentialReport report =
+            service::run_service_differential(sc);
+        const std::string summary = report.describe();
+        std::cout << summary;
+        write_report(options, summary);
+        return report.ok() ? 0 : 2;
+      }
+      const service::UdpServiceResult result = service::run_udp_service(sc);
+      const service::ServiceMetrics& m = result.result.metrics;
+      bool clean = result.result.completed;
+      for (const service::InstanceResult& inst : result.result.instances) {
+        clean = clean && inst.completed &&
+                inst.measurement.audit_violations == 0 &&
+                inst.measurement.reconstruction_failures == 0 &&
+                inst.invariant_violations == 0;
+      }
+      std::ostringstream out;
+      out << "service n=" << sc.service.experiment.group_size
+          << " shards=" << result.shards << " instances=" << m.completed
+          << "/" << m.launched << " failed=" << m.failed
+          << " deferred=" << m.deferred << " inst_per_s=" << m.instances_per_sec
+          << " p50_ms=" << m.p50_completion.ticks() / 1000
+          << " p99_ms=" << m.p99_completion.ticks() / 1000
+          << " demux_delivered=" << m.demux.delivered
+          << " demux_malformed=" << m.demux.malformed_envelope
+          << " demux_unknown=" << m.demux.unknown_instance
+          << " demux_retired=" << m.demux.retired_instance
+          << " closed_sends=" << m.demux.closed_sends
+          << " elapsed_ms=" << result.result.elapsed.ticks() / 1000 << "\n";
+      const std::string summary = out.str();
+      std::cout << summary;
+      write_report(options, summary);
+      return clean ? 0 : 1;
+    }
     if (options.differential) {
       const runner::UdpDifferentialReport report =
           runner::run_udp_differential(options.udp);
