@@ -81,6 +81,8 @@ std::uint32_t AuditRegistry::intern(std::uint32_t first_word,
 
 std::uint64_t AuditRegistry::register_vote(MemberId member) {
   expects(member.value() < universe_, "member outside audit universe");
+  std::unique_lock<std::mutex> lock;
+  if (concurrent_) lock = std::unique_lock<std::mutex>(mutex_);
   const std::size_t bit = to_bit(member.value());
   const std::uint64_t word = std::uint64_t{1} << (bit % 64);
   token_record_.push_back(
@@ -90,6 +92,8 @@ std::uint64_t AuditRegistry::register_vote(MemberId member) {
 
 std::uint64_t AuditRegistry::register_merge(
     const std::vector<std::uint64_t>& tokens) {
+  std::unique_lock<std::mutex> lock;
+  if (concurrent_) lock = std::unique_lock<std::mutex>(mutex_);
   if (acc_words_.empty()) acc_words_.assign((universe_ + 63) / 64, 0);
   std::size_t lo = acc_words_.size();  // touched word range, for cleanup
   std::size_t hi = 0;

@@ -22,8 +22,10 @@
 // invisible except through for_each_member's iteration order.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -45,6 +47,14 @@ class AuditRegistry {
   /// subtree sets contiguous bit ranges, which is what keeps the windowed
   /// records narrow; without it storage is still correct, just wider.
   void set_bit_order(std::vector<std::uint32_t> member_to_bit);
+
+  /// Arms the internal mutex around register_vote/register_merge so nodes
+  /// on different reactor shards can register concurrently. Off by default:
+  /// the simulator path stays lock-free and pays only an untaken branch.
+  /// Reads (set_of, for_each_member, record_of) stay unsynchronized — call
+  /// them only before the run goes concurrent or after the shards join;
+  /// violation_count()/unknown_token_count() are atomic and safe mid-run.
+  void set_concurrent(bool on) { concurrent_ = on; }
 
   /// Token for the singleton set {member}.
   [[nodiscard]] std::uint64_t register_vote(MemberId member);
@@ -90,11 +100,13 @@ class AuditRegistry {
   /// How many merges combined overlapping member sets. Any nonzero value is
   /// a protocol bug (double counting) — unless unknown_token_count() is also
   /// nonzero, which indicates forged wire data rather than a protocol bug.
-  [[nodiscard]] std::uint64_t violation_count() const { return violations_; }
+  [[nodiscard]] std::uint64_t violation_count() const {
+    return violations_.load(std::memory_order_acquire);
+  }
 
   /// Merge inputs that were not tokens issued by this registry.
   [[nodiscard]] std::uint64_t unknown_token_count() const {
-    return unknown_tokens_;
+    return unknown_tokens_.load(std::memory_order_acquire);
   }
 
   [[nodiscard]] std::size_t universe() const { return universe_; }
@@ -133,8 +145,10 @@ class AuditRegistry {
   std::vector<std::uint64_t> pool_;
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> dedup_;
   std::vector<std::uint64_t> acc_words_;  // full-width merge scratch
-  std::uint64_t violations_ = 0;
-  std::uint64_t unknown_tokens_ = 0;
+  std::atomic<std::uint64_t> violations_{0};
+  std::atomic<std::uint64_t> unknown_tokens_{0};
+  bool concurrent_ = false;        ///< set before the run goes multi-shard
+  mutable std::mutex mutex_;       ///< guards registrations when concurrent
 };
 
 }  // namespace gridbox::agg

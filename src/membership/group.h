@@ -4,15 +4,25 @@
 // directly — they act on their View and on received messages — but the
 // network consults its liveness oracle and the measurement layer compares
 // protocol outputs against the group's true votes.
+//
+// Threading: liveness is read-mostly with atomic crash publication. The
+// sharded UDP runtime probes `is_alive` from every reactor thread on the
+// delivery hot path, while crashes/recoveries originate on one control or
+// shard thread; `is_alive`/`alive_count` are therefore lock-free atomic
+// reads, and the (rare) alive<->crashed transitions serialize on a small
+// internal mutex so the count stays consistent and the crash listener
+// fires exactly once per member. Everything else (positions, member
+// vector) is immutable after setup.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
-#include "src/common/bitset.h"
 #include "src/common/ensure.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
@@ -26,26 +36,36 @@ class Group {
   /// Creates a group of `size` members with ids 0..size-1, all alive.
   explicit Group(std::size_t size);
 
+  /// Movable so per-instance groups can be built and handed to an
+  /// Instance record. Moving is only legal before any concurrent access
+  /// (true today: instances move their group at construction time).
+  Group(Group&& other) noexcept;
+  Group& operator=(Group&&) = delete;
+  Group(const Group&) = delete;
+  Group& operator=(const Group&) = delete;
+
   [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Members alive right now.
-  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+  [[nodiscard]] std::size_t alive_count() const {
+    return alive_count_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] bool is_alive(MemberId id) const {
     expects(id.value() < size_, "member id out of range");
-    return alive_.test(id.value());
+    const std::uint64_t word =
+        alive_words_[id.value() >> 6].load(std::memory_order_acquire);
+    return ((word >> (id.value() & 63u)) & 1u) != 0u;
   }
 
-  /// Liveness as a bitset (bit i == member i alive) for word-at-a-time
-  /// scans in the measurement layer.
-  [[nodiscard]] const MemberBitset& alive_set() const { return alive_; }
-
-  /// Marks a member crashed. Idempotent.
+  /// Marks a member crashed. Idempotent; safe to call concurrently with
+  /// `is_alive` readers on other threads.
   void crash(MemberId id);
 
   /// Observer for alive -> crashed transitions, however they are triggered
-  /// (per-round crash model or chaos schedule). Fires once per member; a
-  /// repeated crash() on a dead member does not re-notify.
+  /// (per-round crash model or chaos schedule). Fires once per member (the
+  /// transition itself is serialized internally); a repeated crash() on a
+  /// dead member does not re-notify. Set before the run goes concurrent.
   void set_crash_listener(std::function<void(MemberId)> listener) {
     on_crash_ = std::move(listener);
   }
@@ -87,10 +107,15 @@ class Group {
 
  private:
   std::size_t size_ = 0;
+  std::size_t num_words_ = 0;
   std::shared_ptr<const std::vector<MemberId>> members_;
   std::function<void(MemberId)> on_crash_;
-  MemberBitset alive_;
-  std::size_t alive_count_ = 0;
+  /// Bit i of word i/64 == member i alive. Atomic words so shard threads
+  /// read liveness lock-free while crashes publish with release stores.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> alive_words_;
+  std::atomic<std::size_t> alive_count_{0};
+  /// Serializes alive<->crashed transitions only (never taken on reads).
+  mutable std::mutex transition_mutex_;
   std::vector<Position> positions_;
 };
 

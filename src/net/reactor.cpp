@@ -101,19 +101,16 @@ void Reactor::post(sim::Action action) {
 }
 
 void Reactor::drain_posted() {
-  // Swap the inbox out under its own lock, then run the batch under the
-  // dispatch lock: post() never blocks on dispatch, and a posted action
-  // posting onward (the retirement handshake hopping shards) lands in the
-  // fresh inbox for the next iteration.
+  // Swap the inbox out under its own lock, then run the batch on this
+  // thread: post() never blocks on dispatch, and a posted action posting
+  // onward (the retirement handshake hopping shards) lands in the fresh
+  // inbox for the next iteration. The post_mutex_ acquire/release pair is
+  // the happens-before edge that publishes the poster's prior writes.
   std::vector<sim::Action> batch;
   {
     std::lock_guard<std::mutex> guard(post_mutex_);
     if (posted_.empty()) return;
     batch.swap(posted_);
-  }
-  std::unique_lock<std::mutex> guard;
-  if (options_.dispatch_mutex != nullptr) {
-    guard = std::unique_lock<std::mutex>(*options_.dispatch_mutex);
   }
   for (sim::Action& action : batch) {
     ++actions_run_;
@@ -180,10 +177,6 @@ void Reactor::advance_wheel(SimTime now) {
                    [](const Entry& a, const Entry& b) {
                      return a.deadline < b.deadline;
                    });
-  std::unique_lock<std::mutex> guard;
-  if (options_.dispatch_mutex != nullptr) {
-    guard = std::unique_lock<std::mutex>(*options_.dispatch_mutex);
-  }
   for (Entry& entry : due_) {
     if (entry.target != nullptr) {
       ++timers_fired_;
@@ -209,13 +202,7 @@ bool Reactor::run_until(const std::function<bool()>& done, SimTime deadline) {
   for (;;) {
     drain_posted();
     advance_wheel(now());
-    {
-      std::unique_lock<std::mutex> guard;
-      if (options_.dispatch_mutex != nullptr) {
-        guard = std::unique_lock<std::mutex>(*options_.dispatch_mutex);
-      }
-      if (done()) return true;
-    }
+    if (done()) return true;
     if (now() >= deadline) return false;
     ++polls_;
     const int n = poll_fn_(pollfds_.empty() ? nullptr : pollfds_.data(),
@@ -231,10 +218,6 @@ bool Reactor::run_until(const std::function<bool()>& done, SimTime deadline) {
     for (std::size_t i = 0; i < pollfds_.size(); ++i) {
       if ((pollfds_[i].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
       pollfds_[i].revents = 0;
-      std::unique_lock<std::mutex> guard;
-      if (options_.dispatch_mutex != nullptr) {
-        guard = std::unique_lock<std::mutex>(*options_.dispatch_mutex);
-      }
       handlers_[i]->on_readable(pollfds_[i].fd);
     }
   }

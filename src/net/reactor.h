@@ -10,14 +10,19 @@
 // periodic timer exactly as in the simulator.
 //
 // Threading model (docs/udp_runtime.md): a run shards its members over a
-// few reactors, one thread each. Everything protocol-visible — timer fires,
-// datagram deliveries, scheduled actions, the run_until done() probe — is
-// executed under the run's single dispatch mutex, because the protocol
-// state they touch (AuditRegistry, StateArena, membership::Group) is not
-// thread-safe. Socket readiness waiting stays parallel; only dispatch is
-// serialized. Scheduling calls (schedule_*) are reactor-thread-local: they
-// may be made during setup before the loop starts, or from inside a
-// callback this reactor is running — never from another thread.
+// few reactors, one thread each, and each shard OWNS its members end to
+// end. Everything protocol-visible — timer fires, datagram deliveries,
+// scheduled actions, the run_until done() probe — executes lock-free on
+// the owning shard's thread, because every piece of state a callback
+// touches is either shard-local (the member's node, its arena lanes, the
+// shard's transport) or explicitly concurrency-safe (atomic Group
+// liveness, the mutex-gated AuditRegistry, atomic completion counters).
+// The reactor itself takes no dispatch lock; post() is the one
+// cross-thread entry point, and its mutex hand-off is what publishes
+// another thread's writes to this shard. Scheduling calls (schedule_*)
+// are reactor-thread-local: they may be made during setup before the loop
+// starts, or from inside a callback this reactor is running — never from
+// another thread (cross-shard work goes through post()).
 //
 // The loop tolerates EINTR (poll retried, counted), EAGAIN (drain loops
 // simply end), and spurious wakeups (a poll return with nothing readable
@@ -49,10 +54,6 @@ class IoHandler {
 class Reactor final : public sim::Scheduler {
  public:
   struct Options {
-    /// The run's giant dispatch lock; null = single-threaded run, no
-    /// locking. Held around every timer fire, action, on_readable, and
-    /// done() probe.
-    std::mutex* dispatch_mutex = nullptr;
     /// Timer wheel tick quantum; also the poll sleep bound, so a timer
     /// fires at most ~one quantum late.
     SimTime tick = SimTime::millis(1);
@@ -89,18 +90,20 @@ class Reactor final : public sim::Scheduler {
   void add_fd(int fd, IoHandler& handler);
   void remove_fd(int fd);
 
-  /// Runs the poll/timer loop until `done()` returns true (probed under
-  /// the dispatch lock once per iteration) or the real clock passes
-  /// `deadline`. Returns true iff done() turned true.
+  /// Runs the poll/timer loop until `done()` returns true (probed once per
+  /// iteration on this thread; a multi-shard done() must read only atomics)
+  /// or the real clock passes `deadline`. Returns true iff done() turned
+  /// true.
   bool run_until(const std::function<bool()>& done, SimTime deadline);
 
   /// Enqueues an action to run on this reactor's thread. The one scheduling
   /// entry point that IS safe to call from other threads: schedule_* are
   /// reactor-thread-local, so cross-shard work (the service runtime starting
   /// an instance's nodes on their home shards) goes through here. Posted
-  /// actions run under the dispatch lock at the top of the next loop
-  /// iteration, in post order; actions still queued when the loop exits are
-  /// discarded.
+  /// actions run on this reactor's thread at the top of the next loop
+  /// iteration, in post order — the post_mutex_ hand-off makes the poster's
+  /// prior writes visible to the action. Actions still queued when the loop
+  /// exits are discarded.
   void post(sim::Action action);
 
   /// Pending wheel timers (typed entries) whose target satisfies `pred`.
@@ -135,11 +138,11 @@ class Reactor final : public sim::Scheduler {
   };
 
   void insert(Entry entry);
-  /// Runs cross-thread post()ed actions (under the dispatch lock).
+  /// Runs cross-thread post()ed actions on this thread, in post order.
   void drain_posted();
   [[nodiscard]] std::size_t slot_of(SimTime deadline) const;
   /// Collects due entries from slots in (last_tick_, now-tick], fires them
-  /// under the dispatch lock, re-inserts surviving periodic timers.
+  /// on this thread, re-inserts surviving periodic timers.
   void advance_wheel(SimTime now);
 
   Options options_;

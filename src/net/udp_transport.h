@@ -17,9 +17,14 @@
 // whatever the kernel itself drops (full socket buffers under load are
 // counted as drops too — the protocols are built for exactly that).
 //
-// Threading: all calls (send from a protocol callback, on_readable from
-// the reactor, stats reads at measurement time) happen under the run's
-// dispatch lock; the transport itself takes no locks.
+// Threading: one UdpTransport is owned by one reactor shard, and every
+// call on it (send from a protocol callback, on_readable from the
+// reactor, attach/detach during setup and teardown) happens on that
+// shard's thread — the shard-ownership model of DESIGN.md §14. The
+// transport itself takes no locks and holds no atomics; cross-shard
+// traffic goes through the kernel (a send lands in the *destination*
+// member's socket, drained by the destination's shard). Stats reads at
+// measurement time happen after the reactor threads have joined.
 #pragma once
 
 #include <netinet/in.h>

@@ -42,6 +42,9 @@ std::string BenchReport::to_json() const {
     if (e.p99_completion_ms > 0.0) {
       w.key("p99_completion_ms").value(e.p99_completion_ms);
     }
+    if (e.shards > 0) {
+      w.key("shards").value(e.shards);
+    }
     w.end_object();
   }
   w.end_array();
@@ -86,6 +89,7 @@ BenchReport BenchReport::parse(const std::string& json_text) {
     e.rss_per_member_b = v.number_or("rss_per_member_b", 0.0);
     e.instances_per_s = v.number_or("instances_per_s", 0.0);
     e.p99_completion_ms = v.number_or("p99_completion_ms", 0.0);
+    e.shards = static_cast<std::uint64_t>(v.number_or("shards", 0));
     report.entries.push_back(std::move(e));
   }
   return report;
@@ -132,11 +136,22 @@ std::string BenchDiffReport::render() const {
     } else {
       p99[0] = '\0';
     }
+    // Shard count of the udp-suite cases: informational like B/member (a
+    // baseline captured at one shard count legitimately compares against a
+    // rerun at another; only the wall ratio gates).
+    char shards[32];
+    if (row.old_shards > 0 || row.new_shards > 0) {
+      std::snprintf(shards, sizeof(shards), " %llu->%llu shard(s)",
+                    static_cast<unsigned long long>(row.old_shards),
+                    static_cast<unsigned long long>(row.new_shards));
+    } else {
+      shards[0] = '\0';
+    }
     std::snprintf(line, sizeof(line),
-                  "%-32s %12.6f %12.6f %7.3fx %+8.1f%% %+8.1f%%%s%s%s%s\n",
+                  "%-32s %12.6f %12.6f %7.3fx %+8.1f%% %+8.1f%%%s%s%s%s%s\n",
                   row.name.c_str(), row.old_wall_s, row.new_wall_s,
                   row.wall_ratio, (row.events_ratio - 1.0) * 100.0,
-                  (row.msgs_ratio - 1.0) * 100.0, rss, svc, p99,
+                  (row.msgs_ratio - 1.0) * 100.0, rss, svc, p99, shards,
                   row.regressed ? "  REGRESSED" : "");
     out << line;
   }
@@ -194,6 +209,8 @@ BenchDiffReport bench_diff(const BenchReport& old_report,
     row.new_instances_per_s = e.instances_per_s;
     row.old_p99_completion_ms = it->second->p99_completion_ms;
     row.new_p99_completion_ms = e.p99_completion_ms;
+    row.old_shards = it->second->shards;
+    row.new_shards = e.shards;
     row.regressed = row.wall_ratio > 1.0 + threshold;
     if (row.regressed) ++report.regressions;
     report.worst_ratio = std::max(report.worst_ratio, row.wall_ratio);

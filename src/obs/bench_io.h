@@ -33,6 +33,9 @@ struct BenchEntry {
   /// (non-service suites and older reports parse fine: both are optional).
   double instances_per_s = 0.0;
   double p99_completion_ms = 0.0;
+  /// Reactor shard threads of the udp-suite cases. 0 when the case does not
+  /// report it (other suites and older reports parse fine: optional).
+  std::uint64_t shards = 0;
 };
 
 struct BenchReport {
@@ -76,6 +79,8 @@ struct BenchDiffRow {
   double new_instances_per_s = 0.0;
   double old_p99_completion_ms = 0.0;  ///< informational, never gates
   double new_p99_completion_ms = 0.0;
+  std::uint64_t old_shards = 0;  ///< informational, never gates
+  std::uint64_t new_shards = 0;
   bool regressed = false;   ///< wall_ratio > 1 + threshold
 };
 

@@ -1,5 +1,6 @@
 #include "src/protocols/invariant_checker.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/ensure.h"
@@ -9,7 +10,9 @@ namespace gridbox::protocols {
 InvariantChecker::InvariantChecker(Config config)
     : config_(std::move(config)) {
   expects(config_.group_size > 0, "invariant checker needs a group size");
-  states_.resize(config_.group_size);
+  // One extra overflow slot for out-of-range ids: the vector never grows
+  // again, so shard threads can index into it without synchronization.
+  states_.resize(config_.group_size + 1);
   if (config_.audit != nullptr) {
     audit_violations_seen_ = config_.audit->violation_count();
   }
@@ -21,11 +24,11 @@ SimTime InvariantChecker::now() const {
 }
 
 InvariantChecker::MemberState& InvariantChecker::state_of(MemberId member) {
-  // Out-of-range member ids get a synthetic violation slot appended at the
-  // end rather than an OOB access; the range violation itself is reported by
-  // the caller.
-  const std::size_t i = member.value();
-  if (i >= states_.size()) states_.resize(i + 1);
+  // Out-of-range member ids clamp to the shared overflow slot rather than
+  // an OOB access (or a resize, which would race the other shards); the
+  // range violation itself is reported by the caller.
+  const std::size_t i =
+      std::min<std::size_t>(member.value(), config_.group_size);
   return states_[i];
 }
 
@@ -49,13 +52,16 @@ void InvariantChecker::violate(MemberId member, std::size_t phase,
   v.phase = phase;
   v.at = now();
   v.what = std::move(what);
-  violations_.push_back(v);
+  {
+    std::unique_lock<std::mutex> lock;
+    if (config_.concurrent) lock = std::unique_lock<std::mutex>(mutex_);
+    violations_.push_back(v);
+  }
   if (config_.fail_fast) {
-    const InvariantViolation& rec = violations_.back();
     throw InvariantError("run invariant violated at member M" +
                          std::to_string(member.value()) + " phase " +
                          std::to_string(phase) + " t=" +
-                         std::to_string(rec.at.ticks()) + "us: " + rec.what);
+                         std::to_string(v.at.ticks()) + "us: " + v.what);
   }
 }
 
@@ -167,8 +173,16 @@ void InvariantChecker::on_phase_concluded(MemberId member, std::size_t phase,
   // to this member and phase — during the run, not at measurement time.
   if (config_.audit != nullptr) {
     const std::uint64_t current = config_.audit->violation_count();
-    if (current > audit_violations_seen_) {
-      audit_violations_seen_ = current;
+    bool jumped = false;
+    {
+      std::unique_lock<std::mutex> lock;
+      if (config_.concurrent) lock = std::unique_lock<std::mutex>(mutex_);
+      if (current > audit_violations_seen_) {
+        audit_violations_seen_ = current;
+        jumped = true;
+      }
+    }
+    if (jumped) {
       violate(member, phase,
               "merge combined overlapping vote sets (double counting, §2)");
     }
@@ -206,7 +220,7 @@ void InvariantChecker::on_finished(MemberId member, std::uint32_t votes) {
                 std::to_string(s.votes));
   }
   s.finished = true;
-  ++finished_count_;
+  finished_count_.fetch_add(1, std::memory_order_release);
 }
 
 void InvariantChecker::expect_all_finished(

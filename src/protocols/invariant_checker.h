@@ -16,7 +16,9 @@
 // recorder keeps the offending event even when the checker throws.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,14 @@ class InvariantChecker final : public gossip::GossipTrace {
     SimTime deadline = SimTime::zero();
     /// Throw InvariantError at the first violation (after recording it).
     bool fail_fast = true;
+    /// Trace events arrive from several reactor shards concurrently. Each
+    /// member's events still come from one thread (its owning shard), so
+    /// per-member state stays lock-free; only the shared violation list and
+    /// the audit-delta watermark take an internal mutex. In this mode the
+    /// audit-delta attribution is best-effort: a counter jump observed at
+    /// one member's conclusion may have been caused by a concurrent merge
+    /// on another shard (the violation is still recorded exactly once).
+    bool concurrent = false;
     /// Downstream trace to forward every event to (optional).
     gossip::GossipTrace* next = nullptr;
   };
@@ -79,10 +89,14 @@ class InvariantChecker final : public gossip::GossipTrace {
   /// end of the run; crashed members legitimately never finish).
   void expect_all_finished(const std::vector<MemberId>& members);
 
+  /// Read after the run's shard threads joined (never mid-run when
+  /// Config::concurrent).
   [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
     return violations_;
   }
-  [[nodiscard]] std::size_t finished_count() const { return finished_count_; }
+  [[nodiscard]] std::size_t finished_count() const {
+    return finished_count_.load(std::memory_order_acquire);
+  }
 
  private:
   struct MemberState {
@@ -101,10 +115,15 @@ class InvariantChecker final : public gossip::GossipTrace {
   void violate(MemberId member, std::size_t phase, std::string what);
 
   Config config_;
-  std::vector<MemberState> states_;  // index = member id value
+  /// index = member id value; one extra overflow slot at [group_size] that
+  /// all out-of-range ids clamp to (fixed size — never resized, so shard
+  /// threads can index their own members' entries lock-free).
+  std::vector<MemberState> states_;
   std::vector<InvariantViolation> violations_;
   std::uint64_t audit_violations_seen_ = 0;
-  std::size_t finished_count_ = 0;
+  std::atomic<std::size_t> finished_count_{0};
+  /// Guards violations_ and audit_violations_seen_ when Config::concurrent.
+  mutable std::mutex mutex_;
 };
 
 }  // namespace gridbox::protocols

@@ -47,6 +47,11 @@ void ProtocolNode::set_outcome(agg::Partial estimate, std::uint64_t token) {
   outcome_.estimate = estimate;
   outcome_.audit_token = token;
   outcome_.finish_time = env_.scheduler->now();
+  // Release-publish the outcome record: a cross-thread finished() == true
+  // implies the fields above are visible. A duplicate conclusion (e.g. a
+  // chaos-duplicated result frame) must not re-notify the completion hook.
+  const bool was_finished = finished_.exchange(true, std::memory_order_release);
+  if (!was_finished && env_.on_finished) env_.on_finished(self_);
 }
 
 }  // namespace gridbox::protocols

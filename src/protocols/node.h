@@ -11,6 +11,7 @@
 // by nodes checking their own liveness before acting.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -50,6 +51,11 @@ struct NodeEnv {
   /// Observability chain shared by every protocol (nullable). Hierarchical
   /// gossip keeps its own GossipConfig::trace; baselines emit through this.
   gossip::GossipTrace* trace = nullptr;  // nullable
+  /// Fires once when this node sets its outcome (nullable; sim runs leave
+  /// it unset). The sharded UDP runtimes hook it to tick their per-shard
+  /// completion counters instead of scanning every node from done().
+  /// Called on the node's own dispatch thread, after finished() is true.
+  std::function<void(MemberId)> on_finished;
 };
 
 /// Final outcome at one member.
@@ -75,7 +81,15 @@ class ProtocolNode : public net::Endpoint, public sim::TimerTarget {
   [[nodiscard]] const membership::View& view() const { return view_; }
 
   [[nodiscard]] const NodeOutcome& outcome() const { return outcome_; }
-  [[nodiscard]] bool finished() const { return outcome_.finished; }
+
+  /// True once the protocol terminated at this member. Safe to read from
+  /// other threads (atomic, acquire): a true result publishes the outcome
+  /// fields written before the release store in set_outcome. The sharded
+  /// runtimes probe this cross-shard (crash clock, service completion
+  /// scan) while the owning shard is still dispatching.
+  [[nodiscard]] bool finished() const {
+    return finished_.load(std::memory_order_acquire);
+  }
 
   [[nodiscard]] std::uint64_t messages_sent() const {
     return arena_->messages_sent(slot_);
@@ -140,6 +154,9 @@ class ProtocolNode : public net::Endpoint, public sim::TimerTarget {
   std::size_t slot_;
   Rng rng_;
   NodeOutcome outcome_;
+  /// Mirrors outcome_.finished for lock-free cross-thread reads; the
+  /// release store in set_outcome publishes the full outcome_ record.
+  std::atomic<bool> finished_{false};
 };
 
 }  // namespace gridbox::protocols

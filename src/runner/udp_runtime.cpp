@@ -3,10 +3,11 @@
 #include <sys/resource.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -21,6 +22,42 @@
 
 namespace gridbox::runner {
 
+namespace {
+
+/// Per-shard completion counters folded into one atomic: each member
+/// settles exactly once — when its node finishes (NodeEnv::on_finished,
+/// on its shard thread) or when it crashes (Group crash listener) — and
+/// the run is done when the fold hits zero. Replaces the old done() probe
+/// that scanned every node from every shard thread each loop iteration.
+class CompletionBoard {
+ public:
+  explicit CompletionBoard(std::size_t members)
+      : settled_(new std::atomic<bool>[members]),
+        remaining_(members) {
+    for (std::size_t i = 0; i < members; ++i) {
+      settled_[i].store(false, std::memory_order_relaxed);
+    }
+  }
+
+  /// Idempotent: a member that finished and later crashes (or crashes on
+  /// two paths) decrements the fold exactly once.
+  void settle(MemberId m) {
+    if (!settled_[m.value()].exchange(true, std::memory_order_acq_rel)) {
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  [[nodiscard]] bool done() const {
+    return remaining_.load(std::memory_order_acquire) == 0;
+  }
+
+ private:
+  std::unique_ptr<std::atomic<bool>[]> settled_;
+  std::atomic<std::size_t> remaining_;
+};
+
+}  // namespace
+
 std::uint64_t raise_fd_limit(std::uint64_t need) {
   rlimit limit{};
   expects(getrlimit(RLIMIT_NOFILE, &limit) == 0, "getrlimit failed");
@@ -31,20 +68,46 @@ std::uint64_t raise_fd_limit(std::uint64_t need) {
                         : std::min<rlim_t>(limit.rlim_max, need);
   if (raised.rlim_cur > limit.rlim_cur) {
     (void)setrlimit(RLIMIT_NOFILE, &raised);
+    const rlim_t old_soft = limit.rlim_cur;
     expects(getrlimit(RLIMIT_NOFILE, &raised) == 0, "getrlimit failed");
+    if (raised.rlim_cur > old_soft) {
+      // Visible at startup, not silent: a run that needed more descriptors
+      // than the inherited soft limit says so once, with the numbers.
+      std::fprintf(stderr,
+                   "gridbox: raised RLIMIT_NOFILE soft limit %llu -> %llu "
+                   "(need %llu fds)\n",
+                   static_cast<unsigned long long>(old_soft),
+                   static_cast<unsigned long long>(raised.rlim_cur),
+                   static_cast<unsigned long long>(need));
+    }
     return raised.rlim_cur;
   }
   return limit.rlim_cur;
 }
 
+void require_fd_capacity(std::uint64_t need) {
+  const std::uint64_t got = raise_fd_limit(need);
+  if (got >= need) return;
+  rlimit limit{};
+  (void)getrlimit(RLIMIT_NOFILE, &limit);
+  const auto hard = limit.rlim_max == RLIM_INFINITY
+                        ? std::string("unlimited")
+                        : std::to_string(limit.rlim_max);
+  throw PreconditionError(
+      "this run needs " + std::to_string(need) +
+      " file descriptors (one UDP socket per member plus slack) but "
+      "RLIMIT_NOFILE allows only " + std::to_string(got) +
+      " (hard limit " + hard +
+      "); raise it (e.g. `ulimit -n " + std::to_string(need) +
+      "`) or run with a smaller --n");
+}
+
 UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
   const ExperimentConfig& config = udp_config.experiment;
   expects(config.group_size >= 2, "need at least two members");
-  // Sockets + stdio + test-framework slack; fail early and loudly if the
-  // hard limit cannot cover the run instead of mid-setup on bind().
-  const std::uint64_t fd_need = config.group_size + 64;
-  expects(raise_fd_limit(fd_need) >= fd_need,
-          "RLIMIT_NOFILE too low for this group size");
+  // Sockets + stdio + test-framework slack; fail early with the numbers if
+  // the hard limit cannot cover the run instead of mid-setup on bind().
+  require_fd_capacity(config.group_size + 64);
 
   // === World construction: identical derivations to run_experiment. ===
   const Rng root(config.seed);
@@ -66,6 +129,11 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
   arena.build_phase_tables(hier);
 
   // === Real-time substrate: reactors (one thread each) + transports. ===
+  // Shard s owns members with id % shard_count == s, end to end: their
+  // sockets, their timers, their deliveries, their arena lanes. Dispatch
+  // runs lock-free on the owning shard's thread; the state a callback can
+  // reach outside its shard is concurrency-safe by construction (atomic
+  // Group liveness, mutex-gated AuditRegistry, the completion board).
   const std::size_t shard_count =
       udp_config.shards > 0
           ? udp_config.shards
@@ -73,7 +141,8 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
                 1, std::min<std::size_t>(
                        {4, std::thread::hardware_concurrency(),
                         config.group_size}));
-  std::mutex dispatch;
+  const bool concurrent = shard_count > 1;
+  if (audit != nullptr) audit->set_concurrent(concurrent);
   const auto epoch = std::chrono::steady_clock::now();
   std::vector<std::unique_ptr<net::Reactor>> reactors;
   std::vector<std::unique_ptr<net::UdpTransport>> transports;
@@ -89,9 +158,7 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
                            config.partition_loss >= 0.0;
   const Rng chaos_root = root.derive(streams::kChaos);
   for (std::size_t s = 0; s < shard_count; ++s) {
-    net::Reactor::Options ropt;
-    ropt.dispatch_mutex = &dispatch;
-    reactors.push_back(std::make_unique<net::Reactor>(ropt));
+    reactors.push_back(std::make_unique<net::Reactor>(net::Reactor::Options{}));
     reactors.back()->bind_epoch(epoch);
     net::UdpTransport::Options topt;
     topt.port_base = udp_config.port_base;
@@ -110,8 +177,13 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
     transports.push_back(std::move(transport));
   }
 
+  // Completion: every member settles once, on finish or on crash; done()
+  // is a single atomic read from any shard thread.
+  CompletionBoard board(config.group_size);
+  group.set_crash_listener([&board](MemberId m) { board.settle(m); });
+
   // Scripted crashes fire as reactor actions on the member's own shard;
-  // group state is only ever touched under the dispatch lock.
+  // liveness publication is atomic, so other shards observe it safely.
   for (const net::CrashEvent& event : chaos.crashes) {
     const std::size_t s = event.member.value() % shard_count;
     reactors[s]->schedule_at(event.at,
@@ -125,6 +197,7 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
   base_env.arena = &arena;
   base_env.is_alive = [&group](MemberId m) { return group.is_alive(m); };
   base_env.kind = config.aggregate;
+  base_env.on_finished = [&board](MemberId m) { board.settle(m); };
 
   const SimTime horizon = protocol_horizon(config, hier.num_phases());
   const SimTime deadline = std::max(
@@ -150,6 +223,8 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
     icfg.deadline = deadline;
     // Never throw across reactor threads; collect and report after join.
     icfg.fail_fast = false;
+    // Trace events arrive from every shard thread.
+    icfg.concurrent = concurrent;
     checker = std::make_unique<protocols::InvariantChecker>(icfg);
     node_config.gossip.trace = checker.get();
   }
@@ -169,10 +244,14 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
     transports[s]->attach(m, *node);
     nodes.push_back(std::move(node));
   }
+  // Still single-threaded here: start() arms each node's timers on its
+  // shard reactor before any loop runs, and std::thread construction below
+  // publishes everything built so far to the shard threads.
   for (auto& node : nodes) node->start(SimTime::zero());
 
   // Per-round crash clock (paper §7 pf), ticking as a self-rescheduling
-  // action on shard 0 under the dispatch lock.
+  // action on shard 0. It reads only cross-thread-safe state: atomic node
+  // finished() flags, atomic liveness, and crash() publication.
   const membership::PerRoundCrash crash_model(config.crash_probability);
   auto crash_rng = std::make_shared<Rng>(root.derive(streams::kCrash));
   if (config.crash_probability > 0.0) {
@@ -193,15 +272,9 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
   }
 
   // === Run: one thread per reactor until global completion or deadline.
-  // done() is probed under the dispatch lock and scans the whole run — a
-  // shard must keep serving datagrams until *everyone* finished, not just
-  // its own members.
-  const auto done = [&nodes, &group]() {
-    for (const auto& node : nodes) {
-      if (!node->finished() && group.is_alive(node->self())) return false;
-    }
-    return true;
-  };
+  // A shard must keep serving datagrams until *everyone* finished, not
+  // just its own members; done() is one atomic load, not a scan.
+  const auto done = [&board]() { return board.done(); };
   std::vector<std::thread> threads;
   std::vector<char> shard_done(shard_count, 0);
   std::vector<std::exception_ptr> errors(shard_count);
@@ -238,6 +311,8 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
     }
   }
 
+  // Fold per-shard tallies in shard order (deterministic, same trick as
+  // the sweep reducer): transport stats then reactor counters.
   net::NetworkStats total;
   for (const auto& transport : transports) {
     const net::NetworkStats& s = transport->stats();
@@ -255,6 +330,7 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
                                               audit.get());
   for (std::size_t s = 0; s < shard_count; ++s) {
     result.timers_fired += reactors[s]->timers_fired();
+    result.actions_run += reactors[s]->actions_run();
     result.polls += reactors[s]->polls();
     result.eintr_retries += reactors[s]->eintr_retries();
     result.eintr_retries += transports[s]->recv_eintr_retries();

@@ -14,6 +14,14 @@
 // multiplier — host scheduling noise must not fail a correct run), and the
 // hier-gossip invariant checker runs with fail_fast off, reporting
 // violations after the threads join instead of throwing across them.
+//
+// Threading (DESIGN.md §14): members shard over reactor threads by
+// id % shards, and each shard owns its members end to end — sockets,
+// timers, deliveries, arena lanes. There is no dispatch lock; the state a
+// callback touches outside its shard is concurrency-safe by construction
+// (atomic Group liveness, the mutex-gated AuditRegistry, the concurrent
+// invariant checker, and a per-member completion board folded into one
+// atomic that replaces the old done()-scans-every-node probe).
 #pragma once
 
 #include <cstdint>
@@ -54,6 +62,7 @@ struct UdpRunResult {
   SimTime elapsed = SimTime::zero();  ///< real run time (µs since epoch)
   std::size_t shards = 0;
   std::uint64_t timers_fired = 0;
+  std::uint64_t actions_run = 0;
   std::uint64_t polls = 0;
   std::uint64_t eintr_retries = 0;
 
@@ -69,7 +78,13 @@ struct UdpRunResult {
 
 /// Raises RLIMIT_NOFILE's soft limit toward the hard limit until at least
 /// `need` descriptors fit (sockets + epsilon). Returns the resulting soft
-/// limit. Idempotent; never lowers the limit.
+/// limit. Idempotent; never lowers the limit. When the limit actually
+/// moves, logs the old -> new values to stderr once.
 std::uint64_t raise_fd_limit(std::uint64_t need);
+
+/// raise_fd_limit, then throws PreconditionError with an actionable
+/// message (needed fds vs soft/hard limit, plus the `ulimit -n` to run)
+/// when the run still cannot fit — instead of EMFILE deep in socket setup.
+void require_fd_capacity(std::uint64_t need);
 
 }  // namespace gridbox::runner

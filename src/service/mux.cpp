@@ -8,7 +8,9 @@
 namespace gridbox::service {
 
 InstanceSender::InstanceSender(InstanceMux& mux, std::uint32_t instance)
-    : mux_(mux), instance_(instance) {}
+    : mux_(mux),
+      instance_(instance),
+      lanes_(std::make_unique<Lane[]>(mux.options_.shard_count)) {}
 
 void InstanceSender::attach(MemberId id, net::Endpoint& endpoint) {
   mux_.route(instance_, id, endpoint);
@@ -20,15 +22,36 @@ void InstanceSender::send(net::Message message) {
   mux_.forward(*this, std::move(message));
 }
 
+const net::NetworkStats& InstanceSender::stats() const {
+  // Control-thread only: merges the shard lanes into the cached scratch.
+  // The counters are monotone; callers read them either after the owning
+  // instance stopped sending (complete/fail) or after the threads joined.
+  merged_ = net::NetworkStats{};
+  for (std::size_t s = 0; s < mux_.options_.shard_count; ++s) {
+    const Lane& lane = lanes_[s];
+    merged_.messages_sent += lane.messages_sent.load(std::memory_order_relaxed);
+    merged_.bytes_sent += lane.bytes_sent.load(std::memory_order_relaxed);
+    merged_.messages_delivered +=
+        lane.messages_delivered.load(std::memory_order_relaxed);
+    merged_.messages_dead_dest +=
+        lane.messages_dead_dest.load(std::memory_order_relaxed);
+  }
+  return merged_;
+}
+
 InstanceMux::InstanceMux(Options options) : options_(std::move(options)) {
   expects(options_.group_size >= 1, "mux needs at least one member");
   expects(static_cast<bool>(options_.transport_of),
           "mux needs a transport map");
+  expects(options_.max_instances >= 1, "mux needs at least one instance slot");
+  expects(options_.shard_count >= 1, "mux needs at least one shard lane");
   ports_.reserve(options_.group_size);
   for (std::size_t m = 0; m < options_.group_size; ++m) {
     ports_.push_back(std::make_unique<MemberPort>(
         *this, MemberId{static_cast<MemberId::underlying>(m)}));
   }
+  slots_ = std::make_unique<Slot[]>(options_.max_instances);
+  lanes_ = std::make_unique<Lane[]>(options_.shard_count);
 }
 
 void InstanceMux::attach_all() {
@@ -50,86 +73,129 @@ void InstanceMux::detach_all() {
 }
 
 std::unique_ptr<InstanceSender> InstanceMux::open_instance(std::uint32_t id) {
-  expects(id == next_id_, "instance ids must be opened in order");
-  ++next_id_;
+  expects(id == next_id_.load(std::memory_order_relaxed),
+          "instance ids must be opened in order");
+  expects(id < options_.max_instances,
+          "instance id beyond Options::max_instances");
   auto sender = std::make_unique<InstanceSender>(*this, id);
-  Slot slot;
-  slot.routes.assign(options_.group_size, nullptr);
+  Slot& slot = slots_[id];
+  // Publication order: fill the slot, release-store its state, then
+  // release-store next_id_. A demux that acquire-loads next_id_ > id
+  // therefore sees the slot open with routes and sender fully visible.
+  slot.routes = std::make_unique<std::atomic<net::Endpoint*>[]>(
+      options_.group_size);  // value-initialized: all unrouted
   slot.sender = sender.get();
-  instances_.emplace(id, std::move(slot));
+  slot.state.store(kOpen, std::memory_order_release);
+  next_id_.store(id + 1, std::memory_order_release);
   return sender;
 }
 
 void InstanceMux::close_instance(std::uint32_t id) {
-  const auto it = instances_.find(id);
-  expects(it != instances_.end(), "closing an instance that is not open");
-  instances_.erase(it);
+  expects(id < options_.max_instances &&
+              slots_[id].state.load(std::memory_order_relaxed) == kOpen,
+          "closing an instance that is not open");
+  // Retire-only: routes and sender stay in place so a demux racing this
+  // store on another shard still dereferences live memory. The engine's
+  // drain handshake orders every such demux before node/sender teardown.
+  slots_[id].state.store(kRetired, std::memory_order_release);
 }
 
 void InstanceMux::route(std::uint32_t instance, MemberId member,
                         net::Endpoint& endpoint) {
-  const auto it = instances_.find(instance);
-  expects(it != instances_.end(), "routing into an instance that is not open");
+  expects(instance < options_.max_instances &&
+              slots_[instance].state.load(std::memory_order_relaxed) == kOpen,
+          "routing into an instance that is not open");
   expects(member.value() < options_.group_size, "member outside the group");
-  it->second.routes[member.value()] = &endpoint;
+  slots_[instance].routes[member.value()].store(&endpoint,
+                                                std::memory_order_release);
 }
 
 void InstanceMux::unroute(std::uint32_t instance, MemberId member) {
-  const auto it = instances_.find(instance);
-  if (it == instances_.end()) return;  // closed already: nothing to unroute
+  if (instance >= options_.max_instances ||
+      slots_[instance].state.load(std::memory_order_relaxed) != kOpen) {
+    return;  // closed already: nothing to unroute
+  }
   expects(member.value() < options_.group_size, "member outside the group");
-  it->second.routes[member.value()] = nullptr;
+  slots_[instance].routes[member.value()].store(nullptr,
+                                                std::memory_order_release);
 }
 
 void InstanceMux::forward(InstanceSender& sender, net::Message message) {
+  // Runs on the sending member's shard; that shard's lanes take the counts.
+  const std::size_t lane = lane_of(message.source);
   if (!is_open(sender.instance())) {
     // A lingering node of a closed instance gossiping into the void — the
     // service's equivalent of a message to a crashed process.
-    ++stats_.closed_sends;
+    lanes_[lane].closed_sends.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   net::Message outer;
   outer.source = message.source;
   outer.destination = message.destination;
   outer.frame = envelope_wrap(sender.instance(), message.frame);
-  sender.stats_.messages_sent += 1;
-  sender.stats_.bytes_sent += outer.frame.size();
+  InstanceSender::Lane& slane = sender.lanes_[lane];
+  slane.messages_sent.fetch_add(1, std::memory_order_relaxed);
+  slane.bytes_sent.fetch_add(outer.frame.size(), std::memory_order_relaxed);
   options_.transport_of(outer.source)->send(std::move(outer));
 }
 
 void InstanceMux::demux(MemberId self, const net::Message& outer) {
+  // Runs on self's owning shard; that shard's lanes take the counts.
+  Lane& lane = lanes_[lane_of(self)];
   std::uint32_t instance = 0;
   net::Frame inner;
   const EnvelopeError error = envelope_unwrap(outer.frame, instance, inner);
   if (error != EnvelopeError::kOk) {
-    ++stats_.malformed_envelope;
+    lane.malformed_envelope.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (instance >= next_id_) {
-    ++stats_.unknown_instance;
+  // Acquire next_id_ BEFORE touching the slot: the open's release store of
+  // next_id_ is what publishes the slot's routes and sender.
+  if (instance >= next_id_.load(std::memory_order_acquire)) {
+    lane.unknown_instance.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  const auto it = instances_.find(instance);
-  if (it == instances_.end()) {
-    ++stats_.retired_instance;
+  Slot& slot = slots_[instance];
+  if (slot.state.load(std::memory_order_acquire) != kOpen) {
+    lane.retired_instance.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  Slot& slot = it->second;
-  net::Endpoint* endpoint = slot.routes[self.value()];
+  net::Endpoint* endpoint =
+      slot.routes[self.value()].load(std::memory_order_acquire);
   if (endpoint == nullptr) {
     // The member is not a participant of this instance's epoch (it joined
     // after launch, or was down at launch): to the instance it is dead.
-    ++stats_.unrouted_member;
-    slot.sender->stats_.messages_dead_dest += 1;
+    lane.unrouted_member.fetch_add(1, std::memory_order_relaxed);
+    slot.sender->lanes_[lane_of(self)].messages_dead_dest.fetch_add(
+        1, std::memory_order_relaxed);
     return;
   }
-  ++stats_.delivered;
-  slot.sender->stats_.messages_delivered += 1;
+  lane.delivered.fetch_add(1, std::memory_order_relaxed);
+  slot.sender->lanes_[lane_of(self)].messages_delivered.fetch_add(
+      1, std::memory_order_relaxed);
   net::Message message;
   message.source = outer.source;
   message.destination = outer.destination;
   message.frame = inner;
   endpoint->on_message(message);
+}
+
+DemuxStats InstanceMux::stats() const {
+  // Merged deterministically in shard order; control thread or post-join.
+  DemuxStats out;
+  for (std::size_t s = 0; s < options_.shard_count; ++s) {
+    const Lane& lane = lanes_[s];
+    out.delivered += lane.delivered.load(std::memory_order_relaxed);
+    out.malformed_envelope +=
+        lane.malformed_envelope.load(std::memory_order_relaxed);
+    out.unknown_instance +=
+        lane.unknown_instance.load(std::memory_order_relaxed);
+    out.retired_instance +=
+        lane.retired_instance.load(std::memory_order_relaxed);
+    out.unrouted_member += lane.unrouted_member.load(std::memory_order_relaxed);
+    out.closed_sends += lane.closed_sends.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 }  // namespace gridbox::service

@@ -21,16 +21,39 @@
 // three are dropped — never delivered, never a crash — mirroring the strict
 // datagram codec one layer down.
 //
-// Threading: all mutation (open/close/route/demux/send) happens under the
-// run's dispatch serialization — the simulator's single thread, or the UDP
-// runtime's dispatch mutex (every delivery, timer, and posted action already
-// runs under it). The mux therefore takes no locks of its own.
+// Threading (DESIGN.md §14): there is no dispatch lock. Control-plane calls
+// (open/close/route/unroute, attach_all/detach_all, stats()) are made by
+// ONE thread — the engine's control shard (the simulator thread in the sim
+// substrate). Data-plane calls run concurrently on every reactor shard:
+// demux(self, ...) on self's owning shard, forward(...) on the sending
+// member's shard. The two planes meet lock-free:
+//
+//   - Instance slots are preallocated (Options::max_instances) and each
+//     carries an atomic lifecycle state (unopened -> open -> retired, never
+//     reused). open_instance publishes the slot with a release store of the
+//     state and then of next_id_; demux acquires next_id_ first, so any id
+//     below it has a fully visible slot. close_instance only flips the
+//     state to retired — routes and the sender pointer stay intact, and the
+//     engine's drain handshake (a count_timers hop through every shard)
+//     guarantees no demux that saw the slot open is still running when the
+//     instance's nodes and sender are destroyed.
+//   - Counters are per-shard lanes (cache-line sized, single-writer), merged
+//     in shard order by the control-plane stats() readers.
+//
+// One honest caveat: a datagram can physically cross the kernel between two
+// shards faster than an unrelated atomic store propagates, so a shard may
+// transiently miss a just-opened instance (counted unknown_instance) or a
+// just-added route (counted unrouted_member). Both count as datagram drops,
+// which the protocol already tolerates; in practice store visibility is
+// orders of magnitude faster than a syscall round trip, and the engine's
+// post() of every node start hands the opening writes to the node's own
+// shard before it can send a single frame.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/types.h"
@@ -59,7 +82,9 @@ struct DemuxStats {
 /// instance record, NOT by the mux — nodes keep their Transport* through
 /// the final-phase linger window after the instance closes, and a send in
 /// that window must land here (dropped and counted), not on a dangling
-/// pointer.
+/// pointer. Stats are kept in per-shard lanes (send side writes the sending
+/// member's lane, delivery side the receiving member's); stats() merges
+/// them in shard order and must only be called from the control thread.
 class InstanceSender final : public net::Transport {
  public:
   InstanceSender(InstanceMux& mux, std::uint32_t instance);
@@ -67,18 +92,27 @@ class InstanceSender final : public net::Transport {
   void attach(MemberId id, net::Endpoint& endpoint) override;
   void detach(MemberId id) override;
   void send(net::Message message) override;
-  [[nodiscard]] const net::NetworkStats& stats() const override {
-    return stats_;
-  }
+  [[nodiscard]] const net::NetworkStats& stats() const override;
 
   [[nodiscard]] std::uint32_t instance() const { return instance_; }
 
  private:
   friend class InstanceMux;  // delivery-side stat updates
 
+  /// One shard's share of the sender's traffic counters. Each lane has a
+  /// single writer (its shard thread); relaxed ops suffice, merges happen
+  /// after a stronger ordering point (the drain handshake or thread join).
+  struct alignas(64) Lane {
+    std::atomic<std::uint64_t> messages_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> messages_delivered{0};
+    std::atomic<std::uint64_t> messages_dead_dest{0};
+  };
+
   InstanceMux& mux_;
   std::uint32_t instance_ = 0;
-  net::NetworkStats stats_;
+  std::unique_ptr<Lane[]> lanes_;             ///< one per shard
+  mutable net::NetworkStats merged_;          ///< stats() scratch (control thread)
 };
 
 class InstanceMux {
@@ -88,6 +122,15 @@ class InstanceMux {
     /// The raw transport that carries a given member's traffic (the shard
     /// transport in the UDP runtime; the one SimNetwork in the simulator).
     std::function<net::Transport*(MemberId)> transport_of;
+    /// Upper bound on instance ids ever opened: slots are preallocated so
+    /// the demux path can index them without locks or rehashing. The engine
+    /// passes its configured instance count; the default covers direct use.
+    std::size_t max_instances = 1024;
+    /// Reactor shards feeding the data plane; sizes the stat lanes.
+    std::size_t shard_count = 1;
+    /// Maps a member to its owning shard (stat lane selection). Unset means
+    /// everything on lane 0 (the simulator substrate, single-shard runs).
+    std::function<std::size_t(MemberId)> shard_of;
   };
 
   explicit InstanceMux(Options options);
@@ -106,31 +149,58 @@ class InstanceMux {
   /// Opens instance `id` and returns its sender. Ids must be handed out in
   /// increasing order with no gaps — the monotone id space is what lets the
   /// demux distinguish a retired instance from one that never existed.
+  /// Control thread only.
   [[nodiscard]] std::unique_ptr<InstanceSender> open_instance(
       std::uint32_t id);
 
   /// Closes instance `id`: frames addressed to it count retired from now
   /// on, and its sender's send() calls drop (counted closed_sends). The
-  /// routing slot is freed — per-instance memory does not grow with the
-  /// epoch stream.
+  /// slot's routing table is retained (bounded by max_instances) so demuxes
+  /// racing the close on other shards never chase a freed pointer; the
+  /// routed endpoints themselves must outlive the engine's drain handshake.
+  /// Control thread only.
   void close_instance(std::uint32_t id);
 
+  /// Thread-safe (acquire load of the slot state).
   [[nodiscard]] bool is_open(std::uint32_t id) const {
-    return instances_.find(id) != instances_.end();
+    return id < options_.max_instances &&
+           slots_[id].state.load(std::memory_order_acquire) == kOpen;
   }
 
-  [[nodiscard]] std::uint32_t instances_opened() const { return next_id_; }
-  [[nodiscard]] const DemuxStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t instances_opened() const {
+    return next_id_.load(std::memory_order_acquire);
+  }
+
+  /// Demux counters merged over the per-shard lanes, in shard order.
+  /// Control thread (or post-join) only: a mid-run merge on another thread
+  /// would be a valid but torn snapshot.
+  [[nodiscard]] DemuxStats stats() const;
 
  private:
   friend class InstanceSender;
 
-  /// One live instance's routing state. The sender pointer aliases the
-  /// engine-owned InstanceSender so the delivery path can update its
-  /// per-instance stats.
+  /// Slot lifecycle. Monotone per slot: kUnopened -> kOpen -> kRetired.
+  enum : std::uint8_t { kUnopened = 0, kOpen = 1, kRetired = 2 };
+
+  /// One instance's routing state, preallocated and never reused. The
+  /// sender pointer aliases the engine-owned InstanceSender so the delivery
+  /// path can update its per-instance stats.
   struct Slot {
-    std::vector<net::Endpoint*> routes;  ///< by member id; null = unrouted
+    std::atomic<std::uint8_t> state{kUnopened};
+    /// By member id; null = unrouted. Allocated at open, published by the
+    /// release store of `state`, retained past retirement.
+    std::unique_ptr<std::atomic<net::Endpoint*>[]> routes;
     InstanceSender* sender = nullptr;
+  };
+
+  /// One shard's share of the demux counters (single writer: that shard).
+  struct alignas(64) Lane {
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<std::uint64_t> malformed_envelope{0};
+    std::atomic<std::uint64_t> unknown_instance{0};
+    std::atomic<std::uint64_t> retired_instance{0};
+    std::atomic<std::uint64_t> unrouted_member{0};
+    std::atomic<std::uint64_t> closed_sends{0};
   };
 
   /// One member's receive port: the Endpoint attached to the raw transport.
@@ -146,6 +216,10 @@ class InstanceMux {
     MemberId self_;
   };
 
+  [[nodiscard]] std::size_t lane_of(MemberId member) const {
+    return options_.shard_of ? options_.shard_of(member) : 0;
+  }
+
   void demux(MemberId self, const net::Message& outer);
   void route(std::uint32_t instance, MemberId member, net::Endpoint& endpoint);
   void unroute(std::uint32_t instance, MemberId member);
@@ -153,9 +227,9 @@ class InstanceMux {
 
   Options options_;
   std::vector<std::unique_ptr<MemberPort>> ports_;  ///< by member id
-  std::unordered_map<std::uint32_t, Slot> instances_;
-  std::uint32_t next_id_ = 0;
-  DemuxStats stats_;
+  std::unique_ptr<Slot[]> slots_;                   ///< by instance id
+  std::unique_ptr<Lane[]> lanes_;                   ///< by shard
+  std::atomic<std::uint32_t> next_id_{0};
   bool attached_ = false;
 };
 

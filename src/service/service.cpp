@@ -123,7 +123,7 @@ void ServiceEngine::begin() {
 void ServiceEngine::crash_tick() {
   (void)shared_group_.apply_round_crashes(crash_model_, crash_round_++,
                                           crash_rng_);
-  if (!done_) {
+  if (!done_.load(std::memory_order_relaxed)) {
     substrate_.control->schedule_after(scan_interval_,
                                        [this]() { crash_tick(); });
   }
@@ -182,6 +182,11 @@ void ServiceEngine::launch(std::uint32_t id) {
   inst->hier = std::make_unique<hierarchy::GridBoxHierarchy>(
       xc.group_size, runner::hierarchy_fanout(xc), *inst->hash);
   inst->audit = runner::make_audit(xc, inst->group, *inst->hier);
+  // With several reactor shards, this instance's nodes register votes and
+  // merges from every shard concurrently; arm the registry's internal lock.
+  if (inst->audit != nullptr && substrate_.shards > 1) {
+    inst->audit->set_concurrent(true);
+  }
 
   if (!arena_pool_.empty()) {
     inst->arena = std::move(arena_pool_.back());
@@ -232,6 +237,7 @@ void ServiceEngine::launch(std::uint32_t id) {
             ? now + runner::protocol_horizon(xc, inst->hier->num_phases())
             : inst->deadline;
     icfg.fail_fast = substrate_.sim_clock != nullptr;
+    icfg.concurrent = substrate_.shards > 1;
     icfg.next = tail;
     inst->checker = std::make_unique<protocols::InvariantChecker>(icfg);
     node_config.gossip.trace = inst->checker.get();
@@ -411,14 +417,14 @@ void ServiceEngine::scan() {
   }
   try_launches();
   maybe_done();
-  if (!done_) {
+  if (!done_.load(std::memory_order_relaxed)) {
     substrate_.control->schedule_after(scan_interval_, [this]() { scan(); });
   }
 }
 
 void ServiceEngine::maybe_done() {
   if (launched_ == config_.instances && live_.empty() && deferred_.empty()) {
-    done_ = true;
+    done_.store(true, std::memory_order_release);
   }
 }
 
@@ -533,6 +539,7 @@ ServiceResult run_service_experiment(const ServiceConfig& config) {
   mopt.transport_of = [&network](MemberId) -> net::Transport* {
     return &network;
   };
+  mopt.max_instances = config.instances;
   InstanceMux mux(std::move(mopt));
   mux.attach_all();
 

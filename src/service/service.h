@@ -38,6 +38,7 @@
 // a member: their membership view only shrinks.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -140,9 +141,15 @@ struct ServiceResult {
 
 /// The service engine. Substrate-agnostic: all scheduling goes through the
 /// Substrate seam, so the same engine drives the simulator and the UDP
-/// reactor mesh. Every callback the engine schedules runs under the run's
-/// dispatch serialization (the simulator thread, or the reactors' shared
-/// dispatch mutex), so the engine takes no locks.
+/// reactor mesh. There is no dispatch lock (DESIGN.md §14): every callback
+/// the engine schedules runs on the control shard's thread (the simulator
+/// thread in the sim substrate), so the engine's own bookkeeping is
+/// single-threaded by construction. What other shards touch concurrently
+/// is safe on its own terms — node completion and Group liveness are
+/// atomic, the mux is lock-free, `done_` (the run_until probe every shard
+/// reads) is an atomic flag, and with `Substrate::shards > 1` each
+/// instance's audit registry and invariant checker are armed for
+/// concurrent trace events.
 class ServiceEngine {
  public:
   struct Substrate {
@@ -164,6 +171,10 @@ class ServiceEngine {
     /// Non-null on the simulator substrate: enables Theorem-1 checker
     /// deadlines, fail-fast invariants, and lineage timestamping.
     const sim::Simulator* sim_clock = nullptr;
+    /// Reactor shard threads driving the run (1 on the simulator). With
+    /// more than one, the engine arms each instance's audit registry and
+    /// invariant checker for concurrent trace events.
+    std::size_t shards = 1;
   };
 
   /// `mux` must be attached; `shared_group` is the service's liveness view
@@ -180,8 +191,11 @@ class ServiceEngine {
   void begin();
 
   /// True once every instance has been launched and resolved (completed or
-  /// failed). The event loop's done() probe.
-  [[nodiscard]] bool finished() const { return done_; }
+  /// failed). The event loop's done() probe — every shard thread reads it,
+  /// so it is a bare atomic load (set once, on the control thread).
+  [[nodiscard]] bool finished() const {
+    return done_.load(std::memory_order_acquire);
+  }
 
   /// Backstop deadline for the event loop: generous serial worst case.
   [[nodiscard]] SimTime global_deadline() const { return global_deadline_; }
@@ -267,7 +281,8 @@ class ServiceEngine {
   std::size_t completed_count_ = 0;
   std::size_t failed_count_ = 0;
   std::size_t deferred_count_ = 0;
-  bool done_ = false;
+  /// Written on the control thread; probed by every shard's run_until.
+  std::atomic<bool> done_{false};
   bool collected_ = false;
 };
 

@@ -4,7 +4,6 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -26,8 +25,7 @@ UdpServiceResult run_udp_service(const UdpServiceConfig& udp_config) {
   // One socket per member for the whole service — the mux keeps the fd
   // count independent of the instance count.
   const std::uint64_t fd_need = config.group_size + 64;
-  expects(runner::raise_fd_limit(fd_need) >= fd_need,
-          "RLIMIT_NOFILE too low for this group size");
+  runner::require_fd_capacity(fd_need);
 
   const Rng root(config.seed);
   membership::Group shared_group(config.group_size);
@@ -39,7 +37,6 @@ UdpServiceResult run_udp_service(const UdpServiceConfig& udp_config) {
                 1, std::min<std::size_t>(
                        {4, std::thread::hardware_concurrency(),
                         config.group_size}));
-  std::mutex dispatch;
   const auto epoch = std::chrono::steady_clock::now();
   std::vector<std::unique_ptr<net::Reactor>> reactors;
   std::vector<std::unique_ptr<net::UdpTransport>> transports;
@@ -51,9 +48,9 @@ UdpServiceResult run_udp_service(const UdpServiceConfig& udp_config) {
                            config.partition_loss >= 0.0;
   const Rng chaos_root = root.derive(runner::streams::kChaos);
   for (std::size_t s = 0; s < shard_count; ++s) {
-    net::Reactor::Options ropt;
-    ropt.dispatch_mutex = &dispatch;
-    reactors.push_back(std::make_unique<net::Reactor>(ropt));
+    // No dispatch mutex: each shard dispatches its own members lock-free
+    // (DESIGN.md §14); the mux and the engine are built for that.
+    reactors.push_back(std::make_unique<net::Reactor>(net::Reactor::Options{}));
     reactors.back()->bind_epoch(epoch);
     net::UdpTransport::Options topt;
     topt.port_base = udp_config.port_base;
@@ -74,6 +71,11 @@ UdpServiceResult run_udp_service(const UdpServiceConfig& udp_config) {
   mopt.group_size = config.group_size;
   mopt.transport_of = [&transports, shard_count](MemberId m) ->
       net::Transport* { return transports[m.value() % shard_count].get(); };
+  mopt.max_instances = service.instances;
+  mopt.shard_count = shard_count;
+  mopt.shard_of = [shard_count](MemberId m) -> std::size_t {
+    return m.value() % shard_count;
+  };
   InstanceMux mux(std::move(mopt));
   mux.attach_all();  // sockets bind here, once, for every epoch to come
 
@@ -112,6 +114,7 @@ UdpServiceResult run_udp_service(const UdpServiceConfig& udp_config) {
         next();
       };
   substrate.sim_clock = nullptr;
+  substrate.shards = shard_count;
 
   // The engine's whole schedule lands on reactor 0 before its thread
   // starts; all later rescheduling happens on that thread.

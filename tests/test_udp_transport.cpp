@@ -11,9 +11,11 @@
 
 #include <cerrno>
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -36,7 +38,7 @@ class CollectingEndpoint final : public net::Endpoint {
 };
 
 [[nodiscard]] net::Reactor::Options reactor_options() {
-  return net::Reactor::Options{};  // single-threaded tests: no dispatch lock
+  return net::Reactor::Options{};  // defaults: 1ms tick, 512-slot wheel
 }
 
 TEST(UdpTransport, DeliversFramesAcrossRealSockets) {
@@ -359,6 +361,61 @@ TEST(Reactor, FarFutureTimersParkBeyondTheWheelHorizon) {
   EXPECT_FALSE(far) << "far timer fired a lap early";
   ASSERT_TRUE(reactor.run_until([&]() { return far; }, SimTime::seconds(5)));
   EXPECT_GE(reactor.now(), SimTime::millis(40));
+}
+
+// post() is the one cross-thread entry into a shard (DESIGN.md §14): each
+// posting thread's actions must run on the reactor's own thread, in the
+// order that thread posted them — even while the wheel is firing timers
+// between drains. Two posters model two peer shards handing work over.
+TEST(Reactor, CrossThreadPostsExecuteInPostOrderUnderTimerLoad) {
+  net::Reactor reactor(reactor_options());
+  CountingTimer load(1'000'000);  // periodic fire every tick, never stops
+  reactor.schedule_periodic(SimTime::zero(), SimTime::millis(1), load);
+
+  constexpr int kPosters = 2;
+  constexpr int kEach = 400;
+  // Written only inside posted actions — i.e. only on the reactor thread.
+  std::vector<std::vector<int>> got(kPosters);
+  std::atomic<int> landed{0};
+  std::atomic<bool> wrong_thread{false};
+
+  std::thread::id reactor_thread;
+  std::thread runner([&]() {
+    reactor_thread = std::this_thread::get_id();
+    (void)reactor.run_until(
+        [&]() { return landed.load(std::memory_order_acquire) ==
+                       kPosters * kEach; },
+        SimTime::seconds(30));
+  });
+
+  std::vector<std::thread> posters;
+  posters.reserve(kPosters);
+  for (int p = 0; p < kPosters; ++p) {
+    posters.emplace_back([&, p]() {
+      for (int i = 0; i < kEach; ++i) {
+        reactor.post([&, p, i]() {
+          if (std::this_thread::get_id() != reactor_thread) {
+            wrong_thread.store(true);
+          }
+          got[p].push_back(i);
+          landed.fetch_add(1, std::memory_order_release);
+        });
+        if (i % 32 == 0) std::this_thread::yield();  // interleave the posters
+      }
+    });
+  }
+  for (std::thread& t : posters) t.join();
+  runner.join();
+
+  EXPECT_FALSE(wrong_thread.load()) << "a posted action ran off-shard";
+  EXPECT_GT(reactor.timers_fired(), 0u) << "the timer load never ran";
+  for (int p = 0; p < kPosters; ++p) {
+    ASSERT_EQ(got[p].size(), static_cast<std::size_t>(kEach))
+        << "poster " << p << " lost posts (deadline hit?)";
+    for (int i = 0; i < kEach; ++i) {
+      ASSERT_EQ(got[p][i], i) << "poster " << p << " reordered at " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -11,13 +11,19 @@
 //                                      (sustained instances/s, p99
 //                                      completion; both informational in
 //                                      bench_diff, like B/member)
+//   udp          -> BENCH_udp.json     the real-socket runner at 1/2/4
+//                                      reactor shards, N = 1000 (shard
+//                                      scaling of the lock-free dispatch
+//                                      path; binds loopback sockets, so
+//                                      not part of `all`)
 //
 // Wall times are medians over --repeats; sim_events / network_messages are
-// deterministic per case, so a diff of two BENCH files (tools/bench_diff)
-// separates "the code got slower" from "the workload changed".
+// deterministic per case (udp suite: representative, the wire is real), so
+// a diff of two BENCH files (tools/bench_diff) separates "the code got
+// slower" from "the workload changed".
 //
-// usage: gridbox_bench [--suite micro|scale|chaos|service|all] [--quick]
-//                      [--repeats R] [--out DIR] [--jobs N]
+// usage: gridbox_bench [--suite micro|scale|chaos|service|udp|all]
+//                      [--quick] [--repeats R] [--out DIR] [--jobs N]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -35,6 +41,7 @@
 #include "src/runner/config.h"
 #include "src/runner/experiment.h"
 #include "src/runner/sweep.h"
+#include "src/runner/udp_runtime.h"
 #include "src/service/service.h"
 
 namespace {
@@ -50,6 +57,7 @@ struct BenchOptions {
   bool scale = true;
   bool chaos = true;
   bool service = true;
+  bool udp = false;  ///< binds loopback sockets; opt-in, not part of `all`
   bool quick = false;
   bool huge = false;  ///< add the 10^6-member scale point
   bool obs_overhead = false;  ///< gate mode instead of the suites
@@ -329,6 +337,75 @@ BenchReport run_service(const BenchOptions& options, std::uint64_t repeats) {
   return report;
 }
 
+/// Times one real-socket run `repeats` times and appends the median-wall
+/// entry, stamped with its shard count. "Events" here are what the reactor
+/// mesh actually dispatched — timers fired, posted actions run, datagrams
+/// delivered — so events/s is the shard-scaling figure of merit for the
+/// lock-free dispatch path. The wire is real: totals are representative,
+/// not bit-deterministic like the simulator suites.
+void run_udp_case(BenchReport& report, const std::string& name,
+                  std::uint64_t repeats,
+                  const gridbox::runner::UdpRunConfig& config) {
+  std::vector<double> walls;
+  gridbox::runner::UdpRunResult last;
+  for (std::uint64_t r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    last = gridbox::runner::run_udp_experiment(config);
+    walls.push_back(elapsed_s(start));
+  }
+  std::sort(walls.begin(), walls.end());
+  BenchEntry entry;
+  entry.name = name;
+  entry.wall_s = walls[walls.size() / 2];
+  entry.sim_events =
+      last.timers_fired + last.actions_run + last.network.messages_delivered;
+  entry.network_messages = last.network.messages_sent;
+  if (entry.wall_s > 0.0) {
+    entry.events_per_s =
+        static_cast<double>(entry.sim_events) / entry.wall_s;
+    entry.msgs_per_s =
+        static_cast<double>(entry.network_messages) / entry.wall_s;
+  }
+  entry.peak_rss_mb =
+      static_cast<double>(gridbox::obs::peak_rss_bytes()) / (1024.0 * 1024.0);
+  entry.shards = last.shards;
+  std::printf(
+      "  %-28s wall %8.4f s   %10.0f events/s   %9.0f msgs/s   %zu shard(s)"
+      "%s\n",
+      name.c_str(), entry.wall_s, entry.events_per_s, entry.msgs_per_s,
+      last.shards, last.completed ? "" : "   INCOMPLETE");
+  report.entries.push_back(std::move(entry));
+}
+
+BenchReport run_udp(const BenchOptions& options, std::uint64_t repeats) {
+  BenchReport report = new_report("udp", options, repeats);
+  std::printf("suite udp (%llu repeat(s)):\n",
+              static_cast<unsigned long long>(repeats));
+
+  // N = 1000 lossless, audit and invariant checking off: the measured cost
+  // is the dispatch path itself (sockets, wheel, lock-free delivery), not
+  // the verification machinery. One shard is the baseline the checked-in
+  // BENCH_udp.json captures; 2 and 4 shards show the scaling headroom on
+  // hosts that have the cores (on a single-core host all three serialize).
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}}) {
+    gridbox::runner::UdpRunConfig config;
+    config.experiment.group_size = 1000;
+    config.experiment.ucast_loss = 0.0;
+    config.experiment.crash_probability = 0.0;
+    config.experiment.audit = false;
+    config.experiment.check_invariants = false;
+    config.experiment.gossip.round_duration = gridbox::SimTime::millis(5);
+    config.experiment.seed = 20010701;
+    config.port_base = 39000;
+    config.shards = shards;
+    run_udp_case(report,
+                 "udp_n1000_" + std::to_string(shards) + "shard", repeats,
+                 config);
+  }
+  return report;
+}
+
 /// --obs-overhead: the CI gate that observability stays cheap. Times the
 /// micro workload bare and with metrics + lineage armed (the gated pair)
 /// and fails when the instrumented time is more than `threshold_pct`
@@ -421,7 +498,9 @@ int usage(int code) {
       "gridbox_bench — perf-regression suites emitting BENCH_*.json\n"
       "\n"
       "usage: gridbox_bench [flags]\n"
-      "  --suite NAME   micro | scale | chaos | service | all (default all)\n"
+      "  --suite NAME   micro | scale | chaos | service | udp | all\n"
+      "                 (default all; udp binds loopback sockets and only\n"
+      "                 runs when named)\n"
       "  --quick        smaller case list and fewer repeats (CI smoke)\n"
       "  --huge         add the 10^6-member scale point (scale suite only)\n"
       "  --repeats R    wall-time repeats per case (default 5; --quick 2)\n"
@@ -467,6 +546,7 @@ int main(int argc, char** argv) {
         return usage(1);
       }
       options.micro = options.scale = options.chaos = options.service = false;
+      options.udp = false;
       if (std::strcmp(value, "micro") == 0) {
         options.micro = true;
       } else if (std::strcmp(value, "scale") == 0) {
@@ -475,7 +555,11 @@ int main(int argc, char** argv) {
         options.chaos = true;
       } else if (std::strcmp(value, "service") == 0) {
         options.service = true;
+      } else if (std::strcmp(value, "udp") == 0) {
+        options.udp = true;
       } else if (std::strcmp(value, "all") == 0) {
+        // `all` stays socket-free: the udp suite binds a 1000-port loopback
+        // window, so it runs only when asked for by name.
         options.micro = options.scale = options.chaos = options.service =
             true;
       } else {
@@ -539,5 +623,6 @@ int main(int argc, char** argv) {
   if (options.service) {
     ok = emit(run_service(options, repeats), "BENCH_service.json") && ok;
   }
+  if (options.udp) ok = emit(run_udp(options, repeats), "BENCH_udp.json") && ok;
   return ok ? 0 : 1;
 }
