@@ -19,6 +19,7 @@ Reactor::Reactor(Options options) : options_(options) {
 }
 
 SimTime Reactor::now() const {
+  if (clock_fn_) return clock_fn_();
   const auto elapsed = std::chrono::steady_clock::now() - epoch_;
   return SimTime::micros(
       std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
@@ -98,6 +99,9 @@ void Reactor::fire_due_timers() { advance_wheel(now()); }
 void Reactor::post(sim::Action action) {
   std::lock_guard<std::mutex> guard(post_mutex_);
   posted_.push_back(std::move(action));
+  // The one multi-writer telemetry site: any thread may post, so the
+  // high-water update is a fetch-max race, not a single-writer add.
+  if (telemetry_ != nullptr) telemetry_->note_queue_depth(posted_.size());
 }
 
 void Reactor::drain_posted() {
@@ -114,6 +118,9 @@ void Reactor::drain_posted() {
   }
   for (sim::Action& action : batch) {
     ++actions_run_;
+    if (telemetry_ != nullptr) {
+      telemetry_->actions_run.fetch_add(1, std::memory_order_relaxed);
+    }
     action();
   }
 }
@@ -177,9 +184,18 @@ void Reactor::advance_wheel(SimTime now) {
                    [](const Entry& a, const Entry& b) {
                      return a.deadline < b.deadline;
                    });
+  if (telemetry_ != nullptr) {
+    telemetry_->dispatch_per_tick.observe(due_.size());
+  }
   for (Entry& entry : due_) {
     if (entry.target != nullptr) {
       ++timers_fired_;
+      if (telemetry_ != nullptr) {
+        // Lateness vs the scheduled deadline — the wheel's quantum plus
+        // any poll stall, the primary "is the loop keeping up" signal.
+        telemetry_->note_timer_fired(
+            static_cast<std::uint64_t>((now - entry.deadline).ticks()));
+      }
       const bool again = entry.target->on_timer(entry.timer_id);
       if (again && entry.interval > SimTime::zero()) {
         // Re-arm one interval after the *scheduled* deadline, not after
@@ -190,6 +206,9 @@ void Reactor::advance_wheel(SimTime now) {
       }
     } else {
       ++actions_run_;
+      if (telemetry_ != nullptr) {
+        telemetry_->actions_run.fetch_add(1, std::memory_order_relaxed);
+      }
       entry.action();
     }
   }
@@ -205,6 +224,9 @@ bool Reactor::run_until(const std::function<bool()>& done, SimTime deadline) {
     if (done()) return true;
     if (now() >= deadline) return false;
     ++polls_;
+    if (telemetry_ != nullptr) {
+      telemetry_->polls.fetch_add(1, std::memory_order_relaxed);
+    }
     const int n = poll_fn_(pollfds_.empty() ? nullptr : pollfds_.data(),
                            static_cast<nfds_t>(pollfds_.size()), timeout_ms);
     if (n < 0) {
@@ -212,7 +234,14 @@ bool Reactor::run_until(const std::function<bool()>& done, SimTime deadline) {
       // Anything else is a programming error worth failing loudly on.
       expects(errno == EINTR, "poll failed");
       ++eintr_retries_;
+      if (telemetry_ != nullptr) {
+        telemetry_->eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      }
       continue;
+    }
+    if (telemetry_ != nullptr) {
+      auto& cause = n == 0 ? telemetry_->wakes_timeout : telemetry_->wakes_io;
+      cause.fetch_add(1, std::memory_order_relaxed);
     }
     if (n == 0) continue;  // quantum elapsed, or a spurious wakeup
     for (std::size_t i = 0; i < pollfds_.size(); ++i) {

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "src/common/types.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/scheduler.h"
 
 namespace gridbox::net {
@@ -122,6 +123,15 @@ class Reactor final : public sim::Scheduler {
   using PollFn = std::function<int(pollfd*, nfds_t, int)>;
   void set_poll_fn(PollFn fn) { poll_fn_ = std::move(fn); }
 
+  /// Injectable clock, for tests that script timer lateness. When set,
+  /// now() reads it instead of steady_clock (the epoch is ignored).
+  using ClockFn = std::function<SimTime()>;
+  void set_clock_fn(ClockFn fn) { clock_fn_ = std::move(fn); }
+
+  /// Arms live telemetry into `lane` (nullptr disarms). Set before the
+  /// loop starts; when null the hooks cost one pointer test each.
+  void set_telemetry(obs::TelemetryLane* lane) { telemetry_ = lane; }
+
   [[nodiscard]] std::uint64_t timers_fired() const { return timers_fired_; }
   [[nodiscard]] std::uint64_t actions_run() const { return actions_run_; }
   [[nodiscard]] std::uint64_t polls() const { return polls_; }
@@ -156,6 +166,8 @@ class Reactor final : public sim::Scheduler {
   std::vector<pollfd> pollfds_;
   std::vector<IoHandler*> handlers_;  ///< parallel to pollfds_
   PollFn poll_fn_;
+  ClockFn clock_fn_;
+  obs::TelemetryLane* telemetry_ = nullptr;
 
   std::mutex post_mutex_;            ///< guards posted_ only
   std::vector<sim::Action> posted_;  ///< cross-thread inbox (post())

@@ -1,0 +1,65 @@
+#include "src/net/telemetry_socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "src/common/ensure.h"
+
+namespace gridbox::net {
+
+TelemetrySocket::TelemetrySocket(Reactor& reactor, std::uint16_t port,
+                                 std::function<std::string()> provider)
+    : reactor_(reactor), port_(port), provider_(std::move(provider)) {
+  expects(port_ != 0, "telemetry socket needs a nonzero port");
+  expects(static_cast<bool>(provider_), "telemetry socket needs a provider");
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  expects(fd_ >= 0, "socket(2) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd_);
+    fd_ = -1;
+    expects(false, "bind(2) failed for telemetry stats socket");
+  }
+  reactor_.add_fd(fd_, *this);
+}
+
+TelemetrySocket::~TelemetrySocket() {
+  if (fd_ >= 0) {
+    reactor_.remove_fd(fd_);
+    (void)::close(fd_);
+  }
+}
+
+void TelemetrySocket::on_readable(int fd) {
+  // Every received datagram is a probe regardless of content; the reply is
+  // the latest record. Bounded drain like the transport: a prober flooding
+  // the socket cannot starve the shard's timers.
+  for (int i = 0; i < 16; ++i) {
+    std::uint8_t probe[64];
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const ssize_t n =
+        ::recvfrom(fd, probe, sizeof(probe), 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // drained (EAGAIN) or spurious
+    }
+    std::string reply = provider_();
+    reply.push_back('\n');
+    // A lost or truncated reply is fine: the prober just asks again.
+    (void)::sendto(fd, reply.data(), reply.size(), 0,
+                   reinterpret_cast<const sockaddr*>(&from), from_len);
+  }
+}
+
+}  // namespace gridbox::net

@@ -1,0 +1,41 @@
+// One-shot UDP stats endpoint for live telemetry.
+//
+// Binds a single datagram socket on 127.0.0.1 and registers it with the
+// control reactor. Any datagram received is a probe; the reply is whatever
+// the provider callback returns — in practice the latest
+// gridbox-telemetry/1 record, newline-terminated. Request/reply over one
+// datagram each keeps the protocol stateless: gridbox_top sends a byte,
+// reads a record, renders, repeats. The provider runs on the reactor's
+// thread (the same thread the sampler writes latest() on), so no locking.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/net/reactor.h"
+
+namespace gridbox::net {
+
+class TelemetrySocket final : public IoHandler {
+ public:
+  /// Binds 127.0.0.1:port and registers with `reactor` (which must outlive
+  /// this object). Throws PreconditionError if the bind fails.
+  TelemetrySocket(Reactor& reactor, std::uint16_t port,
+                  std::function<std::string()> provider);
+  ~TelemetrySocket() override;
+  TelemetrySocket(const TelemetrySocket&) = delete;
+  TelemetrySocket& operator=(const TelemetrySocket&) = delete;
+
+  void on_readable(int fd) override;
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  Reactor& reactor_;
+  std::uint16_t port_ = 0;
+  int fd_ = -1;
+  std::function<std::string()> provider_;
+};
+
+}  // namespace gridbox::net

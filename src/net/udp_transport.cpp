@@ -162,6 +162,7 @@ void UdpTransport::on_readable(int fd) {
   // reads as > kMaxDatagramBytes and fails strict decoding instead of
   // being silently truncated into a plausible prefix.
   std::uint8_t buffer[kMaxDatagramBytes + 1];
+  std::size_t received = 0;
   for (std::size_t drained = 0; drained < options_.max_drain; ++drained) {
     const ssize_t n = hooks_.recv(fd, buffer, sizeof(buffer));
     if (n < 0) {
@@ -173,8 +174,10 @@ void UdpTransport::on_readable(int fd) {
       }
       // EAGAIN/EWOULDBLOCK: drained (or the wakeup was spurious). Any
       // other errno on a datagram socket is also just "nothing to read".
+      if (telemetry_ != nullptr) telemetry_->drain_per_wake.observe(received);
       return;
     }
+    ++received;
     Message message;
     const DecodeError error =
         decode_datagram(buffer, static_cast<std::size_t>(n), message);
@@ -192,6 +195,9 @@ void UdpTransport::on_readable(int fd) {
       continue;
     }
     ++stats_.messages_delivered;
+    if (telemetry_ != nullptr) {
+      telemetry_->frames_delivered.fetch_add(1, std::memory_order_relaxed);
+    }
     try {
       local->endpoint->on_message(message);
     } catch (const PreconditionError&) {
@@ -200,6 +206,9 @@ void UdpTransport::on_readable(int fd) {
       ++stats_.messages_malformed;
     }
   }
+  // max_drain exhausted with the socket still hot: the reactor will wake
+  // again immediately; the histogram records a full-bucket drain.
+  if (telemetry_ != nullptr) telemetry_->drain_per_wake.observe(received);
 }
 
 int UdpTransport::fd_of(MemberId id) const {

@@ -95,6 +95,10 @@ class UdpTransport final : public Transport, public IoHandler {
 
   void set_hooks(Hooks hooks);
 
+  /// Arms live telemetry into the owning shard's lane (nullptr disarms) —
+  /// the same lane as the shard's reactor; shard-thread writes only.
+  void set_telemetry(obs::TelemetryLane* lane) { telemetry_ = lane; }
+
   /// IoHandler: drains the readable socket; tolerates EINTR (retries) and
   /// EAGAIN/spurious wakeups (returns) without spinning.
   void on_readable(int fd) override;
@@ -131,6 +135,7 @@ class UdpTransport final : public Transport, public IoHandler {
   std::unique_ptr<ChaosSchedule> chaos_;
   NetworkStats stats_;
   std::uint64_t recv_eintr_retries_ = 0;
+  obs::TelemetryLane* telemetry_ = nullptr;
 };
 
 }  // namespace gridbox::net

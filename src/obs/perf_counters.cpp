@@ -1,0 +1,110 @@
+#include "src/obs/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace gridbox::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_counter(std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Threads spawned after the counter opens (the UDP cases' reactor shard
+  // threads all start inside the measured body) inherit it, so the reading
+  // covers the whole run, not just the calling thread.
+  attr.inherit = 1;
+  // pid=0/cpu=-1: this thread (plus inherited children), any cpu.
+  const long fd =
+      syscall(__NR_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+              /*group_fd=*/-1, /*flags=*/0UL);
+  return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+constexpr std::uint64_t kConfigs[PerfCounters::kSlots] = {
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  for (int i = 0; i < kSlots; ++i) fds_[i] = open_counter(kConfigs[i]);
+}
+
+PerfCounters::~PerfCounters() {
+  for (const int fd : fds_) {
+    if (fd >= 0) (void)close(fd);
+  }
+}
+
+bool PerfCounters::available() const {
+  for (const int fd : fds_) {
+    if (fd >= 0) return true;
+  }
+  return false;
+}
+
+void PerfCounters::start() {
+  for (const int fd : fds_) {
+    if (fd < 0) continue;
+    (void)ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    (void)ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounters::stop() {
+  for (const int fd : fds_) {
+    if (fd >= 0) (void)ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+}
+
+PerfReading PerfCounters::read() const {
+  PerfReading out;
+  std::uint64_t values[kSlots] = {};
+  bool ok[kSlots] = {};
+  for (int i = 0; i < kSlots; ++i) {
+    if (fds_[i] < 0) continue;
+    std::uint64_t value = 0;
+    ok[i] = ::read(fds_[i], &value, sizeof(value)) == sizeof(value);
+    values[i] = value;
+  }
+  out.has_instructions = ok[0];
+  out.instructions = values[0];
+  out.has_cycles = ok[1];
+  out.cycles = values[1];
+  out.has_cache_misses = ok[2];
+  out.cache_misses = values[2];
+  out.has_branch_misses = ok[3];
+  out.branch_misses = values[3];
+  return out;
+}
+
+#else  // !defined(__linux__)
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+bool PerfCounters::available() const { return false; }
+void PerfCounters::start() {}
+void PerfCounters::stop() {}
+PerfReading PerfCounters::read() const { return {}; }
+
+#endif
+
+}  // namespace gridbox::obs

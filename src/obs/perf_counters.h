@@ -1,0 +1,62 @@
+// Hardware perf-counter attribution for the bench harness.
+//
+// Wraps perf_event_open for the four counters that make a BENCH delta
+// attributable instead of merely observed (ROADMAP item 5): instructions,
+// cycles, cache misses, branch misses. Wall time says a change is faster;
+// instructions-per-event says whether the win is less work or less stall.
+//
+// Graceful degradation is the contract: perf_event_open is routinely
+// unavailable (containers without CAP_PERFMON, kernel.perf_event_paranoid,
+// non-Linux hosts). Construction never throws for that reason — each
+// counter that cannot be opened is simply absent from the Reading, and
+// downstream (bench_io, bench_diff) renders absent as "n/a", never as a
+// zero that could be mistaken for data.
+#pragma once
+
+#include <cstdint>
+
+namespace gridbox::obs {
+
+/// One measurement interval's counter values. A counter the host refused to
+/// open reports has_* == false and 0.
+struct PerfReading {
+  bool has_instructions = false;
+  bool has_cycles = false;
+  bool has_cache_misses = false;
+  bool has_branch_misses = false;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t branch_misses = 0;
+
+  [[nodiscard]] bool any() const {
+    return has_instructions || has_cycles || has_cache_misses ||
+           has_branch_misses;
+  }
+};
+
+/// RAII group of per-thread hardware counters (user space only, this
+/// process only). start() resets and enables, stop() disables, read()
+/// returns whatever the host granted. Non-copyable: each instance owns fds.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when at least one hardware counter opened.
+  [[nodiscard]] bool available() const;
+
+  void start();
+  void stop();
+  [[nodiscard]] PerfReading read() const;
+
+  /// Slot order: instructions, cycles, cache misses, branch misses.
+  static constexpr int kSlots = 4;
+
+ private:
+  int fds_[kSlots] = {-1, -1, -1, -1};
+};
+
+}  // namespace gridbox::obs

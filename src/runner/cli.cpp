@@ -195,6 +195,12 @@ observability
   --profile              time hot paths (sim.run / net.send / gossip.round /
                          codec.encode / codec.decode / queue.pop) and print
                          the aggregate after the summary
+  --telemetry-out PATH   stream gridbox-telemetry/1 JSONL health samples
+                         (per-lane counters + log2 histograms; view live
+                         with gridbox_top --file PATH)
+  --telemetry-interval-us U
+                         telemetry sampling cadence in simulated µs
+                         (default 100000)
 
   --help                 this text
 )";
@@ -340,6 +346,19 @@ CliParseResult parse_cli(const std::vector<std::string>& args) {
     } else if (flag == "--curves-out") {
       if (!next_value(flag, &value)) break;
       p.options.curves_out = value;
+    } else if (flag == "--telemetry-out") {
+      if (!next_value(flag, &value)) break;
+      config.telemetry.out_path = value;
+      config.telemetry.enabled = true;
+    } else if (flag == "--telemetry-interval-us") {
+      if (!next_value(flag, &value) || !p.parse_uint(flag, value, &u)) break;
+      if (u == 0) {
+        (void)p.fail("--telemetry-interval-us: must be positive");
+        break;
+      }
+      config.telemetry.interval =
+          SimTime::micros(static_cast<SimTime::underlying>(u));
+      config.telemetry.enabled = true;
     } else if (flag == "--flight-recorder") {
       if (!next_value(flag, &value)) break;
       p.options.flight_out = value;
@@ -548,6 +567,12 @@ int run_cli(const CliOptions& options) {
   const auto run_one = [&](std::size_t run) {
     ExperimentConfig config = options.config;
     config.seed = options.config.seed + run;
+    // Each run owns its telemetry series, so parallel runs never contend
+    // for one file; like traces, run r writes PATH-run<r>.
+    if (config.telemetry.enabled && !config.telemetry.out_path.empty()) {
+      config.telemetry.out_path = trace_path_for_run(
+          config.telemetry.out_path, run, options.runs);
+    }
     // Each run owns its trace file, so parallel runs never interleave lines.
     std::unique_ptr<obs::TraceSink> sink;
     if (!options.trace_out.empty()) {

@@ -10,6 +10,7 @@
 
 #include "src/agg/aggregate.h"
 #include "src/common/types.h"
+#include "src/obs/telemetry.h"
 #include "src/protocols/baseline/centralized.h"
 #include "src/protocols/baseline/committee.h"
 #include "src/protocols/baseline/fully_distributed.h"
@@ -114,6 +115,13 @@ struct ExperimentConfig {
   /// transport + phase-machine event into a bounded ring; the CLI dumps it
   /// when a run throws InvariantError (see cli --flight-recorder).
   obs::FlightRecorder* flight = nullptr;
+
+  /// Live telemetry sampling (src/obs/telemetry.h): when enabled, the
+  /// runtime arms one TelemetryLane per shard (one lane on the simulator)
+  /// and a control-thread sampler streams gridbox-telemetry/1 JSONL on
+  /// telemetry.interval. Execution-side instrumentation like the pointers
+  /// above: excluded from config_canonical_text, never affects results.
+  obs::TelemetryConfig telemetry;
 
   /// Aggregate hot-path scoped timers for this run (RunResult::profile).
   /// Wall-clock telemetry: counts are deterministic, elapsed times are not.

@@ -341,7 +341,27 @@ RunResult run_experiment(const ExperimentConfig& config) {
         });
   }
 
-  const std::uint64_t executed = simulator.run();
+  // Live telemetry on the simulator substrate: one lane, sampled on the
+  // virtual clock between run_until slices — the series is a pure function
+  // of (config, seed), byte-identical at any host parallelism.
+  std::unique_ptr<obs::TelemetryHub> tel_hub;
+  std::unique_ptr<obs::TelemetrySampler> tel_sampler;
+  if (config.telemetry.enabled) {
+    tel_hub = std::make_unique<obs::TelemetryHub>(1);
+    simulator.set_telemetry(&tel_hub->lane(0));
+    tel_sampler =
+        std::make_unique<obs::TelemetrySampler>(*tel_hub, config.telemetry);
+  }
+
+  std::uint64_t executed = 0;
+  if (tel_sampler != nullptr) {
+    while (!simulator.idle()) {
+      executed += simulator.run_until(simulator.now() + tel_sampler->interval());
+      tel_sampler->sample(simulator.now());
+    }
+  } else {
+    executed = simulator.run();
+  }
 
   if (checker != nullptr) {
     // Termination: every member still alive at the end must have delivered

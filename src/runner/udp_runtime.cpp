@@ -16,7 +16,9 @@
 #include "src/membership/group.h"
 #include "src/net/chaos.h"
 #include "src/net/reactor.h"
+#include "src/net/telemetry_socket.h"
 #include "src/net/udp_transport.h"
+#include "src/obs/telemetry.h"
 #include "src/protocols/invariant_checker.h"
 #include "src/runner/world_setup.h"
 
@@ -54,6 +56,20 @@ class CompletionBoard {
  private:
   std::unique_ptr<std::atomic<bool>[]> settled_;
   std::atomic<std::size_t> remaining_;
+};
+
+/// Self-stopping periodic telemetry tick on shard 0 (same pattern as the
+/// service runtime): samples on the reactor clock, stops rescheduling when
+/// the run resolves.
+struct SamplerTick final : sim::TimerTarget {
+  obs::TelemetrySampler* sampler = nullptr;
+  net::Reactor* clock = nullptr;
+  std::function<bool()> keep_going;
+
+  bool on_timer(std::uint32_t /*timer_id*/) override {
+    sampler->sample(clock->now());
+    return keep_going();
+  }
 };
 
 }  // namespace
@@ -271,6 +287,32 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
     r0.schedule_after(config.round_duration(), [tick]() { (*tick)(); });
   }
 
+  // Live telemetry: one lane per shard; sampler + optional stats socket on
+  // shard 0 (scheduling is still single-threaded here, before the loops).
+  std::unique_ptr<obs::TelemetryHub> tel_hub;
+  std::unique_ptr<obs::TelemetrySampler> tel_sampler;
+  std::unique_ptr<net::TelemetrySocket> tel_socket;
+  SamplerTick sampler_tick;
+  if (config.telemetry.enabled) {
+    tel_hub = std::make_unique<obs::TelemetryHub>(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      reactors[s]->set_telemetry(&tel_hub->lane(s));
+      transports[s]->set_telemetry(&tel_hub->lane(s));
+    }
+    tel_sampler =
+        std::make_unique<obs::TelemetrySampler>(*tel_hub, config.telemetry);
+    sampler_tick.sampler = tel_sampler.get();
+    sampler_tick.clock = reactors[0].get();
+    sampler_tick.keep_going = [&board]() { return !board.done(); };
+    reactors[0]->schedule_periodic(config.telemetry.interval,
+                                   config.telemetry.interval, sampler_tick);
+    if (config.telemetry.udp_port != 0) {
+      tel_socket = std::make_unique<net::TelemetrySocket>(
+          *reactors[0], config.telemetry.udp_port,
+          [sampler = tel_sampler.get()]() { return sampler->latest(); });
+    }
+  }
+
   // === Run: one thread per reactor until global completion or deadline.
   // A shard must keep serving datagrams until *everyone* finished, not
   // just its own members; done() is one atomic load, not a scan.
@@ -292,6 +334,9 @@ UdpRunResult run_udp_experiment(const UdpRunConfig& udp_config) {
   for (const std::exception_ptr& error : errors) {
     if (error) std::rethrow_exception(error);
   }
+
+  // Final sample post-join: exact closing record, ordered by the joins.
+  if (tel_sampler != nullptr) tel_sampler->sample(reactors[0]->now());
 
   UdpRunResult result;
   result.shards = shard_count;

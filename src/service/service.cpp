@@ -140,12 +140,23 @@ void ServiceEngine::fan_crash(MemberId member) {
 
 std::size_t ServiceEngine::running_count() const { return in_flight_; }
 
+void ServiceEngine::sync_telemetry() {
+  if (substrate_.telemetry == nullptr) return;
+  obs::ServiceTelemetry& s = substrate_.telemetry->service();
+  s.launched = launched_;
+  s.completed = completed_count_;
+  s.failed = failed_count_;
+  s.deferred = deferred_count_;
+  s.note_occupancy(in_flight_, deferred_.size());
+}
+
 void ServiceEngine::on_launch_due(std::uint32_t id) {
   // Launches must stay in id order (the mux's monotone id space), so a due
   // epoch also defers while older deferred launches are still queued.
   if (!deferred_.empty() || running_count() >= config_.max_in_flight) {
     deferred_.push_back(id);
     ++deferred_count_;
+    sync_telemetry();
     return;
   }
   launch(id);
@@ -287,6 +298,7 @@ void ServiceEngine::launch(std::uint32_t id) {
   live_.emplace(id, std::move(inst));
   ++launched_;
   ++in_flight_;
+  sync_telemetry();
 }
 
 bool ServiceEngine::instance_done(const Instance& inst) const {
@@ -304,6 +316,11 @@ void ServiceEngine::complete(Instance& inst, SimTime now) {
   inst.state = State::kDraining;
   --in_flight_;
   ++completed_count_;
+  if (substrate_.telemetry != nullptr) {
+    substrate_.telemetry->service().epoch_latency_us.observe(
+        static_cast<std::uint64_t>((now - inst.launched_at).ticks()));
+  }
+  sync_telemetry();
 }
 
 void ServiceEngine::fail(Instance& inst) {
@@ -312,6 +329,7 @@ void ServiceEngine::fail(Instance& inst) {
   inst.state = State::kFailed;
   --in_flight_;
   ++failed_count_;
+  sync_telemetry();
   if (inst.checker) {
     // Materialize never-finished violations for the report (collect mode:
     // the UDP substrate never fail-fasts).
@@ -556,14 +574,40 @@ ServiceResult run_service_experiment(const ServiceConfig& config) {
       };
   substrate.sim_clock = &simulator;
 
+  // Live telemetry: the simulator is one shard, so one lane. The sampler
+  // ticks on the virtual clock, making the whole JSONL series a pure
+  // function of (config, seed) — the determinism tests pin the bytes.
+  std::unique_ptr<obs::TelemetryHub> tel_hub;
+  std::unique_ptr<obs::TelemetrySampler> tel_sampler;
+  if (xc.telemetry.enabled) {
+    tel_hub = std::make_unique<obs::TelemetryHub>(1);
+    tel_hub->enable_service();
+    simulator.set_telemetry(&tel_hub->lane(0));
+    substrate.telemetry = tel_hub.get();
+    tel_sampler = std::make_unique<obs::TelemetrySampler>(*tel_hub,
+                                                          xc.telemetry);
+  }
+
   ServiceEngine engine(config, mux, shared_group, substrate);
   engine.begin();
+  if (tel_sampler != nullptr) {
+    // The periodic tick rides the same event queue as the run; it stops
+    // rescheduling once the stream resolves so the loop below still drains.
+    simulator.schedule_periodic(xc.telemetry.interval, xc.telemetry.interval,
+                                [&engine, &tel_sampler, &simulator]() {
+                                  tel_sampler->sample(simulator.now());
+                                  return !engine.finished();
+                                });
+  }
   const SimTime deadline = engine.global_deadline();
   while (!engine.finished() && !simulator.idle() &&
          simulator.now() <= deadline) {
     (void)simulator.step();
   }
-  return engine.collect();
+  ServiceResult result = engine.collect();
+  // Final sample: the resolved stream's end state always makes the series.
+  if (tel_sampler != nullptr) tel_sampler->sample(simulator.now());
+  return result;
 }
 
 }  // namespace gridbox::service

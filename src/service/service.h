@@ -175,6 +175,11 @@ class ServiceEngine {
     /// more than one, the engine arms each instance's audit registry and
     /// invariant checker for concurrent trace events.
     std::size_t shards = 1;
+    /// Live telemetry hub (non-owning; may be null). The engine fills the
+    /// service section — launch/complete/fail/defer counts, window
+    /// occupancy gauges, the epoch-latency histogram — all on the control
+    /// thread, where the sampler also runs.
+    obs::TelemetryHub* telemetry = nullptr;
   };
 
   /// `mux` must be attached; `shared_group` is the service's liveness view
@@ -254,6 +259,9 @@ class ServiceEngine {
   void fan_crash(MemberId member);
   void crash_tick();
   void maybe_done();
+  /// Mirrors the engine's stream counters into the telemetry hub's service
+  /// section (no-op when telemetry is off). Control thread only.
+  void sync_telemetry();
   [[nodiscard]] std::size_t running_count() const;
 
   ServiceConfig config_;

@@ -12,11 +12,30 @@
 #include "src/common/ensure.h"
 #include "src/net/chaos.h"
 #include "src/net/reactor.h"
+#include "src/net/telemetry_socket.h"
 #include "src/net/udp_transport.h"
 #include "src/runner/udp_runtime.h"
 #include "src/runner/world_setup.h"
 
 namespace gridbox::service {
+
+namespace {
+
+/// Self-stopping periodic sampler tick on the control reactor: samples on
+/// the reactor clock and stops rescheduling once the stream resolves, so
+/// the wheel quiesces with the run.
+struct SamplerTick final : sim::TimerTarget {
+  obs::TelemetrySampler* sampler = nullptr;
+  net::Reactor* clock = nullptr;
+  std::function<bool()> keep_going;
+
+  bool on_timer(std::uint32_t /*timer_id*/) override {
+    sampler->sample(clock->now());
+    return keep_going();
+  }
+};
+
+}  // namespace
 
 UdpServiceResult run_udp_service(const UdpServiceConfig& udp_config) {
   const ServiceConfig& service = udp_config.service;
@@ -116,10 +135,44 @@ UdpServiceResult run_udp_service(const UdpServiceConfig& udp_config) {
   substrate.sim_clock = nullptr;
   substrate.shards = shard_count;
 
+  // Live telemetry: one lane per shard, reactor + transport of a shard
+  // sharing its lane (both write from the shard's own thread).
+  std::unique_ptr<obs::TelemetryHub> tel_hub;
+  std::unique_ptr<obs::TelemetrySampler> tel_sampler;
+  if (config.telemetry.enabled) {
+    tel_hub = std::make_unique<obs::TelemetryHub>(shard_count);
+    tel_hub->enable_service();
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      reactors[s]->set_telemetry(&tel_hub->lane(s));
+      transports[s]->set_telemetry(&tel_hub->lane(s));
+    }
+    substrate.telemetry = tel_hub.get();
+    tel_sampler =
+        std::make_unique<obs::TelemetrySampler>(*tel_hub, config.telemetry);
+  }
+
   // The engine's whole schedule lands on reactor 0 before its thread
   // starts; all later rescheduling happens on that thread.
   ServiceEngine engine(service, mux, shared_group, substrate);
   engine.begin();
+
+  // Sampler cadence and (optionally) the stats socket live on reactor 0 —
+  // the control shard, the same thread the engine mutates the service
+  // section on, so latest() is served without locks.
+  SamplerTick sampler_tick;
+  std::unique_ptr<net::TelemetrySocket> tel_socket;
+  if (tel_sampler != nullptr) {
+    sampler_tick.sampler = tel_sampler.get();
+    sampler_tick.clock = shard_reactors.front();
+    sampler_tick.keep_going = [&engine]() { return !engine.finished(); };
+    shard_reactors.front()->schedule_periodic(
+        config.telemetry.interval, config.telemetry.interval, sampler_tick);
+    if (config.telemetry.udp_port != 0) {
+      tel_socket = std::make_unique<net::TelemetrySocket>(
+          *shard_reactors.front(), config.telemetry.udp_port,
+          [sampler = tel_sampler.get()]() { return sampler->latest(); });
+    }
+  }
 
   const auto done = [&engine]() { return engine.finished(); };
   const SimTime deadline = engine.global_deadline();
@@ -143,6 +196,11 @@ UdpServiceResult run_udp_service(const UdpServiceConfig& udp_config) {
   UdpServiceResult result;
   result.result = engine.collect();
   result.shards = shard_count;
+  // Final sample post-join: the joins ordered every shard's lane writes
+  // before this read, so the closing record is exact, not torn.
+  if (tel_sampler != nullptr) {
+    tel_sampler->sample(shard_reactors.front()->now());
+  }
   for (std::size_t s = 0; s < shard_count; ++s) {
     result.timers_fired += reactors[s]->timers_fired();
     result.polls += reactors[s]->polls();

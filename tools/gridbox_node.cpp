@@ -56,6 +56,14 @@ service (docs/service.md)
   --in-flight W          bounded in-flight window (default 8)
                          chaos specs may add join/recover churn directives
 
+telemetry (docs/observability.md)
+  --telemetry-out PATH   stream gridbox-telemetry/1 JSONL health samples
+                         to PATH (enables live telemetry)
+  --telemetry-interval-us U
+                         sampling cadence in µs (default 100000)
+  --telemetry-port P     also serve the latest record one-shot from a UDP
+                         stats socket on 127.0.0.1:P (gridbox_top --udp)
+
 harness
   --differential         also run the simulator; exit 2 unless both runs
                          are audit-clean, reconstruct, and agree on ground
@@ -174,6 +182,20 @@ struct Options {
       } else if (flag == "--in-flight") {
         if (!need_value(i, "--in-flight", value)) return false;
         options.in_flight = std::stoul(value);
+      } else if (flag == "--telemetry-out") {
+        if (!need_value(i, "--telemetry-out", value)) return false;
+        config.telemetry.out_path = value;
+        config.telemetry.enabled = true;
+      } else if (flag == "--telemetry-interval-us") {
+        if (!need_value(i, "--telemetry-interval-us", value)) return false;
+        config.telemetry.interval = SimTime::micros(
+            static_cast<SimTime::underlying>(std::stoll(value)));
+        config.telemetry.enabled = true;
+      } else if (flag == "--telemetry-port") {
+        if (!need_value(i, "--telemetry-port", value)) return false;
+        config.telemetry.udp_port =
+            static_cast<std::uint16_t>(std::stoul(value));
+        config.telemetry.enabled = true;
       } else if (flag == "--differential") {
         options.differential = true;
       } else if (flag == "--report-dir") {

@@ -1,0 +1,259 @@
+// gridbox_top: live terminal view of a running gridbox service.
+//
+// Tails a gridbox-telemetry/1 source — either the JSONL file a run writes
+// (--file, last complete record) or the one-shot UDP stats socket a UDP
+// runtime serves (--udp host:port, one probe datagram per refresh) — and
+// renders a refreshing per-shard / per-instance health table: timer-fire
+// lateness percentiles, poll wake causes, drain and dispatch batch sizes,
+// post-queue high-water, and the service section's window occupancy and
+// epoch-latency percentiles. Percentiles come from the log2 histograms, so
+// a value reads "<= 2^b us": coarse, allocation-free, and honest about it.
+//
+//   gridbox_top --file t.jsonl             # refresh from a file every 1s
+//   gridbox_top --udp 127.0.0.1:47000      # refresh from a live socket
+//   gridbox_top --file t.jsonl --once      # render once and exit (CI smoke)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json.h"
+
+namespace {
+
+using gridbox::obs::JsonValue;
+
+struct Options {
+  std::string file;
+  std::string udp;  ///< host:port
+  int interval_ms = 1000;
+  bool once = false;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gridbox_top (--file PATH | --udp HOST:PORT) [--interval-ms N] "
+      "[--once]\n"
+      "  --file PATH       tail a gridbox-telemetry/1 JSONL file\n"
+      "  --udp HOST:PORT   probe a live run's telemetry stats socket\n"
+      "  --interval-ms N   refresh cadence (default 1000)\n"
+      "  --once            render the latest record once and exit\n");
+}
+
+/// Last complete line of the JSONL file (the newest sample), or "".
+std::string read_last_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return "";
+  std::string line;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (!line.empty()) last = line;
+  }
+  return last;
+}
+
+/// One probe datagram, one record back; "" on timeout or error.
+std::string probe_udp(const std::string& target, int timeout_ms) {
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) return "";
+  std::string host = target.substr(0, colon);
+  if (host == "localhost") host = "127.0.0.1";
+  const int port = std::atoi(target.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) return "";
+
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return "";
+  }
+  const char probe = '?';
+  std::string record;
+  if (::sendto(fd, &probe, 1, 0, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) == 1) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    if (::poll(&p, 1, timeout_ms) > 0) {
+      std::vector<char> buffer(1 << 16);
+      const ssize_t n = ::recv(fd, buffer.data(), buffer.size(), 0);
+      if (n > 0) record.assign(buffer.data(), static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  while (!record.empty() &&
+         (record.back() == '\n' || record.back() == '\r')) {
+    record.pop_back();
+  }
+  return record;
+}
+
+std::uint64_t uint_of(const JsonValue& v, const char* name) {
+  return static_cast<std::uint64_t>(v.number_or(name, 0.0));
+}
+
+/// Upper bound (µs or count) of the histogram bucket holding quantile `q`.
+/// Bucket 0 is exact zero; bucket b covers values < 2^b.
+std::uint64_t hist_quantile(const JsonValue& hist, double q) {
+  if (!hist.is_array()) return 0;
+  std::uint64_t total = 0;
+  for (const JsonValue& b : hist.array) {
+    total += static_cast<std::uint64_t>(b.number);
+  }
+  if (total == 0) return 0;
+  const std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total)) + 1;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < hist.array.size(); ++b) {
+    cum += static_cast<std::uint64_t>(hist.array[b].number);
+    if (cum >= target) {
+      return b == 0 ? 0 : (std::uint64_t{1} << b);
+    }
+  }
+  return std::uint64_t{1} << (hist.array.size() - 1);
+}
+
+void render_lane(const char* label, const JsonValue& lane) {
+  const JsonValue* lateness = lane.find("lateness_us");
+  const JsonValue* drain = lane.find("drain_per_wake");
+  const JsonValue* dispatch = lane.find("dispatch_per_tick");
+  std::printf(
+      "%5s %9llu %8llu %9llu %8llu %8llu %6llu %9llu  <=%-7llu <=%-7llu "
+      "<=%-5llu %5llu\n",
+      label,
+      static_cast<unsigned long long>(uint_of(lane, "timers_fired")),
+      static_cast<unsigned long long>(uint_of(lane, "actions_run")),
+      static_cast<unsigned long long>(uint_of(lane, "frames")),
+      static_cast<unsigned long long>(uint_of(lane, "wakes_io")),
+      static_cast<unsigned long long>(uint_of(lane, "wakes_timeout")),
+      static_cast<unsigned long long>(uint_of(lane, "eintr")),
+      static_cast<unsigned long long>(uint_of(lane, "polls")),
+      static_cast<unsigned long long>(
+          lateness != nullptr ? hist_quantile(*lateness, 0.5) : 0),
+      static_cast<unsigned long long>(
+          lateness != nullptr ? hist_quantile(*lateness, 0.99) : 0),
+      static_cast<unsigned long long>(
+          drain != nullptr ? hist_quantile(*drain, 0.99) : 0),
+      static_cast<unsigned long long>(uint_of(lane, "queue_depth_hw")));
+  (void)dispatch;
+}
+
+bool render(const std::string& record, bool clear) {
+  JsonValue doc;
+  try {
+    doc = gridbox::obs::json_parse(record);
+  } catch (...) {
+    return false;
+  }
+  if (doc.string_or("schema", "") != "gridbox-telemetry/1") return false;
+
+  if (clear) std::printf("\x1b[H\x1b[2J");
+  const double t_s = doc.number_or("t_us", 0.0) / 1e6;
+  std::printf("gridbox-telemetry/1   seq %llu   t %.3f s   lanes %llu\n\n",
+              static_cast<unsigned long long>(uint_of(doc, "seq")), t_s,
+              static_cast<unsigned long long>(uint_of(doc, "lanes")));
+  std::printf(
+      "shard    timers  actions    frames  wake_io  wake_to  eintr      "
+      "polls  late_p50  late_p99 drn_p99  q_hw\n");
+  const JsonValue* shards = doc.find("shards");
+  if (shards != nullptr && shards->is_array()) {
+    char label[24];
+    for (std::size_t s = 0; s < shards->array.size(); ++s) {
+      std::snprintf(label, sizeof(label), "%zu", s);
+      render_lane(label, shards->array[s]);
+    }
+  }
+  const JsonValue* total = doc.find("total");
+  if (total != nullptr) render_lane("all", *total);
+
+  const JsonValue* service = doc.find("service");
+  if (service != nullptr && service->is_object()) {
+    const JsonValue* epoch = service->find("epoch_latency_us");
+    std::printf(
+        "\nservice  launched %llu  completed %llu  failed %llu  deferred "
+        "%llu\n"
+        "         in-flight %llu (hw %llu)  defer-queue %llu (hw %llu)  "
+        "epoch p50 <=%lluus  p99 <=%lluus\n",
+        static_cast<unsigned long long>(uint_of(*service, "launched")),
+        static_cast<unsigned long long>(uint_of(*service, "completed")),
+        static_cast<unsigned long long>(uint_of(*service, "failed")),
+        static_cast<unsigned long long>(uint_of(*service, "deferred")),
+        static_cast<unsigned long long>(uint_of(*service, "in_flight")),
+        static_cast<unsigned long long>(uint_of(*service, "in_flight_hw")),
+        static_cast<unsigned long long>(uint_of(*service, "deferred_queue")),
+        static_cast<unsigned long long>(
+            uint_of(*service, "deferred_queue_hw")),
+        static_cast<unsigned long long>(
+            epoch != nullptr ? hist_quantile(*epoch, 0.5) : 0),
+        static_cast<unsigned long long>(
+            epoch != nullptr ? hist_quantile(*epoch, 0.99) : 0));
+  }
+  std::fflush(stdout);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (arg == "--file" && has_next) {
+      options.file = argv[++i];
+    } else if (arg == "--udp" && has_next) {
+      options.udp = argv[++i];
+    } else if (arg == "--interval-ms" && has_next) {
+      options.interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--once") {
+      options.once = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "gridbox_top: unknown argument '%s'\n",
+                   arg.c_str());
+      usage();
+      return 1;
+    }
+  }
+  if (options.file.empty() == options.udp.empty()) {
+    usage();
+    return 1;
+  }
+  if (options.interval_ms <= 0) options.interval_ms = 1000;
+
+  bool rendered_any = false;
+  for (;;) {
+    const std::string record =
+        !options.file.empty() ? read_last_line(options.file)
+                              : probe_udp(options.udp, options.interval_ms);
+    if (!record.empty() && render(record, /*clear=*/!options.once)) {
+      rendered_any = true;
+    } else if (options.once) {
+      std::fprintf(stderr,
+                   "gridbox_top: no gridbox-telemetry/1 record at %s\n",
+                   (!options.file.empty() ? options.file : options.udp)
+                       .c_str());
+      return 1;
+    }
+    if (options.once) return rendered_any ? 0 : 1;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+}
